@@ -1,0 +1,41 @@
+"""E10 — Lemma 3.3: portal construction cost and uniformity.
+
+Regenerates the portal experiment: the walk-based discovery and the
+direct-sampling fast path pick portals from statistically
+indistinguishable (uniform-over-boundary) distributions, per the
+chi-square statistic.  The benchmark timer measures one full portal-table
+construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, portal_uniformity
+from repro.core import build_hierarchy, build_portals
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def deep_hierarchy(expander128, params):
+    return build_hierarchy(
+        expander128, params, np.random.default_rng(1000), beta=4
+    )
+
+
+def test_portal_uniformity(benchmark, deep_hierarchy, params):
+    def build_once():
+        return build_portals(
+            deep_hierarchy, params, np.random.default_rng(1001)
+        )
+
+    portals = benchmark(build_once)
+    assert len(portals.tables) == deep_hierarchy.depth
+
+    rows = portal_uniformity()
+    emit(format_table(rows, title="E10: Lemma 3.3 portal uniformity"))
+    for row in rows:
+        # chi2/dof ~ 1 for a uniform distribution; reject only clear
+        # non-uniformity.
+        assert row["chi2_per_dof"] < 3.0
+        assert row["support"] > 1

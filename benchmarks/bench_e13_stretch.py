@@ -1,0 +1,37 @@
+"""E13 — routing stretch: per-packet overlay hop counts.
+
+Regenerates the stretch profile: a packet crosses at most one portal hop
+per recursion stage plus a bottom delivery per visited leaf, so hop
+counts are bounded by ``2^{depth+1} - 1`` — the branching factor behind
+Lemma 3.4's cost recursion.  The benchmark timer measures one traced
+routing instance.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, stretch_profile
+
+from .conftest import emit
+
+
+def test_stretch_profile(benchmark, router128):
+    rng = np.random.default_rng(1300)
+    perm = rng.permutation(128)
+    sources = np.arange(128)
+
+    def traced_route():
+        return router128.route(sources, perm, trace=True)
+
+    result = benchmark(traced_route)
+    assert result.delivered
+    assert result.packet_hops is not None
+
+    rows = stretch_profile()
+    emit(format_table(rows, title="E13: routing stretch vs depth bound"))
+    for row in rows:
+        assert row["delivered"]
+        assert row["max_hops"] <= row["bound 2^(d+1)-1"]
+        assert row["mean_hops"] >= 1.0
+    # Deeper hierarchies stretch more.
+    by_depth = sorted(rows, key=lambda row: row["depth"])
+    assert by_depth[0]["max_hops"] <= by_depth[-1]["max_hops"]

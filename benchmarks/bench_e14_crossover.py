@@ -1,0 +1,42 @@
+"""E14 — crossover analysis: how asymptotic is the paper's advantage?
+
+Fits the envelope constant from measured routing runs and solves for the
+``n`` where the paper's bound would undercut the general-graph
+``tilde-Theta(D + sqrt n)`` algorithms.  The benchmark timer measures the
+fit + solve step itself (cheap; the routing data comes from E1's runs).
+"""
+
+from repro.analysis import crossover_analysis, format_table
+from repro.theory import crossover_n, fitted_envelope_constant
+
+from .conftest import emit
+
+
+def test_crossover_analysis(benchmark):
+    def fit_and_solve():
+        c = fitted_envelope_constant(256, 70_000.0)
+        return c, crossover_n(c)
+
+    c, crossover = benchmark(fit_and_solve)
+    assert c > 0
+
+    rows = crossover_analysis()
+    emit(format_table(rows, title="E14: crossover vs D + sqrt(n)"))
+    measured = [row for row in rows if row["source"].startswith("measured")]
+    idealized = [
+        row for row in rows if row["source"].startswith("idealized")
+    ]
+    # Measured constants sit in a sane band and shrink with n (the big-O
+    # absorbing lower-order terms).
+    constants = [row["envelope_c"] for row in measured]
+    assert all(1.0 < value < 6.0 for value in constants)
+    assert constants[-1] <= constants[0]
+    # Idealized c=1 crosses over at a finite, modest n.
+    c1 = next(r for r in idealized if r["envelope_c"] == 1.0)
+    assert c1["crossover_n"] < 10**7
+    # Measured constants push the crossover astronomically far out.
+    finite_measured = [
+        row["crossover_n"] for row in measured
+        if row["crossover_n"] != float("inf")
+    ]
+    assert all(value > 10**50 for value in finite_measured)

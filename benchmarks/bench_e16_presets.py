@@ -1,0 +1,50 @@
+"""E16 — the Params presets: what the paper's literal constants cost.
+
+Regenerates the preset ablation: the literal paper constants
+(``Params.paper()``) deliver exactly like the calibrated defaults but at
+~an order of magnitude more rounds already at n = 64 — the spread is
+pure constants, which is why DESIGN.md §4.4's scaling is legitimate.
+The benchmark timer measures one fast-preset construction + route.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, preset_ablation
+from repro.core import Router, build_hierarchy
+from repro.graphs import random_regular
+from repro.params import Params
+
+from .conftest import emit
+
+
+def test_preset_ablation(benchmark):
+    graph = random_regular(64, 6, np.random.default_rng(1600))
+    params = Params.fast()
+
+    def build_and_route():
+        rng = np.random.default_rng(1601)
+        hierarchy = build_hierarchy(graph, params, rng)
+        router = Router(hierarchy, params=params, rng=rng)
+        return router.route(np.arange(64), rng.permutation(64))
+
+    result = benchmark.pedantic(build_and_route, rounds=3, iterations=1)
+    assert result.delivered
+
+    rows = preset_ablation()
+    emit(format_table(rows, title="E16: Params presets end to end"))
+    by_preset = {row["preset"]: row for row in rows}
+    assert all(row["delivered"] for row in rows)
+    # The literal constants cost several times the calibrated defaults.
+    assert (
+        by_preset["paper"]["route_rounds"]
+        > 3 * by_preset["default"]["route_rounds"]
+    )
+    # The fast preset and the correlated refinement are cheaper still.
+    assert (
+        by_preset["fast"]["route_rounds"]
+        < by_preset["default"]["route_rounds"]
+    )
+    assert (
+        by_preset["default+correlated"]["route_rounds"]
+        < by_preset["default"]["route_rounds"]
+    )

@@ -1,0 +1,35 @@
+"""E1 — Theorem 1.2: permutation routing in almost mixing time.
+
+Regenerates the routing-scaling series: rounds vs. n on expander graphs,
+with the ``tau_mix * 2^O(sqrt(log n log log n))`` envelope and the BFS
+store-and-forward baseline.  The benchmark timer measures one full
+permutation-routing instance on a prebuilt 128-node hierarchy.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, routing_scaling
+
+from .conftest import emit
+
+
+def test_routing_scaling_series(benchmark, router128):
+    rng = np.random.default_rng(100)
+    perm = rng.permutation(128)
+    sources = np.arange(128)
+
+    def route_once():
+        return router128.route(sources, perm)
+
+    result = benchmark(route_once)
+    assert result.delivered
+
+    rows = routing_scaling(sizes=(64, 128, 256))
+    emit(format_table(rows, title="E1: permutation routing vs n (Theorem 1.2)"))
+    # Shape checks: delivery everywhere; normalized cost grows slower than
+    # any fixed power of n would suggest at these scales.
+    assert all(row["delivered"] for row in rows)
+    first, last = rows[0], rows[-1]
+    growth = (last["rounds"] / first["rounds"])
+    n_growth = last["n"] / first["n"]
+    assert growth < n_growth ** 2.5

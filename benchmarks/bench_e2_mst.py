@@ -1,0 +1,37 @@
+"""E2 + E11 — Theorem 1.1: distributed MST in almost mixing time.
+
+Regenerates the MST-scaling series on expanders: our rounds vs. GHS
+flooding, the GKP ``O(D + sqrt(n))`` algorithm, and the Das Sarma et al.
+``Omega(D + sqrt(n/log n))`` barrier curve for general-graph algorithms.
+The benchmark timer measures one full distributed MST on a prebuilt
+128-node hierarchy.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, mst_scaling
+from repro.baselines import kruskal
+from repro.core import MstRunner
+
+from .conftest import emit
+
+
+def test_mst_scaling_series(benchmark, weighted128, hierarchy128, params):
+    def mst_once():
+        runner = MstRunner(
+            weighted128,
+            hierarchy=hierarchy128,
+            params=params,
+            rng=np.random.default_rng(200),
+        )
+        return runner.run()
+
+    result = benchmark.pedantic(mst_once, rounds=3, iterations=1)
+    assert result.edge_ids == kruskal(weighted128)
+
+    rows = mst_scaling(sizes=(64, 128, 256))
+    emit(format_table(rows, title="E2: MST vs n (Theorem 1.1, E11 barrier)"))
+    assert all(row["correct"] for row in rows)
+    # Iteration count stays O(log n) (the Boruvka-with-coins bound).
+    for row in rows:
+        assert row["iterations"] <= 8 * np.log2(row["n"])

@@ -1,0 +1,51 @@
+"""E3 — Theorem 1.3 corollary: clique emulation on G(n, p).
+
+Regenerates the ``p`` sweep: our phase count scales like ``1/p`` (the
+``O(1/p + log n)`` corollary shape, modulo the subpolynomial routing
+factor), while the Balliu-style two-hop relay scales like
+``min{1/p^2, np}`` and stops delivering below the common-neighbour
+density threshold.  The benchmark timer measures one full clique
+emulation on a 48-node G(n, 0.3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import clique_emulation_sweep, dense_regime_sweep, format_table
+from repro.core import build_hierarchy, emulate_clique
+from repro.graphs import erdos_renyi
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def er_hierarchy(params):
+    rng = np.random.default_rng(300)
+    graph = erdos_renyi(48, 0.3, rng)
+    return build_hierarchy(graph, params, rng)
+
+
+def test_clique_emulation_sweep(benchmark, er_hierarchy, params):
+    def emulate_once():
+        return emulate_clique(
+            er_hierarchy, params, np.random.default_rng(301)
+        )
+
+    result = benchmark.pedantic(emulate_once, rounds=3, iterations=1)
+    assert result.delivered
+
+    rows = clique_emulation_sweep()
+    emit(format_table(rows, title="E3: clique emulation on G(n,p) (Thm 1.3)"))
+    assert all(row["delivered"] for row in rows)
+    # Shape: phases decrease as p grows (the 1/p term).
+    phases = [row["phases"] for row in rows]
+    assert phases == sorted(phases, reverse=True)
+
+    dense = dense_regime_sweep()
+    emit(format_table(dense, title="E3b: dense regime (Thm 1.3, 2nd clause)"))
+    assert all(row["delivered"] for row in dense)
+    # Rounds fall as density grows (the n/h term) and stay under theory.
+    dense_rounds = [row["rounds"] for row in dense]
+    assert dense_rounds == sorted(dense_rounds, reverse=True)
+    for row in dense:
+        assert row["rounds"] <= row["theory n/h*logn*log*n"]

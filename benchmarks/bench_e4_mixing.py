@@ -1,0 +1,26 @@
+"""E4 — Lemma 2.3: ``tau_bar_mix <= 8 Delta^2 ln(n) / h(G)^2``.
+
+Regenerates the mixing-time survey over the five graph families: exact
+regular-walk mixing time vs. the Cheeger bound.  The benchmark timer
+measures one exact mixing-time computation (matrix powering).
+"""
+
+from repro.analysis import format_table, mixing_bound_survey
+from repro.graphs import hypercube, regular_mixing_time
+
+from .conftest import emit
+
+
+def test_mixing_bound_survey(benchmark):
+    graph = hypercube(6)
+    measured = benchmark(regular_mixing_time, graph)
+    assert measured >= 1
+
+    rows = mixing_bound_survey()
+    emit(format_table(rows, title="E4: Lemma 2.3 Cheeger bound"))
+    # The bound must hold on every family, and be loosest on the barbell
+    # (worst expansion).
+    for row in rows:
+        assert row["tau_bar measured"] <= row["lemma2.3 bound"]
+    ratios = {row["family"]: row["bound/measured"] for row in rows}
+    assert ratios["barbell(8)"] == max(ratios.values())

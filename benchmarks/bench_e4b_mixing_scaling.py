@@ -1,0 +1,32 @@
+"""E4b — mixing-time scaling exponents across graph families.
+
+Regenerates the ``tau_mix ~ n^alpha`` fits: ~2 on rings, ~1 on tori,
+near-0 on expanders — the regimes that decide where mixing-time-
+parameterized algorithms are worthwhile.  The benchmark timer measures
+one exact mixing-time computation at the largest ring size used.
+"""
+
+from repro.analysis import format_table, mixing_scaling
+from repro.graphs import mixing_time, ring_graph
+
+from .conftest import emit
+
+
+def test_mixing_scaling(benchmark):
+    tau = benchmark.pedantic(
+        mixing_time, args=(ring_graph(128),), rounds=2, iterations=1
+    )
+    assert tau > 1000  # Theta(n^2)
+
+    rows = mixing_scaling(sizes=(32, 64, 128))
+    emit(format_table(rows, title="E4b: mixing-time scaling"))
+    by_family = {row["family"]: row for row in rows}
+    assert 1.7 < by_family["ring"]["fitted alpha"] < 2.5
+    assert 0.8 < by_family["torus"]["fitted alpha"] < 1.5
+    assert by_family["expander"]["fitted alpha"] < 0.8
+    # The ordering is the headline: expander << torus << ring.
+    assert (
+        by_family["expander"]["fitted alpha"]
+        < by_family["torus"]["fitted alpha"]
+        < by_family["ring"]["fitted alpha"]
+    )

@@ -1,0 +1,34 @@
+"""E5 — Lemmas 2.4 / 2.5: parallel random-walk load and scheduling.
+
+Regenerates the ``k`` sweep: with ``k * d(v)`` walks started per node,
+the measured peak per-node load tracks ``O(k d(v) + log n)`` and the
+measured schedule length tracks ``O((k + log n) T)``, both with small
+constants.  The benchmark timer measures one ``k = 4`` batch.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, parallel_walk_sweep
+from repro.walks import degree_proportional_starts, run_parallel_walks
+
+from .conftest import emit
+
+
+def test_parallel_walk_sweep(benchmark, expander128):
+    starts = degree_proportional_starts(expander128, 4)
+    rng = np.random.default_rng(500)
+
+    def walk_batch():
+        return run_parallel_walks(expander128, starts, 20, rng)
+
+    report = benchmark(walk_batch)
+    assert report.measured_rounds > 0
+
+    rows = parallel_walk_sweep()
+    emit(format_table(rows, title="E5: Lemmas 2.4/2.5 parallel walks"))
+    for row in rows:
+        assert row["load_ratio"] < 4.0   # Lemma 2.4 constant stays O(1)
+        assert row["rounds_ratio"] < 2.0  # Lemma 2.5 constant stays O(1)
+    # Rounds grow roughly linearly in k once k dominates log n.
+    first, last = rows[0], rows[-1]
+    assert last["rounds"] > first["rounds"]

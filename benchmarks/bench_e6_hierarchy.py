@@ -1,0 +1,41 @@
+"""E6 — Lemma 3.2: the hierarchy's ``beta`` trade-off.
+
+Regenerates the ``beta`` ablation at fixed ``n``: small ``beta`` means
+many levels and an exponentially compounding ``(log n)^{O(k)}`` emulation
+stack; large ``beta`` means a ``beta^2`` portal term.  The sweep shows
+costs minimized near the paper's ``beta* = 2^{Theta(sqrt(log n log log
+n))}``.  The benchmark timer measures one full hierarchy construction.
+"""
+
+import numpy as np
+
+from repro.analysis import beta_ablation, format_table
+from repro.core import build_hierarchy
+from repro.theory import optimal_beta
+
+from .conftest import emit
+
+
+def test_beta_ablation(benchmark, expander128, params):
+    def build_once():
+        return build_hierarchy(
+            expander128, params, np.random.default_rng(600)
+        )
+
+    hierarchy = benchmark.pedantic(build_once, rounds=3, iterations=1)
+    assert hierarchy.depth >= 1
+
+    rows = beta_ablation(betas=(2, 4, 8, 16, 32))
+    emit(format_table(rows, title="E6: beta ablation (Lemma 3.2)"))
+    assert all(row["delivered"] for row in rows)
+    # Depth shrinks as beta grows.
+    depths = [row["depth"] for row in rows]
+    assert depths == sorted(depths, reverse=True)
+    # Routing cost near beta* beats the smallest beta by orders of
+    # magnitude (the compounding-emulation effect).
+    by_beta = {row["beta"]: row["route_rounds"] for row in rows}
+    best_near_optimum = min(
+        cost for beta, cost in by_beta.items()
+        if beta >= optimal_beta(128) // 4
+    )
+    assert best_near_optimum * 100 < by_beta[2]

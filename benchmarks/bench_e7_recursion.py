@@ -1,0 +1,48 @@
+"""E7 — Lemma 3.4: the routing recursion ``T(m) = 2T(m/beta) log^2 n + log n``.
+
+Regenerates the per-level cost decomposition of one routing instance on a
+deep (beta = 4) hierarchy: invocation counts double per level (the ``2T``
+term), per-level emulation factors stay ``O(log^2 n)`` (the multiplier),
+and hop phases stay ``O(log n)`` (the additive term).  The benchmark
+timer measures one routing instance on that deep hierarchy.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, recursion_decomposition
+from repro.core import Router, build_hierarchy
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def deep_router(expander128, params):
+    rng = np.random.default_rng(700)
+    hierarchy = build_hierarchy(expander128, params, rng, beta=4)
+    return Router(hierarchy, params=params, rng=rng)
+
+
+def test_recursion_decomposition(benchmark, deep_router):
+    rng = np.random.default_rng(701)
+    perm = rng.permutation(128)
+
+    def route_once():
+        return deep_router.route(np.arange(128), perm)
+
+    result = benchmark(route_once)
+    assert result.delivered
+
+    rows = recursion_decomposition()
+    emit(format_table(rows, title="E7: Lemma 3.4 recursion decomposition"))
+    log_n = math.log2(128)
+    for row in rows:
+        # The 2T(m/beta) term: at most 2^level invocations.
+        assert row["invocations"] <= row["2^level"]
+        # The additive term: hop phases stay O(log n) per invocation.
+        if row["invocations"]:
+            assert row["hop_rounds"] / row["invocations"] <= 2 * log_n
+        # The multiplier: emulation factors stay O(log^2 n).
+        assert row["emul_cost"] <= 150 * row["log^2 n"] or row["level"] == 0

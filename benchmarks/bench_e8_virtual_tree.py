@@ -1,0 +1,42 @@
+"""E8 — Lemma 4.1: virtual tree invariants over Boruvka iterations.
+
+Regenerates the per-iteration trace of one MST run: the deepest virtual
+tree stays below ``O(log^2 n)`` and the worst virtual-degree ratio stays
+below ``O(log n)``, across all iterations.  The benchmark timer measures
+one full merge + token-rebalance sequence on synthetic trees.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, virtual_tree_trace
+from repro.core import VirtualTree
+
+from .conftest import emit
+
+
+def _random_merge_sequence(num_nodes: int, seed: int) -> VirtualTree:
+    rng = np.random.default_rng(seed)
+    trees = [VirtualTree.singleton(v) for v in range(num_nodes)]
+    while len(trees) > 1:
+        head = trees[0]
+        tails = trees[1:3]
+        attach_points = []
+        for tail in tails:
+            nodes = list(head.nodes)
+            target = nodes[int(rng.integers(0, len(nodes)))]
+            head.absorb(tail, target)
+            attach_points.append(target)
+        head.rebalance(attach_points)
+        trees = [head] + trees[3:]
+    return trees[0]
+
+
+def test_virtual_tree_invariants(benchmark):
+    tree = benchmark(_random_merge_sequence, 64, 800)
+    tree.check_invariants()
+
+    rows = virtual_tree_trace()
+    emit(format_table(rows, title="E8: Lemma 4.1 virtual-tree invariants"))
+    for row in rows:
+        assert row["max_depth"] <= 2 * row["depth_bound log^2 n"]
+        assert row["degree_ratio"] <= 2 * row["degree_bound log n"]

@@ -1,0 +1,36 @@
+"""E9 — Figure 1: structure of the hierarchical partition.
+
+Regenerates the schematic's quantitative content: per level, the part
+sizes are near-uniform (property P1), all labels derive from the shared
+hash (property P2, asserted in the test suite), and every node holds a
+portal towards every sibling part.  The benchmark timer measures the
+partition labelling itself (the shared-hash evaluation over all virtual
+nodes).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, partition_structure
+from repro.core import build_partition
+from repro.core.embedding import VirtualNodes
+
+from .conftest import emit
+
+
+def test_partition_structure(benchmark, expander128, params):
+    virtual = VirtualNodes(graph=expander128, host=expander128.arc_tails)
+
+    def label_all():
+        return build_partition(
+            virtual, params, np.random.default_rng(900), beta=4, depth=3
+        )
+
+    partition = benchmark(label_all)
+    assert partition.depth == 3
+
+    rows = partition_structure()
+    emit(format_table(rows, title="E9: Figure 1 hierarchy structure"))
+    for row in rows:
+        assert row["balance"] < 6.0           # property P1
+        assert row["portal_coverage"] == 1.0  # portals everywhere
+    assert rows[-1]["clique"]

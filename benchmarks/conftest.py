@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_e*.py`` file regenerates one experiment from DESIGN.md §5,
+printing the measured rows next to the paper-claim columns (captured with
+``pytest benchmarks/ --benchmark-only -s``).  The pytest-benchmark timer
+measures the dominant computational kernel of each experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Router, build_hierarchy
+from repro.graphs import random_regular, with_random_weights
+from repro.params import Params
+
+
+@pytest.fixture(scope="session")
+def params():
+    return Params.default()
+
+
+@pytest.fixture(scope="session")
+def expander128():
+    return random_regular(128, 6, np.random.default_rng(1))
+
+
+@pytest.fixture(scope="session")
+def weighted128(expander128):
+    return with_random_weights(expander128, np.random.default_rng(2))
+
+
+@pytest.fixture(scope="session")
+def hierarchy128(expander128, params):
+    return build_hierarchy(expander128, params, np.random.default_rng(3))
+
+
+@pytest.fixture(scope="session")
+def router128(hierarchy128, params):
+    return Router(hierarchy128, params=params, rng=np.random.default_rng(4))
+
+
+def emit(table: str) -> None:
+    """Print an experiment table (visible with -s)."""
+    print("\n" + table + "\n")

@@ -1,0 +1,57 @@
+"""Scenario: emulating the congested clique on a sparse random network.
+
+Theorem 1.3's corollary: a supercritical ``G(n, p)`` can deliver one
+message between every ordered node pair in ``O(1/p + log n)`` rounds —
+nearly optimal, since every node must receive ``n - 1`` messages over
+``Theta(np)`` links.  This demo runs the emulation through the
+hierarchical router and contrasts it with the Balliu-style two-hop relay,
+which needs ``O(min{1/p^2, np})`` and fails outright once common
+neighbours run out.
+
+Run:  python examples/clique_emulation_demo.py [n] [p]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Params, build_hierarchy, emulate_clique
+from repro.baselines import two_hop_relay_emulation
+from repro.graphs import erdos_renyi
+from repro.theory import balliu_emulation_bound, clique_emulation_er_bound
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    p = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    rng = np.random.default_rng(17)
+    params = Params.default()
+
+    print(f"=== Network: G({n}, {p}) above the connectivity threshold")
+    graph = erdos_renyi(n, p, rng)
+    print(f"    {graph}, max degree {graph.max_degree}")
+
+    print("=== Hierarchical clique emulation (Theorem 1.3)")
+    hierarchy = build_hierarchy(graph, params, rng)
+    result = emulate_clique(hierarchy, params, rng)
+    print(f"    delivered all {result.num_messages} messages: "
+          f"{result.delivered}")
+    print(f"    {result.num_phases} routing phases "
+          f"(theory shape: 1/p + log n = "
+          f"{clique_emulation_er_bound(n, p):.0f})")
+    print(f"    {result.rounds:,.0f} rounds of G")
+
+    print("=== Balliu-style two-hop relay baseline")
+    baseline = two_hop_relay_emulation(graph, rng)
+    if baseline.delivered:
+        print(f"    delivered in {baseline.rounds} rounds "
+              f"({baseline.relayed_pairs} relayed, "
+              f"{baseline.direct_pairs} direct)")
+    else:
+        print("    FAILED: some pair has no edge and no common neighbour")
+    print(f"    theory: min(1/p^2, np) = "
+          f"{balliu_emulation_bound(n, p):.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: build the routing structure and route a permutation.
+
+Builds the hierarchical embedding of random graphs (Section 3.1) on a
+random-regular expander — the paper's motivating peer-to-peer topology —
+then solves a permutation-routing instance (Section 3.2) and prints the
+cost ledger.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Params, Router, build_hierarchy
+from repro.graphs import random_regular
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    rng = np.random.default_rng(7)
+    params = Params.default()
+
+    print(f"=== 1. The network: a 6-regular expander on {n} nodes")
+    graph = random_regular(n, 6, rng)
+    print(f"    {graph}")
+
+    print("=== 2. Build the hierarchical routing structure (Section 3.1)")
+    hierarchy = build_hierarchy(graph, params, rng)
+    print(f"    tau_mix = {hierarchy.g0.tau_mix} rounds")
+    print(f"    beta = {hierarchy.beta}, levels = {hierarchy.depth}")
+    for level in hierarchy.levels:
+        sizes = np.bincount(level.parts)
+        kind = "cliques" if level.is_clique else "random graphs"
+        print(
+            f"    level {level.index}: {sizes.shape[0]} parts of size "
+            f"{sizes.min()}..{sizes.max()} ({kind}), one round costs "
+            f"{level.emulation_cost:.0f} rounds of the level below"
+        )
+    print(f"    construction: {hierarchy.construction_rounds():,.0f} rounds of G")
+
+    print("=== 3. Route a random permutation (Theorem 1.2)")
+    permutation = rng.permutation(n)
+    router = Router(hierarchy, params=params, rng=rng)
+    result = router.route(np.arange(n), permutation)
+    print(f"    delivered: {result.delivered} ({result.num_packets} packets,"
+          f" {result.num_phases} phase(s))")
+    print(f"    cost: {result.cost_rounds:,.0f} rounds of G "
+          f"(= {result.cost_rounds / hierarchy.g0.tau_mix:,.0f} x tau_mix)")
+    print("    per-level decomposition (Lemma 3.4):")
+    for level, cost in sorted(result.level_costs.items()):
+        print(
+            f"      level {level}: {cost.invocations} invocation(s), "
+            f"{cost.packets_crossing} packets hopped, "
+            f"hop rounds {cost.hop_rounds:.0f}, "
+            f"bottom rounds {cost.bottom_rounds:.0f}"
+        )
+
+    print("=== 4. Construction ledger")
+    print(hierarchy.ledger.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Reproduction of *Distributed MST and Routing in Almost Mixing Time*.
+
+Ghaffari, Kuhn, Su — PODC 2017.
+
+Public API tour:
+
+* :func:`repro.build_hierarchy` — construct the hierarchical embedding of
+  random graphs on a base graph (Section 3.1).
+* :class:`repro.Router` — permutation routing on that structure
+  (Section 3.2, Theorem 1.2).
+* :func:`repro.minimum_spanning_tree` — distributed MST in almost mixing
+  time (Section 4, Theorem 1.1).
+* :func:`repro.emulate_clique` — congested-clique emulation
+  (Theorem 1.3).
+* :func:`repro.approximate_min_cut` — tree-packing approximate min cut
+  (the Section 4 corollary).
+* :mod:`repro.graphs`, :mod:`repro.walks`, :mod:`repro.congest` — the
+  substrates: graph families and spectra, random-walk engines with
+  congestion-measured scheduling (Lemmas 2.3–2.5), and a faithful
+  CONGEST simulator used by the baselines.
+"""
+
+from . import baselines, congest, graphs, hashing, theory, walks
+from .core import (
+    Hierarchy,
+    MstResult,
+    MstRunner,
+    RoundLedger,
+    Router,
+    RoutingError,
+    RoutingResult,
+    approximate_min_cut,
+    build_g0,
+    build_hierarchy,
+    build_partition,
+    build_portals,
+    emulate_clique,
+    minimum_spanning_tree,
+)
+from .params import Params
+from .system import ExpanderNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "congest",
+    "graphs",
+    "hashing",
+    "theory",
+    "walks",
+    "Hierarchy",
+    "MstResult",
+    "MstRunner",
+    "RoundLedger",
+    "Router",
+    "RoutingError",
+    "RoutingResult",
+    "approximate_min_cut",
+    "build_g0",
+    "build_hierarchy",
+    "build_partition",
+    "build_portals",
+    "emulate_clique",
+    "minimum_spanning_tree",
+    "Params",
+    "ExpanderNetwork",
+    "__version__",
+]

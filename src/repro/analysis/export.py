@@ -1,0 +1,28 @@
+"""CSV export of experiment rows, for plotting outside this package."""
+
+from __future__ import annotations
+
+import csv
+from typing import Mapping, Sequence
+
+__all__ = ["rows_to_csv", "write_csv"]
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render experiment rows as CSV text (header from the first row)."""
+    if not rows:
+        return ""
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key, "") for key in rows[0].keys()})
+    return buffer.getvalue()
+
+
+def write_csv(rows: Sequence[Mapping[str, object]], path: str) -> None:
+    """Write experiment rows to ``path`` as CSV."""
+    with open(path, "w", newline="") as handle:
+        handle.write(rows_to_csv(rows))

@@ -1,0 +1,61 @@
+"""ASCII table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_number"]
+
+
+def format_number(value) -> str:
+    """Compact human-readable rendering of a numeric cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10000 else str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or 0 < abs(value) < 1e-3:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows of dicts as an aligned ASCII table.
+
+    Args:
+        rows: the data; all rows should share keys.
+        columns: column order (default: first row's key order).
+        title: optional heading line.
+
+    Returns:
+        The formatted table as a string.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [format_number(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)

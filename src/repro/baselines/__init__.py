@@ -1,0 +1,38 @@
+"""Baseline algorithms: centralized oracles and classic distributed MST."""
+
+from .centralized_mst import is_spanning_tree, kruskal, mst_weight, prim
+from .clique_baseline import TwoHopRelayResult, two_hop_relay_emulation
+from .ghs import GhsResult, ghs_mst
+from .ghs_congest import CongestGhsResult, congest_ghs_mst
+from .gkp import GkpResult, gkp_mst
+from .mincut_oracle import exact_min_cut, karger_min_cut
+from .mst_verify import MstCertificate, verify_mst
+from .routing_baselines import (
+    RandomWalkDeliveryResult,
+    StoreAndForwardResult,
+    bfs_store_and_forward,
+    random_walk_delivery,
+)
+
+__all__ = [
+    "is_spanning_tree",
+    "kruskal",
+    "mst_weight",
+    "prim",
+    "TwoHopRelayResult",
+    "two_hop_relay_emulation",
+    "GhsResult",
+    "ghs_mst",
+    "CongestGhsResult",
+    "congest_ghs_mst",
+    "GkpResult",
+    "gkp_mst",
+    "exact_min_cut",
+    "karger_min_cut",
+    "MstCertificate",
+    "verify_mst",
+    "RandomWalkDeliveryResult",
+    "StoreAndForwardResult",
+    "bfs_store_and_forward",
+    "random_walk_delivery",
+]

@@ -1,0 +1,97 @@
+"""MST verification via the cycle property.
+
+A spanning tree ``T`` is minimum iff every non-tree edge is a maximum-
+weight edge on the cycle it closes (with ``(weight, id)`` tie-breaking,
+*the* strict maximum).  This gives an ``O(n m)`` certificate check that
+is independent of how the tree was computed — the verification problem
+whose distributed hardness (Das Sarma et al.) frames the paper's lower-
+bound discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import WeightedGraph
+from .centralized_mst import is_spanning_tree
+
+__all__ = ["MstCertificate", "verify_mst"]
+
+
+@dataclass
+class MstCertificate:
+    """Outcome of a verification pass.
+
+    Attributes:
+        valid: the tree is the (unique, tie-broken) MST.
+        violations: non-tree edges that are lighter than some tree edge
+            on their cycle, as ``(non_tree_edge, heavier_tree_edge)``.
+        checked_edges: number of non-tree edges examined.
+    """
+
+    valid: bool
+    violations: list[tuple[int, int]] = field(default_factory=list)
+    checked_edges: int = 0
+
+
+def verify_mst(
+    graph: WeightedGraph, tree_edge_ids: list[int]
+) -> MstCertificate:
+    """Check the cycle property for every non-tree edge.
+
+    Args:
+        graph: the weighted graph.
+        tree_edge_ids: candidate MST edge ids.
+
+    Returns:
+        An :class:`MstCertificate`; ``valid`` is False both for wrong
+        trees and for non-spanning-tree inputs.
+    """
+    if not is_spanning_tree(graph, tree_edge_ids):
+        return MstCertificate(valid=False)
+    n = graph.num_nodes
+    adjacency: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    tree_set = set(tree_edge_ids)
+    for eid in tree_edge_ids:
+        u, v = graph.edge_array[eid]
+        adjacency[int(u)].append((int(v), eid))
+        adjacency[int(v)].append((int(u), eid))
+    # Root the tree and precompute parents for path walks.
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    depth = np.zeros(n, dtype=np.int64)
+    parent[0] = 0
+    order = [0]
+    for node in order:
+        for neighbor, eid in adjacency[node]:
+            if parent[neighbor] < 0:
+                parent[neighbor] = node
+                parent_edge[neighbor] = eid
+                depth[neighbor] = depth[node] + 1
+                order.append(neighbor)
+
+    def key(eid: int) -> tuple[float, int]:
+        return (float(graph.weights[eid]), int(eid))
+
+    certificate = MstCertificate(valid=True)
+    for eid in range(graph.num_edges):
+        if eid in tree_set:
+            continue
+        certificate.checked_edges += 1
+        u, v = (int(x) for x in graph.edge_array[eid])
+        # Walk the tree path u..v, tracking the heaviest tree edge.
+        heaviest = None
+        a, b = u, v
+        while a != b:
+            if depth[a] < depth[b]:
+                a, b = b, a
+            edge_on_path = int(parent_edge[a])
+            if heaviest is None or key(edge_on_path) > key(heaviest):
+                heaviest = edge_on_path
+            a = int(parent[a])
+        if heaviest is not None and key(eid) < key(heaviest):
+            certificate.valid = False
+            certificate.violations.append((eid, heaviest))
+    return certificate

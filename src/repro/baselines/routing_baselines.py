@@ -1,0 +1,204 @@
+"""Naive routing baselines for the E1 comparison.
+
+Two contrast points for the hierarchical router:
+
+* **BFS store-and-forward**: each packet follows a shortest path; edges
+  carry one packet per direction per round (FIFO with random priorities).
+  Simple and good when congestion is low, but hot edges serialize —
+  no load-balancing structure.
+* **Blind random-walk delivery**: each packet walks until it happens to
+  hit its destination.  Demonstrates why raw walks do not route (the
+  paper's opening observation): expected hitting time ``Theta(m / d(t))``
+  per packet.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..walks.engine import run_lazy_walks
+
+__all__ = [
+    "StoreAndForwardResult",
+    "bfs_store_and_forward",
+    "schedule_paths",
+    "RandomWalkDeliveryResult",
+    "random_walk_delivery",
+]
+
+
+@dataclass
+class StoreAndForwardResult:
+    """Outcome of the store-and-forward schedule.
+
+    Attributes:
+        rounds: rounds until the last packet arrived.
+        delivered: whether every packet arrived (always True on success).
+        max_queue: worst per-edge queue length observed.
+        total_hops: sum of path lengths.
+    """
+
+    rounds: int
+    delivered: bool
+    max_queue: int
+    total_hops: int
+
+
+def bfs_store_and_forward(
+    graph: Graph,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    rng: np.random.Generator | None = None,
+    max_rounds: int = 1_000_000,
+) -> StoreAndForwardResult:
+    """Route packets along BFS shortest paths with unit edge capacity.
+
+    Each directed edge forwards at most one packet per round; contended
+    packets queue FIFO (arrival order randomized by ``rng``).
+    """
+    rng = rng or np.random.default_rng()
+    sources = np.asarray(sources, dtype=np.int64)
+    destinations = np.asarray(destinations, dtype=np.int64)
+    paths = _shortest_paths(graph, sources, destinations)
+    return schedule_paths(paths, rng=rng, max_rounds=max_rounds)
+
+
+def schedule_paths(
+    paths: list[list[int]],
+    rng: np.random.Generator | None = None,
+    max_rounds: int = 1_000_000,
+) -> StoreAndForwardResult:
+    """Store-and-forward scheduling of *explicit* packet paths.
+
+    Each directed edge (consecutive path pair) forwards one packet per
+    round; contended packets queue FIFO in randomized arrival order.
+    Used both for shortest-path routing and for delivering overlay
+    messages along their embedded walk paths (``repro.congest.native``).
+    """
+    rng = rng or np.random.default_rng()
+    total_hops = sum(len(path) - 1 for path in paths)
+    # Queue per directed edge (u -> v), keyed by (u, v).
+    queues: dict[tuple[int, int], deque] = {}
+    position = [0] * len(paths)  # index into each packet's path
+    order = rng.permutation(len(paths))
+    pending = 0
+    for pid in order:
+        path = paths[pid]
+        if len(path) > 1:
+            queues.setdefault((path[0], path[1]), deque()).append(pid)
+            pending += 1
+    rounds = 0
+    max_queue = max((len(q) for q in queues.values()), default=0)
+    while pending:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("store-and-forward exceeded the round budget")
+        moves: list[tuple[tuple[int, int], int]] = []
+        for key, queue in queues.items():
+            if queue:
+                moves.append((key, queue.popleft()))
+        for (u, v), pid in moves:
+            position[pid] += 1
+            path = paths[pid]
+            if position[pid] == len(path) - 1:
+                pending -= 1
+            else:
+                nxt = (path[position[pid]], path[position[pid] + 1])
+                queues.setdefault(nxt, deque()).append(pid)
+        max_queue = max(
+            max_queue, max((len(q) for q in queues.values()), default=0)
+        )
+        queues = {key: q for key, q in queues.items() if q}
+    return StoreAndForwardResult(
+        rounds=rounds,
+        delivered=True,
+        max_queue=max_queue,
+        total_hops=total_hops,
+    )
+
+
+def _shortest_paths(
+    graph: Graph, sources: np.ndarray, destinations: np.ndarray
+) -> list[list[int]]:
+    """One shortest path per packet, via BFS parents from each source."""
+    parents_cache: dict[int, np.ndarray] = {}
+    paths: list[list[int]] = []
+    for src, dst in zip(sources, destinations):
+        src, dst = int(src), int(dst)
+        if src not in parents_cache:
+            parents_cache[src] = _bfs_parents(graph, src)
+        parents = parents_cache[src]
+        if parents[dst] < 0 and dst != src:
+            raise ValueError(f"{dst} unreachable from {src}")
+        path = [dst]
+        while path[-1] != src:
+            path.append(int(parents[path[-1]]))
+        path.reverse()
+        paths.append(path)
+    return paths
+
+
+def _bfs_parents(graph: Graph, source: int) -> np.ndarray:
+    parents = np.full(graph.num_nodes, -1, dtype=np.int64)
+    parents[source] = source
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                neighbor = int(neighbor)
+                if parents[neighbor] < 0:
+                    parents[neighbor] = node
+                    nxt.append(neighbor)
+        frontier = nxt
+    parents[source] = source
+    return parents
+
+
+@dataclass
+class RandomWalkDeliveryResult:
+    """Outcome of blind random-walk delivery.
+
+    Attributes:
+        rounds: walk steps until the last packet was absorbed (or cap).
+        delivered: fraction of packets that reached their destination.
+        mean_hitting_time: average absorption step over delivered packets.
+    """
+
+    rounds: int
+    delivered: float
+    mean_hitting_time: float
+
+
+def random_walk_delivery(
+    graph: Graph,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    rng: np.random.Generator | None = None,
+    max_steps: int = 100_000,
+) -> RandomWalkDeliveryResult:
+    """Let each packet walk blindly until it hits its destination."""
+    rng = rng or np.random.default_rng()
+    sources = np.asarray(sources, dtype=np.int64)
+    destinations = np.asarray(destinations, dtype=np.int64)
+    positions = sources.copy()
+    absorbed = positions == destinations
+    hit_time = np.zeros(sources.shape[0], dtype=np.int64)
+    step = 0
+    while not absorbed.all() and step < max_steps:
+        step += 1
+        active = ~absorbed
+        batch = run_lazy_walks(graph, positions[active], 1, rng)
+        positions[active] = batch.positions
+        newly = active & (positions == destinations)
+        hit_time[newly] = step
+        absorbed |= newly
+    delivered = float(absorbed.mean()) if absorbed.size else 1.0
+    mean_hit = float(hit_time[absorbed].mean()) if absorbed.any() else 0.0
+    return RandomWalkDeliveryResult(
+        rounds=step, delivered=delivered, mean_hitting_time=mean_hit
+    )

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write a graph from a named family to JSON.
+* ``info`` — print a graph's size, expansion, and mixing statistics.
+* ``route`` — build the routing structure and route a random demand.
+* ``mst`` — run the distributed MST (random weights if none stored).
+* ``report`` — regenerate EXPERIMENTS.md from live runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.report import build_report
+from .baselines import kruskal
+from .core import (
+    MstRunner,
+    Router,
+    approximate_min_cut,
+    build_hierarchy,
+    emulate_clique,
+)
+from .graphs import (
+    FAMILIES,
+    WeightedGraph,
+    load_graph,
+    save_graph,
+    spectral_gap,
+    with_random_weights,
+)
+from .params import Params
+from .walks import estimate_mixing_time
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed MST and routing in almost mixing time "
+            "(Ghaffari-Kuhn-Su, PODC 2017) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a graph to JSON")
+    generate.add_argument("family", choices=sorted(FAMILIES))
+    generate.add_argument("n", type=int)
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--weighted", action="store_true",
+        help="attach i.i.d. uniform edge weights",
+    )
+
+    info = sub.add_parser("info", help="print graph statistics")
+    info.add_argument("graph")
+
+    route = sub.add_parser("route", help="route a random demand")
+    route.add_argument("graph")
+    route.add_argument("--seed", type=int, default=0)
+    route.add_argument(
+        "--packets", type=int, default=0,
+        help="number of packets (default: one per node, a permutation)",
+    )
+
+    mst = sub.add_parser("mst", help="distributed MST")
+    mst.add_argument("graph")
+    mst.add_argument("--seed", type=int, default=0)
+
+    mincut = sub.add_parser("mincut", help="approximate minimum cut")
+    mincut.add_argument("graph")
+    mincut.add_argument("--seed", type=int, default=0)
+    mincut.add_argument("--trees", type=int, default=None)
+    mincut.add_argument("--eps", type=float, default=0.5)
+
+    clique = sub.add_parser("clique", help="emulate a congested-clique round")
+    clique.add_argument("graph")
+    clique.add_argument("--seed", type=int, default=0)
+    clique.add_argument("--sample", type=float, default=1.0)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = FAMILIES[args.family](args.n, rng)
+    if args.weighted:
+        graph = with_random_weights(graph, rng)
+    save_graph(graph, args.output)
+    print(f"wrote {args.output}: {graph!r}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    graph = load_graph(args.graph)
+    print(f"{graph!r}")
+    print(f"max degree        {graph.max_degree}")
+    print(f"connected         {graph.is_connected()}")
+    if graph.is_connected():
+        gap = spectral_gap(graph)
+        print(f"lazy spectral gap {gap:.5f}")
+        print(f"tau_mix estimate  {estimate_mixing_time(graph)}")
+        if graph.num_nodes <= 512:
+            print(f"diameter          {graph.diameter()}")
+    if isinstance(graph, WeightedGraph):
+        print(
+            f"weights           [{graph.weights.min():.4f}, "
+            f"{graph.weights.max():.4f}]"
+        )
+    return 0
+
+
+def _cmd_route(args) -> int:
+    graph = load_graph(args.graph)
+    rng = np.random.default_rng(args.seed)
+    params = Params.default()
+    hierarchy = build_hierarchy(graph, params, rng)
+    router = Router(hierarchy, params=params, rng=rng)
+    n = graph.num_nodes
+    if args.packets > 0:
+        sources = rng.integers(0, n, size=args.packets)
+        destinations = rng.integers(0, n, size=args.packets)
+    else:
+        sources = np.arange(n)
+        destinations = rng.permutation(n)
+    result = router.route(sources, destinations)
+    print(f"tau_mix      {hierarchy.g0.tau_mix}")
+    print(f"beta/depth   {hierarchy.beta}/{hierarchy.depth}")
+    print(f"packets      {result.num_packets}")
+    print(f"phases       {result.num_phases}")
+    print(f"delivered    {result.delivered}")
+    print(f"rounds       {result.cost_rounds:,.0f}")
+    print(f"rounds/tau   {result.cost_rounds / hierarchy.g0.tau_mix:,.1f}")
+    return 0 if result.delivered else 1
+
+
+def _cmd_mst(args) -> int:
+    graph = load_graph(args.graph)
+    rng = np.random.default_rng(args.seed)
+    if not isinstance(graph, WeightedGraph):
+        print("graph has no weights; attaching i.i.d. uniform weights")
+        graph = with_random_weights(graph, rng)
+    params = Params.default()
+    runner = MstRunner(graph, params=params, rng=rng)
+    result = runner.run()
+    matches = result.edge_ids == kruskal(graph)
+    print(f"mst weight   {result.total_weight:.6f}")
+    print(f"iterations   {result.num_iterations}")
+    print(f"rounds       {result.rounds:,.0f}")
+    print(f"construction {result.construction_rounds:,.0f}")
+    print(f"verified     {matches} (vs centralized Kruskal)")
+    return 0 if matches else 1
+
+
+def _cmd_report(args) -> int:
+    report = build_report()
+    with open(args.output, "w") as handle:
+        handle.write(report)
+    print(f"wrote {args.output} ({len(report.splitlines())} lines)")
+    return 0
+
+
+def _cmd_mincut(args) -> int:
+    graph = load_graph(args.graph)
+    rng = np.random.default_rng(args.seed)
+    result = approximate_min_cut(
+        graph,
+        eps=args.eps,
+        params=Params.default(),
+        rng=rng,
+        num_trees=args.trees,
+        two_respecting=graph.num_nodes <= 256,
+    )
+    side = int(result.cut_side.sum())
+    print(f"cut value    {result.cut_value}")
+    print(f"side sizes   {side} / {graph.num_nodes - side}")
+    print(f"trees packed {result.num_trees}")
+    print(f"rounds       {result.rounds:,.0f}")
+    return 0
+
+
+def _cmd_clique(args) -> int:
+    graph = load_graph(args.graph)
+    rng = np.random.default_rng(args.seed)
+    params = Params.default()
+    hierarchy = build_hierarchy(graph, params, rng)
+    result = emulate_clique(
+        hierarchy, params, rng, sample_fraction=args.sample
+    )
+    print(f"messages     {result.num_messages}")
+    print(f"phases       {result.num_phases}")
+    print(f"delivered    {result.delivered}")
+    print(f"rounds       {result.rounds:,.0f}")
+    return 0 if result.delivered else 1
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "route": _cmd_route,
+    "mst": _cmd_mst,
+    "mincut": _cmd_mincut,
+    "clique": _cmd_clique,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Synchronous CONGEST-model simulator and standard primitives."""
+
+from .aggregation import pipelined_min_collect
+from .forwarding import TokenForwarder, forward_demands
+from .leader import disseminate_seed, elect_leader
+from .native import NativeG0, NativeLevel, build_native_g0, build_native_level1
+from .network import (
+    MESSAGE_WORD_LIMIT,
+    CongestViolation,
+    Network,
+    NodeAlgorithm,
+    NodeContext,
+    RunStats,
+)
+from .primitives import BfsNode, broadcast_value, build_bfs_tree
+from .walk_protocol import WalkProtocolOutcome, run_walk_protocol
+
+__all__ = [
+    "MESSAGE_WORD_LIMIT",
+    "CongestViolation",
+    "Network",
+    "NodeAlgorithm",
+    "NodeContext",
+    "RunStats",
+    "pipelined_min_collect",
+    "NativeG0",
+    "NativeLevel",
+    "build_native_level1",
+    "build_native_g0",
+    "TokenForwarder",
+    "forward_demands",
+    "disseminate_seed",
+    "elect_leader",
+    "BfsNode",
+    "broadcast_value",
+    "build_bfs_tree",
+    "WalkProtocolOutcome",
+    "run_walk_protocol",
+]

@@ -1,0 +1,296 @@
+"""A CONGEST-native ``G0`` at toy scale: overlay edges as embedded paths.
+
+The fastest paths in this library treat overlay graphs abstractly and
+charge measured emulation costs.  This module builds the level-zero
+overlay the way the distributed algorithm actually does, end to end:
+
+1. the construction walks run through the message-passing walk protocol
+   (per-edge queues, remembered directions, reversal);
+2. every overlay edge *keeps the walk path that created it* — the
+   embedded route its messages will travel;
+3. delivering one message per overlay edge (one native ``G0`` round) is
+   executed by store-and-forward scheduling of those embedded paths
+   under unit edge capacity.
+
+The native round cost is then compared against the vectorized
+calibration of :func:`repro.core.embedding.build_g0` (see
+``tests/congest/test_native.py``) — closing the loop between the
+accounted and the executed pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.routing_baselines import schedule_paths
+from ..graphs.graph import Graph
+from .walk_protocol import _ForwardNode, _WalkState
+from .network import Network
+
+__all__ = ["NativeG0", "NativeLevel", "build_native_g0", "build_native_level1"]
+
+
+@dataclass
+class NativeG0:
+    """A level-zero overlay with embedded paths.
+
+    Attributes:
+        graph: the base graph.
+        overlay: the overlay graph over virtual-node ids.
+        vnode_host: real node of each virtual node.
+        edge_paths: per overlay edge, the real-node path embedding it
+            (from the tail's host to the head's host).
+        build_rounds: CONGEST rounds of the construction (forward +
+            reverse walk protocol).
+        round_rounds: measured rounds of one native overlay round
+            (one message per overlay edge, both directions).
+    """
+
+    graph: Graph
+    overlay: Graph
+    vnode_host: np.ndarray
+    edge_paths: list[list[int]]
+    build_rounds: int
+    round_rounds: int
+
+
+def _forward_pass_with_paths(
+    graph: Graph, starts: np.ndarray, length: int, seed: int
+) -> tuple[np.ndarray, list[list[int]], int]:
+    """Run the forward walk protocol and reconstruct each token's path.
+
+    Returns ``(endpoints, paths, rounds)``; a path lists the real nodes
+    the token moved through (stays omitted), starting at its origin.
+    """
+    network = Network(graph)
+    n = graph.num_nodes
+    states = [
+        _WalkState(
+            rng=np.random.default_rng((seed, v)),
+            visit_stack={},
+            finished_here={},
+        )
+        for v in range(n)
+    ]
+    per_node: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for walk_id, origin in enumerate(starts):
+        per_node[int(origin)].append((walk_id, length))
+    forward = [
+        _ForwardNode(network.context(v), states[v], per_node[v])
+        for v in range(n)
+    ]
+    stats = network.run(forward, max_rounds=10000 * (length + 1))
+    endpoints = np.full(starts.shape[0], -1, dtype=np.int64)
+    for v, state in enumerate(states):
+        for walk_id in state.finished_here:
+            endpoints[walk_id] = v
+    # Reconstruct paths by replaying the reversal centrally: pop the
+    # visit stacks from the endpoint back to the origin.
+    stacks = [
+        {walk: list(senders) for walk, senders in state.visit_stack.items()}
+        for state in states
+    ]
+    paths: list[list[int]] = []
+    for walk_id, origin in enumerate(starts):
+        node = int(endpoints[walk_id])
+        reverse_path = [node]
+        while True:
+            stack = stacks[node].get(walk_id)
+            if not stack:
+                break
+            node = stack.pop()
+            reverse_path.append(node)
+        if reverse_path[-1] != int(origin):
+            raise RuntimeError("path reconstruction lost the origin")
+        paths.append(list(reversed(reverse_path)))
+    return endpoints, paths, stats.rounds
+
+
+def build_native_g0(
+    graph: Graph,
+    walks_per_vnode: int,
+    degree: int,
+    length: int,
+    seed: int = 0,
+) -> NativeG0:
+    """Build a native ``G0`` with embedded paths and measure one round.
+
+    Intended for toy scale (``n <= ~32``): the embedded-path bookkeeping
+    is the point, not speed.
+
+    Args:
+        graph: connected base graph.
+        walks_per_vnode: construction walks per virtual node.
+        degree: out-neighbours kept per virtual node.
+        length: walk length (use ``~2 tau_mix``).
+        seed: base seed for per-node randomness.
+    """
+    if not graph.is_connected():
+        raise ValueError("native G0 requires a connected graph")
+    vnode_host = graph.arc_tails
+    num_vnodes = int(vnode_host.shape[0])
+    starts = np.repeat(vnode_host, walks_per_vnode)
+    owners = np.repeat(np.arange(num_vnodes), walks_per_vnode)
+    endpoints, walk_paths, build_rounds = _forward_pass_with_paths(
+        graph, starts, length, seed
+    )
+    # The reversal (to tell sources their endpoints) costs about the same
+    # again; run it through schedule_paths on the reversed paths.
+    reverse = schedule_paths(
+        [list(reversed(path)) for path in walk_paths],
+        rng=np.random.default_rng((seed, 98)),
+    )
+    build_rounds += reverse.rounds
+
+    rng = np.random.default_rng((seed, 99))
+    # Map endpoints to uniform virtual nodes of the landing hosts.
+    offsets = (
+        rng.random(endpoints.shape[0]) * graph.degrees[endpoints]
+    ).astype(np.int64)
+    target_vnodes = graph.indptr[endpoints] + offsets
+    # Select up to `degree` distinct targets per owner, remembering which
+    # walk produced each kept edge (for its path).
+    edges: list[tuple[int, int]] = []
+    edge_paths: list[list[int]] = []
+    by_owner: dict[int, dict[int, int]] = {}
+    for walk_id in range(owners.shape[0]):
+        owner = int(owners[walk_id])
+        target = int(target_vnodes[walk_id])
+        if target == owner:
+            continue
+        bucket = by_owner.setdefault(owner, {})
+        if target not in bucket and len(bucket) < degree:
+            bucket[target] = walk_id
+    for owner, bucket in sorted(by_owner.items()):
+        for target, walk_id in bucket.items():
+            edges.append((owner, target))
+            edge_paths.append(walk_paths[walk_id])
+    overlay = Graph(num_vnodes, edges)
+    # One native overlay round: a message along every edge, both ways.
+    both_ways = edge_paths + [list(reversed(p)) for p in edge_paths]
+    native_round = schedule_paths(
+        [path for path in both_ways if len(path) > 1],
+        rng=np.random.default_rng((seed, 100)),
+    )
+    return NativeG0(
+        graph=graph,
+        overlay=overlay,
+        vnode_host=vnode_host,
+        edge_paths=edge_paths,
+        build_rounds=build_rounds,
+        round_rounds=native_round.rounds,
+    )
+
+
+def _compress(path: list[int]) -> list[int]:
+    """Drop consecutive duplicates (host-local segments cost no rounds)."""
+    out = [path[0]]
+    for node in path[1:]:
+        if node != out[-1]:
+            out.append(node)
+    return out
+
+
+@dataclass
+class NativeLevel:
+    """A native level-1 overlay: edges embed *chains* of G0 paths.
+
+    Attributes:
+        parts: level-1 part id per virtual node.
+        overlay: the level-1 overlay graph.
+        edge_paths: per overlay edge, its real-node path (the
+            concatenation of the G0-edge paths the sampling walk took).
+        build_rounds: measured rounds of the construction walks.
+        round_rounds: measured rounds of one native level-1 round.
+    """
+
+    parts: np.ndarray
+    overlay: Graph
+    edge_paths: list[list[int]]
+    build_rounds: int
+    round_rounds: int
+
+
+def build_native_level1(
+    g0: NativeG0,
+    beta: int,
+    degree: int,
+    length: int,
+    seed: int = 0,
+) -> NativeLevel:
+    """Build a native level-1 overlay on top of a native ``G0``.
+
+    Sampling walks step across ``G0`` overlay edges; every step is
+    *executed* as a traversal of the edge's embedded path, so the level-1
+    edges end up embedded as chains of ``G0`` paths — exactly the nested
+    embedding of Figure 1, with every message physically routed.
+
+    Args:
+        g0: a :class:`NativeG0`.
+        beta: number of level-1 parts (hash-assigned).
+        degree: same-part neighbours kept per virtual node.
+        length: overlay walk length.
+        seed: randomness seed.
+    """
+    rng = np.random.default_rng((seed, 0))
+    num_vnodes = g0.overlay.num_nodes
+    parts = rng.integers(0, beta, size=num_vnodes)
+    # Adjacency of the G0 overlay with per-arc embedded paths.
+    arc_paths: list[list[int]] = [None] * g0.overlay.num_arcs
+    for eid, path in enumerate(g0.edge_paths):
+        for arc in np.flatnonzero(g0.overlay.arc_edge == eid):
+            tail = g0.overlay.arc_tails[arc]
+            if g0.vnode_host[tail] == path[0]:
+                arc_paths[arc] = path
+            else:
+                arc_paths[arc] = list(reversed(path))
+    walks_per = max(degree * beta, 2 * degree)
+    edges: list[tuple[int, int]] = []
+    edge_paths: list[list[int]] = []
+    all_traversals: list[list[int]] = []
+    indptr = g0.overlay.indptr
+    indices = g0.overlay.indices
+    kept: dict[int, set[int]] = {}
+    for vnode in range(num_vnodes):
+        for _ in range(walks_per):
+            position = vnode
+            chain: list[int] = [int(g0.vnode_host[vnode])]
+            for _step in range(length):
+                if rng.random() < 0.5:
+                    continue  # lazy stay
+                d = indptr[position + 1] - indptr[position]
+                if d == 0:
+                    continue
+                arc = int(indptr[position] + rng.integers(0, d))
+                segment = arc_paths[arc]
+                chain.extend(segment[1:])
+                position = int(indices[arc])
+            chain = _compress(chain)
+            all_traversals.append(chain)
+            if (
+                position != vnode
+                and parts[position] == parts[vnode]
+                and len(kept.setdefault(vnode, set())) < degree
+                and position not in kept[vnode]
+            ):
+                kept[vnode].add(position)
+                edges.append((vnode, position))
+                edge_paths.append(chain)
+    build = schedule_paths(
+        [path for path in all_traversals if len(path) > 1],
+        rng=np.random.default_rng((seed, 1)),
+    )
+    both_ways = edge_paths + [list(reversed(p)) for p in edge_paths]
+    native_round = schedule_paths(
+        [path for path in both_ways if len(path) > 1],
+        rng=np.random.default_rng((seed, 2)),
+    )
+    return NativeLevel(
+        parts=parts,
+        overlay=Graph(num_vnodes, edges),
+        edge_paths=edge_paths,
+        build_rounds=build.rounds,
+        round_rounds=native_round.rounds,
+    )

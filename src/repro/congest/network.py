@@ -1,0 +1,191 @@
+"""A faithful synchronous CONGEST-model simulator.
+
+The model of the paper's Section 1: the network is a graph; computation
+proceeds in synchronous rounds; per round, each node may send one
+``O(log n)``-bit message over each incident edge.  The simulator enforces
+the one-message-per-edge-per-round constraint and the word budget, and
+counts rounds and messages.  It is used to run the baselines and to
+cross-validate the ledger-based round accounting of the walk machinery on
+small graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from ..graphs.graph import Graph, WeightedGraph
+
+__all__ = ["CongestViolation", "NodeContext", "NodeAlgorithm", "Network"]
+
+#: How many O(log n)-bit words a single message may carry.  The model
+#: allows O(log n) bits; we allow a small constant number of words
+#: (IDs/weights), the standard reading used by all cited algorithms.
+MESSAGE_WORD_LIMIT = 4
+
+
+class CongestViolation(RuntimeError):
+    """An algorithm broke a CONGEST constraint (bandwidth or addressing)."""
+
+
+@dataclass
+class NodeContext:
+    """What a node knows initially (the KT1 variant: neighbour IDs).
+
+    Attributes:
+        node_id: this node's ID.
+        num_nodes: ``n`` (standard assumption: nodes know ``n``).
+        neighbors: IDs of adjacent nodes.
+        edge_weights: weight per neighbour (same order), if the graph is
+            weighted.
+    """
+
+    node_id: int
+    num_nodes: int
+    neighbors: tuple[int, ...]
+    edge_weights: Optional[tuple[float, ...]] = None
+
+    @property
+    def degree(self) -> int:
+        """Degree of this node."""
+        return len(self.neighbors)
+
+
+class NodeAlgorithm:
+    """Base class for per-node CONGEST algorithms.
+
+    Subclasses implement :meth:`initialize` and :meth:`receive`; both
+    return the messages to send in the *next* round as a mapping
+    ``neighbor_id -> payload``.  A payload is a tuple of at most
+    :data:`MESSAGE_WORD_LIMIT` words (ints/floats/short strings).  Set
+    :attr:`finished` once the node has terminated; the network stops when
+    every node is finished and no message is in flight.
+    """
+
+    def __init__(self, context: NodeContext):
+        self.context = context
+        self.finished = False
+
+    def initialize(self) -> Mapping[int, tuple]:
+        """Messages to send in round 1."""
+        return {}
+
+    def receive(
+        self, round_number: int, inbox: Mapping[int, tuple]
+    ) -> Mapping[int, tuple]:
+        """Handle this round's inbox; return next round's outbox."""
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        """Algorithm-specific output, read after the run completes."""
+        return None
+
+
+@dataclass
+class RunStats:
+    """Round and message accounting of a completed run."""
+
+    rounds: int = 0
+    messages: int = 0
+    max_messages_per_round: int = 0
+    per_round_messages: list[int] = field(default_factory=list)
+
+
+class Network:
+    """Synchronous executor for a set of :class:`NodeAlgorithm` instances."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._neighbor_lists = [
+            tuple(int(w) for w in graph.neighbors(v))
+            for v in range(graph.num_nodes)
+        ]
+        weighted = isinstance(graph, WeightedGraph)
+        self._weight_lists: list[Optional[tuple[float, ...]]] = []
+        for v in range(graph.num_nodes):
+            if weighted:
+                arcs = graph.arcs_of(v)
+                self._weight_lists.append(
+                    tuple(
+                        float(graph.weights[graph.arc_edge[a]]) for a in arcs
+                    )
+                )
+            else:
+                self._weight_lists.append(None)
+
+    def context(self, v: int) -> NodeContext:
+        """Initial knowledge of node ``v``."""
+        return NodeContext(
+            node_id=v,
+            num_nodes=self.graph.num_nodes,
+            neighbors=self._neighbor_lists[v],
+            edge_weights=self._weight_lists[v],
+        )
+
+    def _validate_outbox(
+        self, sender: int, outbox: Mapping[int, tuple]
+    ) -> None:
+        neighbors = self._neighbor_lists[sender]
+        for target, payload in outbox.items():
+            if target not in neighbors:
+                raise CongestViolation(
+                    f"node {sender} sent to non-neighbor {target}"
+                )
+            if not isinstance(payload, tuple):
+                raise CongestViolation(
+                    f"node {sender} sent a non-tuple payload {payload!r}"
+                )
+            if len(payload) > MESSAGE_WORD_LIMIT:
+                raise CongestViolation(
+                    f"node {sender} exceeded the {MESSAGE_WORD_LIMIT}-word "
+                    f"message budget: {payload!r}"
+                )
+
+    def run(
+        self,
+        algorithms: Sequence[NodeAlgorithm],
+        max_rounds: int = 1_000_000,
+    ) -> RunStats:
+        """Run all nodes to completion (or ``max_rounds``).
+
+        Returns round/message statistics.  Raises
+        :class:`CongestViolation` on any bandwidth/addressing violation
+        and ``RuntimeError`` if ``max_rounds`` is exhausted.
+        """
+        if len(algorithms) != self.graph.num_nodes:
+            raise ValueError("need exactly one algorithm per node")
+        stats = RunStats()
+        outboxes: list[Mapping[int, tuple]] = []
+        for v, algorithm in enumerate(algorithms):
+            outbox = dict(algorithm.initialize())
+            self._validate_outbox(v, outbox)
+            outboxes.append(outbox)
+        while True:
+            in_flight = sum(len(outbox) for outbox in outboxes)
+            all_done = all(algorithm.finished for algorithm in algorithms)
+            if in_flight == 0 and all_done:
+                return stats
+            if stats.rounds >= max_rounds:
+                raise RuntimeError(
+                    f"network did not terminate within {max_rounds} rounds"
+                )
+            stats.rounds += 1
+            stats.messages += in_flight
+            stats.max_messages_per_round = max(
+                stats.max_messages_per_round, in_flight
+            )
+            stats.per_round_messages.append(in_flight)
+            inboxes: list[dict[int, tuple]] = [
+                {} for _ in range(self.graph.num_nodes)
+            ]
+            for sender, outbox in enumerate(outboxes):
+                for target, payload in outbox.items():
+                    inboxes[target][sender] = payload
+            next_outboxes: list[Mapping[int, tuple]] = []
+            for v, algorithm in enumerate(algorithms):
+                outbox = dict(
+                    algorithm.receive(stats.rounds, inboxes[v]) or {}
+                )
+                self._validate_outbox(v, outbox)
+                next_outboxes.append(outbox)
+            outboxes = next_outboxes

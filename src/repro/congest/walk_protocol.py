@@ -1,0 +1,214 @@
+"""Distributed random walks with reversal, as real message passing.
+
+The paper's constructions all rest on one mechanic (Section 3.1.1): run
+many walk tokens forward for ``~tau_mix`` steps — queuing on edges, one
+token per edge per direction per round — while *every node remembers in
+which direction it forwarded each token*; then run the tokens backwards
+along the remembered directions to tell the sources where their walks
+ended.  The vectorized engines simulate this implicitly; this module
+executes it, message by message, on the CONGEST simulator:
+
+* **Forward pass**: a token ``(walk_id, ttl)`` performs lazy steps; a
+  stay consumes a step immediately, a move enqueues the token on the
+  chosen edge (FIFO, one token per edge-direction per round) and the step
+  completes when it crosses.  Each crossing is recorded by the receiving
+  node (a visit stack per walk, since walks may revisit nodes).
+* **Reverse pass**: endpoints launch the tokens back; every node pops
+  its visit stack for the walk and forwards the token to where it came
+  from, under the same edge-capacity queueing.
+
+The test suite checks that every token returns exactly to its origin —
+the property the overlay construction depends on — and that endpoints
+are near-stationary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .network import Network, NodeAlgorithm
+
+__all__ = ["WalkProtocolOutcome", "run_walk_protocol"]
+
+
+@dataclass
+class WalkProtocolOutcome:
+    """Result of one forward + reverse walk execution.
+
+    Attributes:
+        starts: origin node per walk.
+        endpoints: node where each walk's forward pass ended.
+        returned_to: node where each walk's reverse pass ended (must equal
+            ``starts``).
+        forward_rounds: CONGEST rounds of the forward pass.
+        reverse_rounds: CONGEST rounds of the reverse pass.
+        messages: total messages across both passes.
+    """
+
+    starts: np.ndarray
+    endpoints: np.ndarray
+    returned_to: np.ndarray
+    forward_rounds: int
+    reverse_rounds: int
+    messages: int
+
+
+@dataclass
+class _WalkState:
+    """Per-node protocol state shared between the two passes."""
+
+    rng: np.random.Generator
+    visit_stack: dict[int, list[int]]  # walk_id -> senders, in visit order
+    finished_here: dict[int, int]  # walk_id -> remaining ttl (== 0)
+
+
+class _ForwardNode(NodeAlgorithm):
+    """Forward pass: lazy-step tokens with per-edge FIFO queues."""
+
+    def __init__(self, context, state: _WalkState, initial_tokens):
+        super().__init__(context)
+        self.state = state
+        self.queues: dict[int, deque] = {}
+        for walk_id, ttl in initial_tokens:
+            self._admit(walk_id, ttl)
+
+    def _admit(self, walk_id: int, ttl: int) -> None:
+        """Perform stays locally; enqueue the token once it must move."""
+        degree = self.context.degree
+        while ttl > 0:
+            if degree == 0 or self.state.rng.random() < 0.5:
+                ttl -= 1  # lazy stay
+                continue
+            target = int(
+                self.context.neighbors[
+                    self.state.rng.integers(0, degree)
+                ]
+            )
+            self.queues.setdefault(target, deque()).append((walk_id, ttl))
+            return
+        self.state.finished_here[walk_id] = 0
+
+    def _outbox(self) -> Mapping[int, tuple]:
+        outbox = {}
+        for target in list(self.queues):
+            queue = self.queues[target]
+            if queue:
+                walk_id, ttl = queue.popleft()
+                outbox[target] = ("walk", walk_id, ttl)
+            if not queue:
+                del self.queues[target]
+        self.finished = not self.queues
+        return outbox
+
+    def initialize(self) -> Mapping[int, tuple]:
+        return self._outbox()
+
+    def receive(self, round_number, inbox) -> Mapping[int, tuple]:
+        for sender, payload in inbox.items():
+            __, walk_id, ttl = payload
+            self.state.visit_stack.setdefault(walk_id, []).append(sender)
+            self._admit(walk_id, ttl - 1)
+        return self._outbox()
+
+
+class _ReverseNode(NodeAlgorithm):
+    """Reverse pass: pop the visit stack and send the token back."""
+
+    def __init__(self, context, state: _WalkState):
+        super().__init__(context)
+        self.state = state
+        self.queues: dict[int, deque] = {}
+        self.home_tokens: list[int] = []
+        for walk_id in state.finished_here:
+            self._bounce(walk_id)
+
+    def _bounce(self, walk_id: int) -> None:
+        stack = self.state.visit_stack.get(walk_id)
+        if stack:
+            sender = stack.pop()
+            self.queues.setdefault(sender, deque()).append(walk_id)
+        else:
+            self.home_tokens.append(walk_id)  # back at the origin
+
+    def _outbox(self) -> Mapping[int, tuple]:
+        outbox = {}
+        for target in list(self.queues):
+            queue = self.queues[target]
+            if queue:
+                outbox[target] = ("back", queue.popleft())
+            if not queue:
+                del self.queues[target]
+        self.finished = not self.queues
+        return outbox
+
+    def initialize(self) -> Mapping[int, tuple]:
+        return self._outbox()
+
+    def receive(self, round_number, inbox) -> Mapping[int, tuple]:
+        for __, payload in inbox.items():
+            self._bounce(int(payload[1]))
+        return self._outbox()
+
+
+def run_walk_protocol(
+    graph: Graph,
+    starts: np.ndarray,
+    length: int,
+    seed: int = 0,
+) -> WalkProtocolOutcome:
+    """Execute the forward+reverse walk protocol on ``graph``.
+
+    Args:
+        graph: the network.
+        starts: origin node per walk token.
+        length: lazy steps per walk.
+        seed: base seed for the per-node randomness.
+
+    Returns:
+        A :class:`WalkProtocolOutcome`; ``returned_to`` equals ``starts``
+        by construction of the reversal (asserted by tests, not here).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    network = Network(graph)
+    n = graph.num_nodes
+    states = [
+        _WalkState(
+            rng=np.random.default_rng((seed, v)),
+            visit_stack={},
+            finished_here={},
+        )
+        for v in range(n)
+    ]
+    per_node_tokens: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for walk_id, origin in enumerate(starts):
+        per_node_tokens[int(origin)].append((walk_id, length))
+    forward = [
+        _ForwardNode(network.context(v), states[v], per_node_tokens[v])
+        for v in range(n)
+    ]
+    forward_stats = network.run(forward, max_rounds=10000 * (length + 1))
+    endpoints = np.full(starts.shape[0], -1, dtype=np.int64)
+    for v, state in enumerate(states):
+        for walk_id in state.finished_here:
+            endpoints[walk_id] = v
+    reverse = [
+        _ReverseNode(network.context(v), states[v]) for v in range(n)
+    ]
+    reverse_stats = network.run(reverse, max_rounds=10000 * (length + 1))
+    returned = np.full(starts.shape[0], -1, dtype=np.int64)
+    for v, algorithm in enumerate(reverse):
+        for walk_id in algorithm.home_tokens:
+            returned[walk_id] = v
+    return WalkProtocolOutcome(
+        starts=starts,
+        endpoints=endpoints,
+        returned_to=returned,
+        forward_rounds=forward_stats.rounds,
+        reverse_rounds=reverse_stats.rounds,
+        messages=forward_stats.messages + reverse_stats.messages,
+    )

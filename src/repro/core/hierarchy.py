@@ -1,0 +1,303 @@
+"""The hierarchical embedding of random graphs (Section 3.1.2).
+
+Level ``i`` (for ``i = 1..k``) is an overlay ``G_i`` on the virtual
+nodes, a disjoint union of one random graph per level-``i`` part: each
+node picks ``Theta(log n)`` uniform neighbours from its own part, sampled
+by ``2*Delta``-regular random walks on ``G_{i-1}`` (which mix inside the
+node's level-``(i-1)`` part).  The last level's parts have ``O(log n)``
+nodes and use the complete graph.
+
+Each level records a *measured* emulation cost: the Lemma 2.5 schedule
+length of replaying one walk per overlay edge on the previous overlay
+(forward + reverse), which is what one communication round of ``G_i``
+costs in ``G_{i-1}`` rounds (Lemma 3.1: ``O(log^2 n)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..params import Params
+from ..walks.engine import run_regular_walks
+from .embedding import G0Embedding, build_g0
+from .ledger import RoundLedger
+from .partition import HierarchicalPartition, build_partition
+from .sampling import group_select, sample_within_parts
+
+__all__ = ["Level", "Hierarchy", "build_hierarchy"]
+
+
+@dataclass
+class Level:
+    """One level of the hierarchical embedding.
+
+    Attributes:
+        index: level number (1-based; level 0 is ``G0`` itself).
+        parts: level-``index`` part id of every virtual node.
+        overlay: the level overlay graph ``G_index`` (disjoint union of
+            per-part random graphs, or per-part cliques at the bottom).
+        emulation_cost: measured ``G_{index-1}`` rounds per round of this
+            overlay (Lemma 3.1).
+        build_cost: ``G_{index-1}`` rounds spent constructing the overlay
+            (Lemma 3.2's per-level term).
+        is_clique: whether this is the bottom (complete-graph) level.
+    """
+
+    index: int
+    parts: np.ndarray
+    overlay: Graph
+    emulation_cost: float
+    build_cost: float
+    is_clique: bool
+
+
+@dataclass
+class Hierarchy:
+    """The full routing structure: ``G0`` + levels + partition.
+
+    Attributes:
+        g0: the level-zero embedding.
+        partition: the hash-based hierarchical partition.
+        levels: levels ``1..depth`` (``levels[i-1]`` is level ``i``).
+        ledger: the construction's round ledger (base-graph rounds).
+    """
+
+    g0: G0Embedding
+    partition: HierarchicalPartition
+    levels: list[Level] = field(default_factory=list)
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+
+    @property
+    def depth(self) -> int:
+        """Number of levels above ``G0``."""
+        return len(self.levels)
+
+    @property
+    def beta(self) -> int:
+        """Branching factor of the partition."""
+        return self.partition.beta
+
+    def overlay_at(self, level: int) -> Graph:
+        """Overlay graph of ``level`` (level 0 = ``G0``)."""
+        if level == 0:
+            return self.g0.overlay
+        return self.levels[level - 1].overlay
+
+    def parts_at(self, level: int) -> np.ndarray:
+        """Part id of every virtual node at ``level`` (level 0 = all 0)."""
+        if level == 0:
+            return np.zeros(self.g0.virtual.count, dtype=np.int64)
+        return self.levels[level - 1].parts
+
+    def emulation_to_g0(self, level: int) -> float:
+        """Measured ``G0`` rounds per one round of the ``level`` overlay."""
+        factor = 1.0
+        for lvl in self.levels[:level]:
+            factor *= lvl.emulation_cost
+        return factor
+
+    def emulation_to_g(self, level: int) -> float:
+        """Measured base-graph rounds per one round of the ``level`` overlay."""
+        return self.emulation_to_g0(level) * self.g0.round_cost
+
+    def construction_rounds(self) -> float:
+        """Total base-graph rounds charged for the construction."""
+        return self.ledger.total()
+
+    def describe(self) -> str:
+        """Multi-line summary of the structure (sizes, costs, factors)."""
+        lines = [
+            f"Hierarchy on {self.g0.base_graph!r}: beta={self.beta}, "
+            f"depth={self.depth}, tau_mix~{self.g0.tau_mix}",
+            f"  G0: {self.g0.virtual.count} virtual nodes, "
+            f"round cost {self.g0.round_cost:,.0f} G-rounds",
+        ]
+        import numpy as _np
+
+        for level in self.levels:
+            sizes = _np.bincount(level.parts)
+            kind = "cliques" if level.is_clique else "random graphs"
+            lines.append(
+                f"  level {level.index}: {int(sizes.shape[0])} parts "
+                f"({int(sizes.min())}..{int(sizes.max())} nodes, {kind}), "
+                f"emulation x{level.emulation_cost:,.0f}"
+            )
+        lines.append(
+            f"  construction total: {self.construction_rounds():,.0f} G-rounds"
+        )
+        return "\n".join(lines)
+
+
+def build_hierarchy(
+    graph: Graph,
+    params: Params | None = None,
+    rng: np.random.Generator | None = None,
+    beta: int | None = None,
+    depth: int | None = None,
+    tau_mix: int | None = None,
+) -> Hierarchy:
+    """Construct the full hierarchical routing structure on ``graph``.
+
+    Args:
+        graph: connected base graph.
+        params: construction constants (default :meth:`Params.default`).
+        rng: randomness source (default seeded fresh).
+        beta: branching-factor override.
+        depth: level-count override.
+        tau_mix: mixing-time override (else estimated from the graph).
+
+    Returns:
+        The constructed :class:`Hierarchy`, with all build costs charged
+        to its ledger in base-graph rounds.
+    """
+    params = params or Params.default()
+    rng = rng or np.random.default_rng()
+    ledger = RoundLedger()
+    g0 = build_g0(graph, params, rng, ledger=ledger, tau_mix=tau_mix)
+    partition = build_partition(
+        g0.virtual, params, rng, beta=beta, depth=depth
+    )
+    # Disseminating the Theta(log^2 n) shared hash-seed bits costs
+    # O(D log n) <= O(tau_mix log n) base-graph rounds.
+    seed_words = max(1, partition.hash_fn.seed_bits() // 31)
+    hierarchy = Hierarchy(g0=g0, partition=partition, ledger=ledger)
+    ledger.charge(
+        "partition/seed-broadcast",
+        float(g0.tau_mix + seed_words),
+        seed_bits=partition.hash_fn.seed_bits(),
+    )
+    n = graph.num_nodes
+    degree = params.level_degree(n)
+    walk_length = params.level_walk_length(n)
+    bottom = params.bottom_size(n)
+    previous_overlay = g0.overlay
+    for level_index in range(1, partition.depth + 1):
+        parts = partition.all_parts_at_level(level_index)
+        sizes = np.bincount(parts)
+        is_clique = int(sizes.max()) <= bottom or level_index == partition.depth
+        if is_clique:
+            edges = _clique_edges(parts)
+            build_cost_prev = _gossip_cost(sizes, walk_length)
+        elif params.use_walk_overlays:
+            edges, build_cost_prev = _walk_overlay_edges(
+                previous_overlay, parts, partition.beta, degree,
+                walk_length, params, rng,
+            )
+        else:
+            edges = sample_within_parts(parts, degree, rng)
+            # The faithful construction starts beta * degree walks per
+            # node; charge its analytic Lemma 2.5 schedule.
+            build_cost_prev = float(
+                (partition.beta * degree + np.log2(max(2, previous_overlay.num_nodes)))
+                * walk_length * 2.0
+            )
+        overlay = Graph(previous_overlay.num_nodes, edges)
+        emulation_cost = _measure_emulation_cost(
+            previous_overlay, overlay, walk_length, rng
+        )
+        level = Level(
+            index=level_index,
+            parts=parts,
+            overlay=overlay,
+            emulation_cost=emulation_cost,
+            build_cost=build_cost_prev,
+            is_clique=is_clique,
+        )
+        hierarchy.levels.append(level)
+        ledger.charge(
+            f"hierarchy/build-level-{level_index}",
+            build_cost_prev * hierarchy.emulation_to_g(level_index - 1),
+            parts=int(sizes.shape[0]),
+            max_part=int(sizes.max()),
+            clique=is_clique,
+        )
+        previous_overlay = overlay
+        if is_clique:
+            break
+    return hierarchy
+
+
+def _walk_overlay_edges(
+    previous_overlay: Graph,
+    parts: np.ndarray,
+    beta: int,
+    degree: int,
+    walk_length: int,
+    params: Params,
+    rng: np.random.Generator,
+) -> tuple[list[tuple[int, int]], float]:
+    """Faithful walk-based neighbour sampling for one level.
+
+    Starts ``~level_walks_factor * beta * degree / level_degree_factor``
+    regular walks per node on the previous overlay; a walk is *successful*
+    if it ends inside the walker's new (level-``i``) part.  Keeps up to
+    ``degree`` distinct successful endpoints per node.
+    """
+    num_nodes = previous_overlay.num_nodes
+    walks_per_node = max(beta, int(round(2.0 * beta * degree
+                                         * params.level_walks_factor
+                                         / max(1.0, params.level_degree_factor))))
+    starts = np.repeat(np.arange(num_nodes), walks_per_node)
+    run = run_regular_walks(previous_overlay, starts, walk_length, rng)
+    owners = starts
+    successful = parts[run.positions] == parts[owners]
+    edges = group_select(
+        owners[successful], run.positions[successful], num_nodes, degree, rng
+    )
+    # Forward + reverse traversal of all walks.
+    build_cost = 2.0 * run.schedule_rounds()
+    return edges, build_cost
+
+
+def _clique_edges(parts: np.ndarray) -> list[tuple[int, int]]:
+    """Complete graph inside every part (the bottom level)."""
+    order = np.argsort(parts, kind="stable")
+    sorted_parts = parts[order]
+    boundaries = np.flatnonzero(
+        np.diff(np.concatenate(([-1], sorted_parts, [-1])))
+    )
+    edges: list[tuple[int, int]] = []
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        members = order[start:end]
+        for i in range(members.shape[0]):
+            for j in range(i + 1, members.shape[0]):
+                edges.append((int(members[i]), int(members[j])))
+    return edges
+
+
+def _gossip_cost(sizes: np.ndarray, walk_length: int) -> float:
+    """Cost (prev-overlay rounds) of learning all part members at the bottom.
+
+    Every node broadcasts its id inside its ``O(log n)``-node part over
+    the previous overlay: ``O(part_size)`` messages per node, scheduled in
+    ``O(part_size + walk_length)`` overlay rounds.
+    """
+    return float(int(sizes.max()) + walk_length)
+
+
+def _measure_emulation_cost(
+    previous_overlay: Graph,
+    overlay: Graph,
+    walk_length: int,
+    rng: np.random.Generator,
+) -> float:
+    """Measured prev-overlay rounds per one round of ``overlay``.
+
+    One ``G_i`` round delivers one message along every ``G_i`` edge (both
+    directions); each such edge is a walk of length ``walk_length`` on
+    ``G_{i-1}``.  We replay one walk per overlay arc endpoint and take
+    twice the Lemma 2.5 schedule length (forward + reverse).
+    """
+    if overlay.num_edges == 0:
+        return 1.0
+    out_degrees = np.bincount(
+        overlay.edge_array[:, 0], minlength=overlay.num_nodes
+    )
+    starts = np.repeat(np.arange(overlay.num_nodes), out_degrees)
+    if starts.size == 0:
+        return 1.0
+    replay = run_regular_walks(previous_overlay, starts, walk_length, rng)
+    return 2.0 * replay.schedule_rounds()

@@ -1,0 +1,218 @@
+"""Portal discovery (Section 3.1.2, "Adding Portals"; Lemma 3.3).
+
+A packet residing in part ``A_i`` but destined for a sibling part ``A_j``
+is first routed to a *portal*: a node of ``A_i`` with a ``G_{i-1}``-overlay
+edge into ``A_j``.  Every node of ``A_i`` holds, for each sibling ``j``, a
+uniformly random such portal (independent across nodes).
+
+Two implementations:
+
+* **walk-based** (faithful): each node runs ``Theta(beta)`` regular walks
+  on its part's overlay per target sibling; walks ending on a boundary
+  node are successful, and a random successful endpoint becomes the
+  portal.  Cost is measured from the walk schedules.
+* **sampled** (fast path): a mixed walk on the part's expander ends at a
+  uniform part node, so conditioning on success gives a uniform boundary
+  node — which we sample directly, charging Lemma 3.3's analytic
+  ``O(beta^2 log n)`` rounds per level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..params import Params
+from ..walks.engine import run_regular_walks
+from .hierarchy import Hierarchy
+from .ledger import RoundLedger
+
+__all__ = ["PortalTable", "build_portals"]
+
+
+@dataclass
+class PortalTable:
+    """Portals for every level of a hierarchy.
+
+    Attributes:
+        hierarchy: the routing structure the portals belong to.
+        tables: per level ``i`` (1-based, ``tables[i-1]``), an int array of
+            shape ``(num_vnodes, beta)``: ``tables[i-1][x, j]`` is the
+            portal of virtual node ``x`` towards the ``j``-th sibling of
+            its level-``i`` part (-1 for the own part or if no boundary
+            edge exists).
+        boundary_counts: per level, dict ``(part, sibling_index) -> count``
+            of boundary nodes — used by tests/benchmarks to check the
+            ``Theta(m log n / beta^2)`` density claim of Lemma 3.4.
+    """
+
+    hierarchy: Hierarchy
+    tables: list[np.ndarray]
+    boundary_counts: list[dict[tuple[int, int], int]]
+
+    def portal(self, level: int, vnode: int, sibling_index: int) -> int:
+        """Portal of ``vnode`` towards sibling ``sibling_index`` at ``level``."""
+        return int(self.tables[level - 1][vnode, sibling_index])
+
+    def portals_for(
+        self, level: int, vnodes: np.ndarray, sibling_indices: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized portal lookup."""
+        return self.tables[level - 1][vnodes, sibling_indices]
+
+
+def build_portals(
+    hierarchy: Hierarchy,
+    params: Params,
+    rng: np.random.Generator,
+    ledger: RoundLedger | None = None,
+) -> PortalTable:
+    """Build portal tables for all levels of ``hierarchy``.
+
+    Args:
+        hierarchy: a constructed :class:`Hierarchy`.
+        params: construction constants.
+        rng: randomness source.
+        ledger: ledger to charge costs to (default: the hierarchy's own).
+
+    Returns:
+        The :class:`PortalTable`.
+    """
+    ledger = ledger if ledger is not None else hierarchy.ledger
+    tables: list[np.ndarray] = []
+    boundary_counts: list[dict[tuple[int, int], int]] = []
+    beta = hierarchy.beta
+    num_vnodes = hierarchy.g0.virtual.count
+    for level in range(1, hierarchy.depth + 1):
+        parts = hierarchy.parts_at(level)
+        boundary = _boundary_nodes(
+            hierarchy.overlay_at(level - 1), parts, beta
+        )
+        boundary_counts.append(
+            {key: value.shape[0] for key, value in boundary.items()}
+        )
+        if params.use_walk_portals:
+            table, cost_level = _walk_portals(
+                hierarchy.overlay_at(level), parts, boundary, beta,
+                params, rng,
+            )
+        else:
+            table = _sampled_portals(parts, boundary, beta, num_vnodes, rng)
+            # Lemma 3.3: Theta(beta) rounds of the level overlay per
+            # target part; beta targets; log n walk steps each.
+            log_n = math.log2(max(2, num_vnodes))
+            cost_level = float(beta * beta * log_n)
+        ledger.charge(
+            f"portals/level-{level}",
+            cost_level * hierarchy.emulation_to_g(level),
+            beta=beta,
+        )
+        tables.append(table)
+    return PortalTable(
+        hierarchy=hierarchy, tables=tables, boundary_counts=boundary_counts
+    )
+
+
+def _boundary_nodes(
+    previous_overlay: Graph, parts: np.ndarray, beta: int
+) -> dict[tuple[int, int], np.ndarray]:
+    """Nodes of each part with a prev-overlay edge into each sibling.
+
+    Returns a dict ``(part, sibling_index) -> array of boundary nodes``
+    where ``sibling_index`` is the target part's index within its parent
+    (``target_part % beta``).
+    """
+    edges = previous_overlay.edge_array
+    if edges.size == 0:
+        return {}
+    result: dict[tuple[int, int], set] = {}
+    tail_parts = parts[edges[:, 0]]
+    head_parts = parts[edges[:, 1]]
+    crossing = (tail_parts != head_parts) & (
+        tail_parts // beta == head_parts // beta
+    )
+    for u, v, a, b in zip(
+        edges[crossing, 0], edges[crossing, 1],
+        tail_parts[crossing], head_parts[crossing],
+    ):
+        result.setdefault((int(a), int(b % beta)), set()).add(int(u))
+        result.setdefault((int(b), int(a % beta)), set()).add(int(v))
+    return {
+        key: np.fromiter(nodes, dtype=np.int64, count=len(nodes))
+        for key, nodes in result.items()
+    }
+
+
+def _sampled_portals(
+    parts: np.ndarray,
+    boundary: dict[tuple[int, int], np.ndarray],
+    beta: int,
+    num_vnodes: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Uniform boundary-node portals, sampled directly (fast path)."""
+    table = np.full((num_vnodes, beta), -1, dtype=np.int64)
+    order = np.argsort(parts, kind="stable")
+    sorted_parts = parts[order]
+    cuts = np.flatnonzero(np.diff(np.concatenate(([-1], sorted_parts, [-1]))))
+    for start, end in zip(cuts[:-1], cuts[1:]):
+        members = order[start:end]
+        part = int(sorted_parts[start])
+        own_index = part % beta
+        for sibling in range(beta):
+            if sibling == own_index:
+                continue
+            candidates = boundary.get((part, sibling))
+            if candidates is None or candidates.shape[0] == 0:
+                continue
+            table[members, sibling] = candidates[
+                rng.integers(0, candidates.shape[0], size=members.shape[0])
+            ]
+    return table
+
+
+def _walk_portals(
+    level_overlay: Graph,
+    parts: np.ndarray,
+    boundary: dict[tuple[int, int], np.ndarray],
+    beta: int,
+    params: Params,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, float]:
+    """Walk-based portal discovery (Lemma 3.3), with measured cost.
+
+    For each target sibling index ``j``, every node runs
+    ``portal_walks_factor * beta`` regular walks on the level overlay
+    (walks stay inside the node's part); a walk is successful if it ends
+    on a node with a boundary edge towards the ``j``-th sibling of the
+    walker's part.  The portal is a uniformly random successful endpoint.
+    """
+    num_vnodes = parts.shape[0]
+    table = np.full((num_vnodes, beta), -1, dtype=np.int64)
+    walks_per_node = max(2, int(round(params.portal_walks_factor * beta)))
+    length = params.level_walk_length(max(2, num_vnodes))
+    total_cost = 0.0
+    is_boundary = np.zeros((num_vnodes,), dtype=bool)
+    for sibling in range(beta):
+        # Mark nodes that have a boundary edge towards sibling `sibling`
+        # of their own part.
+        is_boundary[:] = False
+        for (part, sib), nodes in boundary.items():
+            if sib == sibling:
+                is_boundary[nodes] = True
+        starts = np.repeat(np.arange(num_vnodes), walks_per_node)
+        run = run_regular_walks(level_overlay, starts, length, rng)
+        total_cost += 2.0 * run.schedule_rounds()
+        ends = run.positions
+        successful = is_boundary[ends] & (parts[ends] == parts[starts]) & (
+            parts[starts] % beta != sibling
+        )
+        # Pick one random successful endpoint per walker: shuffle walk
+        # order, then let the last successful write win.
+        success_idx = np.flatnonzero(successful)
+        rng.shuffle(success_idx)
+        table[starts[success_idx], sibling] = ends[success_idx]
+    return table, total_cost

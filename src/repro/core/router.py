@@ -1,0 +1,361 @@
+"""Permutation routing on the hierarchical structure (Section 3.2).
+
+The routing problem: source–destination pairs ``(s, t)`` of real nodes,
+each node source/destination of at most ``d(v) * O(log n)`` packets per
+instance (heavier demands are split into phases, footnote 3 of the
+paper).  The algorithm:
+
+1. **Preparation**: every packet takes a lazy walk of length
+   ``~tau_mix`` from its source and lands on a uniformly random virtual
+   node; the destination is addressed by the *canonical* virtual node of
+   the target's ID, whose partition label every source can compute from
+   the shared hash (property P2).
+2. **Recursion** (per level ``i``): a packet whose current position and
+   temporary destination fall in the same level-``(i+1)`` part recurses
+   directly; otherwise it is routed (recursively) to its *portal* towards
+   the destination's part, hops one level-``i`` overlay boundary edge,
+   and recurses in the target part.  At the bottom, parts are
+   ``O(log n)``-node cliques and packets are delivered directly.
+
+Costs follow Lemma 3.4's recursion
+``T(m) = 2 T(m/beta) * emulation + hop``: stage costs are accounted in
+the stage's own overlay rounds and converted through the *measured*
+emulation factors; hop costs are the measured max boundary-edge
+congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..params import Params
+from ..walks.correlated import run_correlated_walks
+from ..walks.engine import run_lazy_walks
+from .hierarchy import Hierarchy
+from .ledger import RoundLedger
+from .portals import PortalTable, build_portals
+
+__all__ = ["RoutingError", "LevelCost", "RoutingResult", "Router"]
+
+
+class RoutingError(RuntimeError):
+    """Routing could not proceed (e.g. a missing portal).
+
+    Usually means the construction constants were too aggressive for the
+    instance; rebuild with a larger ``level_degree_factor`` or smaller
+    ``beta``.
+    """
+
+
+@dataclass
+class LevelCost:
+    """Cost decomposition of one recursion level (Lemma 3.4's terms).
+
+    Attributes:
+        hop_rounds: total boundary-hop rounds, in level-``index`` overlay
+            rounds (the ``O(log n)`` additive term).
+        bottom_rounds: clique-delivery rounds (only at the bottom level),
+            in bottom-overlay rounds.
+        invocations: number of recursive invocations at this level
+            (``2^index`` in the worst case).
+        packets_crossing: packets that hopped between sibling parts here.
+    """
+
+    hop_rounds: float = 0.0
+    bottom_rounds: float = 0.0
+    invocations: int = 0
+    packets_crossing: int = 0
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of one routing instance.
+
+    Attributes:
+        delivered: whether every packet reached its destination node.
+        num_packets: packets routed.
+        num_phases: phases used (1 unless the load promise was exceeded).
+        prep_rounds: base-graph rounds of the preparation walks.
+        cost_g0_rounds: recursion cost in ``G0`` rounds.
+        cost_rounds: total base-graph rounds
+            (``prep + cost_g0 * g0.round_cost``).
+        level_costs: per-level decomposition (index 0 = level 0).
+        final_vnodes: final virtual-node position of every packet.
+        packet_hops: per-packet overlay-edge hop counts (portal hops +
+            bottom deliveries); only populated when routing with
+            ``trace=True``.
+    """
+
+    delivered: bool
+    num_packets: int
+    num_phases: int
+    prep_rounds: float
+    cost_g0_rounds: float
+    cost_rounds: float
+    level_costs: dict[int, LevelCost] = field(default_factory=dict)
+    final_vnodes: np.ndarray | None = None
+    packet_hops: np.ndarray | None = None
+
+    @property
+    def stretch_vs_tau_mix(self) -> float:
+        """Total rounds divided by the instance's mixing time is reported
+        by callers that know ``tau_mix``; kept here for convenience."""
+        return self.cost_rounds
+
+
+class Router:
+    """Routes packet batches over a built hierarchy + portal table."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        portals: PortalTable | None = None,
+        params: Params | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.hierarchy = hierarchy
+        self.params = params or Params.default()
+        self.rng = rng or np.random.default_rng()
+        self.portals = portals or build_portals(
+            hierarchy, self.params, self.rng
+        )
+        self._beta = hierarchy.beta
+        self._level_costs: dict[int, LevelCost] = {}
+        self._packet_hops: np.ndarray | None = None
+
+    # -- public API ----------------------------------------------------------
+
+    def route(
+        self,
+        sources: np.ndarray,
+        destinations: np.ndarray,
+        ledger: RoundLedger | None = None,
+        trace: bool = False,
+    ) -> RoutingResult:
+        """Deliver one packet per (source, destination) pair.
+
+        Splits into phases automatically if the per-node load promise is
+        exceeded (footnote 3 of the paper).
+
+        Args:
+            sources: real-node source per packet.
+            destinations: real-node destination per packet.
+            ledger: optional ledger to charge the phases to.
+            trace: also record per-packet overlay hop counts (the
+                stretch measurement of experiment E13).
+
+        Returns:
+            The :class:`RoutingResult`; ``delivered`` is verified, not
+            assumed.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        if sources.shape != destinations.shape:
+            raise ValueError("sources and destinations must align")
+        graph = self.hierarchy.g0.base_graph
+        if sources.size and (
+            sources.max() >= graph.num_nodes or sources.min() < 0
+            or destinations.max() >= graph.num_nodes or destinations.min() < 0
+        ):
+            raise ValueError("source/destination node id out of range")
+        num_phases = self._required_phases(sources, destinations)
+        phase_of = self.rng.integers(0, num_phases, size=sources.shape[0])
+        self._level_costs = {}
+        self._packet_hops = (
+            np.zeros(sources.shape[0], dtype=np.int64) if trace else None
+        )
+        total_prep = 0.0
+        total_g0 = 0.0
+        final_vnodes = np.full(sources.shape[0], -1, dtype=np.int64)
+        delivered = True
+        for phase in range(num_phases):
+            mask = phase_of == phase
+            if not mask.any():
+                continue
+            prep, cost_g0, vnodes, ok = self._route_phase(
+                sources[mask], destinations[mask],
+                ids=np.flatnonzero(mask) if trace else None,
+            )
+            total_prep += prep
+            total_g0 += cost_g0
+            final_vnodes[mask] = vnodes
+            delivered &= ok
+        cost_rounds = total_prep + total_g0 * self.hierarchy.g0.round_cost
+        if ledger is not None:
+            ledger.charge(
+                "route/instance",
+                cost_rounds,
+                packets=int(sources.shape[0]),
+                phases=num_phases,
+            )
+        return RoutingResult(
+            delivered=delivered,
+            num_packets=int(sources.shape[0]),
+            num_phases=num_phases,
+            prep_rounds=total_prep,
+            cost_g0_rounds=total_g0,
+            cost_rounds=cost_rounds,
+            level_costs=self._level_costs,
+            final_vnodes=final_vnodes,
+            packet_hops=self._packet_hops,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _required_phases(
+        self, sources: np.ndarray, destinations: np.ndarray
+    ) -> int:
+        """Phases needed so the per-node load promise holds per phase."""
+        graph = self.hierarchy.g0.base_graph
+        load = np.bincount(sources, minlength=graph.num_nodes) + np.bincount(
+            destinations, minlength=graph.num_nodes
+        )
+        allowed = np.array(
+            [
+                self.params.packets_per_node(graph.num_nodes, d)
+                for d in graph.degrees
+            ],
+            dtype=np.int64,
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = load / np.maximum(allowed, 1)
+        return max(1, int(np.ceil(ratio.max()))) if load.size else 1
+
+    def _route_phase(
+        self,
+        sources: np.ndarray,
+        destinations: np.ndarray,
+        ids: np.ndarray | None = None,
+    ) -> tuple[float, float, np.ndarray, bool]:
+        """Route one phase; returns (prep G-rounds, G0 rounds, vnodes, ok)."""
+        hierarchy = self.hierarchy
+        virtual = hierarchy.g0.virtual
+        graph = hierarchy.g0.base_graph
+        # Preparation: spread packets uniformly over virtual nodes.
+        prep_runner = (
+            run_correlated_walks if self.params.use_correlated_walks
+            else run_lazy_walks
+        )
+        prep_run = prep_runner(
+            graph, sources, hierarchy.g0.walk_length, self.rng
+        )
+        current = virtual.random_vnode_of(prep_run.positions, self.rng)
+        prep_rounds = float(prep_run.schedule_rounds())
+        target = virtual.canonical(destinations)
+        cost_g0, final = self._route_within(0, current, target, ids)
+        ok = bool(np.all(virtual.host[final] == destinations))
+        return prep_rounds, cost_g0, final, ok
+
+    def _route_within(
+        self,
+        level: int,
+        current: np.ndarray,
+        target: np.ndarray,
+        ids: np.ndarray | None = None,
+    ) -> tuple[float, np.ndarray]:
+        """Route packets whose position and target share a level part.
+
+        Returns the cost in level-``level`` overlay rounds and the final
+        positions (== targets on success).
+        """
+        stats = self._level_costs.setdefault(level, LevelCost())
+        stats.invocations += 1
+        if current.size == 0:
+            return 0.0, target.copy()
+        if level == self.hierarchy.depth:
+            rounds = self._bottom_deliver(current, target)
+            stats.bottom_rounds += rounds
+            if ids is not None and self._packet_hops is not None:
+                moving = current != target
+                self._packet_hops[ids[moving]] += 1
+            return rounds, target.copy()
+        hierarchy = self.hierarchy
+        next_level = level + 1
+        parts_next = hierarchy.parts_at(next_level)
+        part_current = parts_next[current]
+        part_target = parts_next[target]
+        crossing = part_current != part_target
+        stats.packets_crossing += int(crossing.sum())
+        stage_a_target = target.copy()
+        if crossing.any():
+            sibling = part_target[crossing] % self._beta
+            portals = self.portals.portals_for(
+                next_level, current[crossing], sibling
+            )
+            if np.any(portals < 0):
+                raise RoutingError(
+                    f"missing portal at level {next_level}; increase "
+                    "level_degree_factor or decrease beta"
+                )
+            stage_a_target[crossing] = portals
+        emulation = hierarchy.levels[next_level - 1].emulation_cost
+        cost_a, positions = self._route_within(
+            next_level, current, stage_a_target, ids
+        )
+        hop_rounds = 0.0
+        cost_b = 0.0
+        if crossing.any():
+            hopped, hop_rounds = self._hop(
+                level, positions[crossing], part_target[crossing]
+            )
+            stats.hop_rounds += hop_rounds
+            if ids is not None and self._packet_hops is not None:
+                self._packet_hops[ids[crossing]] += 1
+            cost_b, landed = self._route_within(
+                next_level, hopped, target[crossing],
+                ids[crossing] if ids is not None else None,
+            )
+            positions = positions.copy()
+            positions[crossing] = landed
+        return (cost_a + cost_b) * emulation + hop_rounds, positions
+
+    def _hop(
+        self, level: int, portals: np.ndarray, target_parts: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Hop packets over level-``level`` overlay boundary edges.
+
+        Each packet sits at a portal that has at least one overlay edge
+        into its target part; it crosses a uniformly random such edge.
+        Cost is the measured max number of packets on a single edge.
+        """
+        overlay = self.hierarchy.overlay_at(level)
+        parts_next = self.hierarchy.parts_at(level + 1)
+        landed = np.empty_like(portals)
+        chosen_arcs = np.empty_like(portals)
+        for i, (portal, part) in enumerate(zip(portals, target_parts)):
+            arcs = np.arange(
+                overlay.indptr[portal], overlay.indptr[portal + 1]
+            )
+            heads = overlay.indices[arcs]
+            valid = arcs[parts_next[heads] == part]
+            if valid.size == 0:
+                raise RoutingError(
+                    f"portal {int(portal)} lost its boundary edge to part "
+                    f"{int(part)} at level {level + 1}"
+                )
+            arc = int(valid[self.rng.integers(0, valid.size)])
+            landed[i] = overlay.indices[arc]
+            chosen_arcs[i] = arc
+        # Per *directed* arc: opposite-direction crossings run in parallel
+        # (one message per edge per direction per round).
+        congestion = np.bincount(chosen_arcs).max() if portals.size else 0
+        return landed, float(congestion)
+
+    def _bottom_deliver(
+        self, current: np.ndarray, target: np.ndarray
+    ) -> float:
+        """Deliver within bottom-level cliques.
+
+        One clique round carries one message per ordered node pair, so
+        the cost is the max multiplicity over ordered (position, target)
+        pairs among packets still in transit.
+        """
+        moving = current != target
+        if not moving.any():
+            return 0.0
+        num = self.hierarchy.g0.virtual.count
+        keys = current[moving] * num + target[moving]
+        __, counts = np.unique(keys, return_counts=True)
+        return float(counts.max())

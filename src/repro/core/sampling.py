@@ -1,0 +1,88 @@
+"""Shared helpers for turning walk endpoints into overlay edges."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["group_select", "sample_within_parts"]
+
+
+def group_select(
+    owners: np.ndarray,
+    targets: np.ndarray,
+    num_owners: int,
+    cap: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, int]]:
+    """Per owner, keep up to ``cap`` distinct non-self targets as edges.
+
+    This is the "node keeps ``Theta(log n)`` of its successful walk
+    endpoints" selection step used for ``G0`` and every level overlay.
+
+    Args:
+        owners: owner id per sample.
+        targets: target id per sample (same length).
+        num_owners: id range of owners.
+        cap: max edges kept per owner.
+        rng: used to subsample when an owner has more than ``cap``.
+
+    Returns:
+        Edge list ``(owner, target)``.
+    """
+    order = np.argsort(owners, kind="stable")
+    owners_sorted = owners[order]
+    targets_sorted = targets[order]
+    boundaries = np.searchsorted(
+        owners_sorted, np.arange(num_owners + 1), side="left"
+    )
+    edges: list[tuple[int, int]] = []
+    for owner in range(num_owners):
+        chunk = targets_sorted[boundaries[owner]: boundaries[owner + 1]]
+        chunk = np.unique(chunk)
+        chunk = chunk[chunk != owner]
+        if chunk.shape[0] > cap:
+            chunk = rng.choice(chunk, size=cap, replace=False)
+        for target in chunk:
+            edges.append((owner, int(target)))
+    return edges
+
+
+def sample_within_parts(
+    parts: np.ndarray,
+    degree: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, int]]:
+    """Sample ``degree`` uniform same-part neighbours for every node.
+
+    The fast-path equivalent of the walk-based selection: a mixed regular
+    walk on the previous (per-part expander) overlay ends at a uniform
+    node of the part, so uniform sampling draws from the identical
+    distribution (see DESIGN.md §4).
+
+    Args:
+        parts: part id per node.
+        degree: samples per node (self-samples and duplicates dropped).
+        rng: randomness source.
+
+    Returns:
+        Edge list ``(node, sampled neighbour)``.
+    """
+    num_nodes = parts.shape[0]
+    order = np.argsort(parts, kind="stable")
+    sorted_parts = parts[order]
+    boundaries = np.flatnonzero(
+        np.diff(np.concatenate(([-1], sorted_parts, [-1])))
+    )
+    edges: list[tuple[int, int]] = []
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        members = order[start:end]
+        if members.shape[0] < 2:
+            continue
+        draws = members[
+            rng.integers(0, members.shape[0], size=(members.shape[0], degree))
+        ]
+        for node, row in zip(members, draws):
+            for target in np.unique(row):
+                if target != node:
+                    edges.append((int(node), int(target)))
+    return edges

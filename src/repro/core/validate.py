@@ -1,0 +1,160 @@
+"""Structural validation of a built routing structure.
+
+``validate_hierarchy`` checks every invariant the router relies on —
+part nesting, overlay containment, bottom-clique completeness, per-part
+connectivity, portal validity — and returns a report instead of failing
+fast, so operators can diagnose a structure built with too-aggressive
+constants before routing on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .hierarchy import Hierarchy
+from .portals import PortalTable
+
+__all__ = ["ValidationReport", "validate_hierarchy", "validate_portals"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass.
+
+    Attributes:
+        ok: no problems found.
+        problems: human-readable descriptions of every violation.
+        checks_run: how many invariant checks executed.
+    """
+
+    ok: bool = True
+    problems: list[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    def _fail(self, message: str) -> None:
+        self.ok = False
+        self.problems.append(message)
+
+    def _check(self, condition: bool, message: str) -> None:
+        self.checks_run += 1
+        if not condition:
+            self._fail(message)
+
+
+def validate_hierarchy(hierarchy: Hierarchy) -> ValidationReport:
+    """Check every structural invariant of a built hierarchy."""
+    report = ValidationReport()
+    virtual = hierarchy.g0.virtual
+    count = virtual.count
+
+    report._check(
+        hierarchy.g0.overlay.num_nodes == count,
+        "G0 overlay node count differs from the virtual-node count",
+    )
+    report._check(
+        hierarchy.g0.overlay.is_connected(),
+        "G0 overlay is disconnected",
+    )
+    report._check(
+        hierarchy.g0.round_cost >= 1.0,
+        "G0 round cost below one round",
+    )
+
+    previous_parts = np.zeros(count, dtype=np.int64)
+    for level in hierarchy.levels:
+        prefix = f"level {level.index}:"
+        report._check(
+            level.parts.shape == (count,),
+            f"{prefix} part labels missing for some virtual nodes",
+        )
+        # Nesting: this level's parts refine the previous level's.
+        coarse = level.parts // hierarchy.beta
+        report._check(
+            bool(np.array_equal(coarse, previous_parts)),
+            f"{prefix} parts do not refine the previous level",
+        )
+        # Containment: overlay edges stay inside parts.
+        edges = level.overlay.edge_array
+        if edges.size:
+            inside = level.parts[edges[:, 0]] == level.parts[edges[:, 1]]
+            report._check(
+                bool(inside.all()),
+                f"{prefix} {int((~inside).sum())} overlay edges cross parts",
+            )
+        report._check(
+            level.emulation_cost >= 1.0,
+            f"{prefix} emulation cost below one round",
+        )
+        # Per-part connectivity (and completeness for cliques).
+        for part_id in np.unique(level.parts):
+            members = np.flatnonzero(level.parts == part_id)
+            if members.shape[0] < 2:
+                continue
+            seen = {int(members[0])}
+            frontier = [int(members[0])]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in level.overlay.neighbors(node):
+                    neighbor = int(neighbor)
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            report._check(
+                seen == set(int(x) for x in members),
+                f"{prefix} part {int(part_id)} overlay is disconnected",
+            )
+            if level.is_clique:
+                expected = members.shape[0] - 1
+                degrees = level.overlay.degrees[members]
+                report._check(
+                    bool(np.all(degrees == expected)),
+                    f"{prefix} part {int(part_id)} is not a complete graph",
+                )
+        previous_parts = level.parts
+    return report
+
+
+def validate_portals(
+    hierarchy: Hierarchy, portals: PortalTable
+) -> ValidationReport:
+    """Check portal coverage and validity against the hierarchy."""
+    report = ValidationReport()
+    beta = hierarchy.beta
+    for level in range(1, hierarchy.depth + 1):
+        prefix = f"portals level {level}:"
+        table = portals.tables[level - 1]
+        parts = hierarchy.parts_at(level)
+        overlay_prev = hierarchy.overlay_at(level - 1)
+        own = parts % beta
+        for sibling in range(beta):
+            needed = own != sibling
+            column = table[:, sibling]
+            report._check(
+                bool(np.all(column[needed] >= 0)),
+                f"{prefix} missing portals towards sibling {sibling}",
+            )
+            report._check(
+                bool(np.all(column[~needed] == -1)),
+                f"{prefix} own-part entries should be -1",
+            )
+            holders = np.flatnonzero(column >= 0)
+            if holders.size == 0:
+                continue
+            report._check(
+                bool(np.array_equal(parts[column[holders]], parts[holders])),
+                f"{prefix} a portal lies outside its node's part",
+            )
+            # Spot-check boundary edges on a sample of holders.
+            sample = holders[:: max(1, holders.shape[0] // 16)]
+            for node in sample:
+                portal = int(column[node])
+                target_part = (parts[node] // beta) * beta + sibling
+                heads = overlay_prev.neighbors(portal)
+                report._check(
+                    bool(np.any(parts[heads] == target_part)),
+                    f"{prefix} portal {portal} has no boundary edge to "
+                    f"part {int(target_part)}",
+                )
+    return report

@@ -1,0 +1,253 @@
+"""Static undirected graphs backed by CSR adjacency arrays.
+
+The whole library operates on :class:`Graph`: an immutable, undirected
+(multi-)graph over nodes ``0..n-1``, stored in compressed-sparse-row form
+so random-walk steps and congestion counts vectorize with numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Graph", "WeightedGraph"]
+
+
+class Graph:
+    """An immutable undirected multigraph in CSR form.
+
+    Each undirected edge ``{u, v}`` is stored as two directed *arcs*
+    ``u -> v`` and ``v -> u``.  Arc ``a`` has a *twin* arc (the reverse
+    direction) and an *edge id* ``a // 1`` shared with its twin via
+    :attr:`arc_edge`.  Virtual nodes in the routing construction are
+    identified with arcs (2m of them), which is why arcs are first-class
+    here.
+
+    Attributes:
+        num_nodes: number of nodes ``n``.
+        num_edges: number of undirected edges ``m`` (self-loops count once).
+        indptr: CSR row pointer, shape ``(n + 1,)``.
+        indices: CSR column indices (arc heads), shape ``(2m,)``.
+        arc_twin: for each arc, the index of the reverse arc.
+        arc_edge: for each arc, the undirected edge id in ``0..m-1``.
+    """
+
+    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]]):
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        for u, v in edge_list:
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ValueError(
+                    f"edge ({u}, {v}) out of range for {num_nodes} nodes"
+                )
+            if u == v:
+                raise ValueError(f"self-loop at node {u} is not supported")
+        self._num_nodes = int(num_nodes)
+        self._num_edges = len(edge_list)
+        self._build_csr(edge_list)
+        self._edge_array = np.array(
+            edge_list if edge_list else np.empty((0, 2)), dtype=np.int64
+        ).reshape(-1, 2)
+
+    def _build_csr(self, edge_list: Sequence[tuple[int, int]]) -> None:
+        n = self._num_nodes
+        m = len(edge_list)
+        degree = np.zeros(n, dtype=np.int64)
+        for u, v in edge_list:
+            degree[u] += 1
+            degree[v] += 1
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degree, out=indptr[1:])
+        indices = np.empty(2 * m, dtype=np.int64)
+        arc_twin = np.empty(2 * m, dtype=np.int64)
+        arc_edge = np.empty(2 * m, dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for eid, (u, v) in enumerate(edge_list):
+            a = cursor[u]
+            cursor[u] += 1
+            b = cursor[v]
+            cursor[v] += 1
+            indices[a] = v
+            indices[b] = u
+            arc_twin[a] = b
+            arc_twin[b] = a
+            arc_edge[a] = eid
+            arc_edge[b] = eid
+        self.indptr = indptr
+        self.indices = indices
+        self.arc_twin = arc_twin
+        self.arc_edge = arc_edge
+        self._degree = degree
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs ``2m``."""
+        return 2 * self._num_edges
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every node, shape ``(n,)``."""
+        return self._degree
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v``."""
+        return int(self._degree[v])
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree ``Delta``."""
+        return int(self._degree.max()) if self._num_nodes else 0
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbours of ``v`` (with multiplicity), as an array view."""
+        return self.indices[self.indptr[v]: self.indptr[v + 1]]
+
+    def arcs_of(self, v: int) -> range:
+        """Arc ids leaving node ``v``."""
+        return range(int(self.indptr[v]), int(self.indptr[v + 1]))
+
+    def arc_tail(self, arc: int) -> int:
+        """Tail node of an arc (the node it leaves)."""
+        return int(np.searchsorted(self.indptr, arc, side="right") - 1)
+
+    @property
+    def arc_tails(self) -> np.ndarray:
+        """Tail node of every arc, shape ``(2m,)``."""
+        tails = np.empty(self.num_arcs, dtype=np.int64)
+        for v in range(self._num_nodes):
+            tails[self.indptr[v]: self.indptr[v + 1]] = v
+        return tails
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over undirected edges as ``(u, v)`` pairs."""
+        for u, v in self._edge_array:
+            yield int(u), int(v)
+
+    @property
+    def edge_array(self) -> np.ndarray:
+        """Undirected edges as an ``(m, 2)`` array."""
+        return self._edge_array
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether an edge ``{u, v}`` exists."""
+        return bool(np.any(self.neighbors(u) == v))
+
+    # -- structure ----------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (empty graphs count as connected)."""
+        if self._num_nodes <= 1:
+            return True
+        return len(self.bfs_order(0)) == self._num_nodes
+
+    def bfs_order(self, source: int) -> list[int]:
+        """Nodes reachable from ``source`` in BFS order."""
+        seen = np.zeros(self._num_nodes, dtype=bool)
+        seen[source] = True
+        order = [source]
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for w in self.neighbors(u):
+                    w = int(w)
+                    if not seen[w]:
+                        seen[w] = True
+                        order.append(w)
+                        nxt.append(w)
+            frontier = nxt
+        return order
+
+    def bfs_distances(self, source: int) -> np.ndarray:
+        """Hop distance from ``source`` to every node (-1 if unreachable)."""
+        dist = np.full(self._num_nodes, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = [source]
+        d = 0
+        while frontier:
+            d += 1
+            nxt = []
+            for u in frontier:
+                for w in self.neighbors(u):
+                    w = int(w)
+                    if dist[w] < 0:
+                        dist[w] = d
+                        nxt.append(w)
+            frontier = nxt
+        return dist
+
+    def diameter(self) -> int:
+        """Exact hop diameter (O(n m); intended for small graphs)."""
+        best = 0
+        for v in range(self._num_nodes):
+            dist = self.bfs_distances(v)
+            if np.any(dist < 0):
+                raise ValueError("diameter of a disconnected graph")
+            best = max(best, int(dist.max()))
+        return best
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as lists of nodes."""
+        seen = np.zeros(self._num_nodes, dtype=bool)
+        components = []
+        for v in range(self._num_nodes):
+            if not seen[v]:
+                comp = self.bfs_order(v)
+                for u in comp:
+                    seen[u] = True
+                components.append(comp)
+        return components
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._num_nodes}, m={self._num_edges})"
+
+
+class WeightedGraph(Graph):
+    """An undirected graph with a weight per edge.
+
+    Weights may repeat; algorithms break ties by ``(weight, edge_id)``,
+    which makes the MST unique (the standard perturbation argument the
+    paper invokes by assuming distinct weights).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]],
+        weights: Sequence[float],
+    ):
+        super().__init__(num_nodes, edges)
+        weights = np.asarray(list(weights), dtype=np.float64)
+        if weights.shape != (self.num_edges,):
+            raise ValueError(
+                f"expected {self.num_edges} weights, got {weights.shape}"
+            )
+        self.weights = weights
+
+    def edge_weight(self, eid: int) -> float:
+        """Weight of the undirected edge with id ``eid``."""
+        return float(self.weights[eid])
+
+    def edge_key(self, eid: int) -> tuple[float, int]:
+        """Total-order key making all edge weights distinct."""
+        return (float(self.weights[eid]), int(eid))
+
+    def total_weight(self, edge_ids: Iterable[int]) -> float:
+        """Sum of weights over the given edge ids."""
+        ids = np.fromiter((int(e) for e in edge_ids), dtype=np.int64)
+        return float(self.weights[ids].sum()) if ids.size else 0.0
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(n={self.num_nodes}, m={self.num_edges})"

@@ -1,0 +1,106 @@
+"""Interop: NetworkX conversion and JSON (de)serialization.
+
+Lets downstream users bring their own topologies (any NetworkX graph)
+and persist/reload the graphs used in experiments for exact
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .graph import Graph, WeightedGraph
+
+__all__ = [
+    "to_networkx",
+    "from_networkx",
+    "to_json",
+    "from_json",
+    "save_graph",
+    "load_graph",
+]
+
+
+def to_networkx(graph: Graph):
+    """Convert to a ``networkx.Graph`` (weights become edge attributes)."""
+    import networkx as nx
+
+    result = nx.MultiGraph() if _has_multi_edges(graph) else nx.Graph()
+    result.add_nodes_from(range(graph.num_nodes))
+    weighted = isinstance(graph, WeightedGraph)
+    for eid, (u, v) in enumerate(graph.edges()):
+        if weighted:
+            result.add_edge(u, v, weight=float(graph.weights[eid]))
+        else:
+            result.add_edge(u, v)
+    return result
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Convert from NetworkX; nodes are relabelled to ``0..n-1``.
+
+    Edge ``weight`` attributes, when present on every edge, produce a
+    :class:`WeightedGraph`.
+    """
+    nodes = sorted(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = []
+    weights = []
+    all_weighted = nx_graph.number_of_edges() > 0
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            raise ValueError("self-loops are not supported")
+        edges.append((index[u], index[v]))
+        if "weight" in data:
+            weights.append(float(data["weight"]))
+        else:
+            all_weighted = False
+    if all_weighted:
+        return WeightedGraph(len(nodes), edges, weights)
+    return Graph(len(nodes), edges)
+
+
+def to_json(graph: Graph) -> str:
+    """Serialize to a JSON string."""
+    payload: dict = {
+        "num_nodes": graph.num_nodes,
+        "edges": [[int(u), int(v)] for u, v in graph.edges()],
+    }
+    if isinstance(graph, WeightedGraph):
+        payload["weights"] = [float(w) for w in graph.weights]
+    return json.dumps(payload)
+
+
+def from_json(text: str) -> Graph:
+    """Deserialize a graph written by :func:`to_json`."""
+    payload = json.loads(text)
+    edges = [(int(u), int(v)) for u, v in payload["edges"]]
+    if "weights" in payload:
+        return WeightedGraph(
+            int(payload["num_nodes"]), edges, payload["weights"]
+        )
+    return Graph(int(payload["num_nodes"]), edges)
+
+
+def save_graph(graph: Graph, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(to_json(graph))
+
+
+def load_graph(path: str) -> Graph:
+    """Read a graph from a JSON file."""
+    with open(path) as handle:
+        return from_json(handle.read())
+
+
+def _has_multi_edges(graph: Graph) -> bool:
+    if graph.num_edges == 0:
+        return False
+    edges = graph.edge_array
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    keys = lo * graph.num_nodes + hi
+    return len(np.unique(keys)) != len(keys)

@@ -1,0 +1,5 @@
+"""k-wise independent hashing for the pseudo-random partition."""
+
+from .kwise import PRIME, KWiseHash
+
+__all__ = ["PRIME", "KWiseHash"]

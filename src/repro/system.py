@@ -1,0 +1,178 @@
+"""High-level façade: one object per network, all applications on it.
+
+``ExpanderNetwork`` wraps the whole pipeline for downstream users who
+just want results: it builds (and caches) the routing structure for a
+topology, then exposes routing, MST, clique emulation, and min cut with
+one call each.  All randomness flows from one seed for reproducibility.
+
+Example:
+
+    >>> import numpy as np
+    >>> from repro.graphs import random_regular
+    >>> from repro.system import ExpanderNetwork
+    >>> net = ExpanderNetwork(random_regular(64, 6,
+    ...                       np.random.default_rng(0)), seed=1)
+    >>> net.route(np.arange(64), np.roll(np.arange(64), 7)).delivered
+    True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core import (
+    CliqueEmulationResult,
+    Hierarchy,
+    MinCutResult,
+    MstResult,
+    MstRunner,
+    Router,
+    RoutingResult,
+    approximate_min_cut,
+    build_hierarchy,
+    emulate_clique,
+)
+from .graphs.graph import Graph, WeightedGraph
+from .graphs.generators import with_random_weights
+from .params import Params
+
+__all__ = ["ExpanderNetwork"]
+
+
+class ExpanderNetwork:
+    """A network plus its (lazily built) hierarchical routing structure.
+
+    Attributes:
+        graph: the topology.
+        params: construction constants.
+        seed: base seed; every operation derives its randomness from it.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        params: Params | None = None,
+        seed: int = 0,
+        beta: int | None = None,
+    ):
+        if not graph.is_connected():
+            raise ValueError("ExpanderNetwork requires a connected graph")
+        self.graph = graph
+        self.params = params or Params.default()
+        self.seed = int(seed)
+        self._beta = beta
+        self._hierarchy: Hierarchy | None = None
+        self._router: Router | None = None
+
+    # -- cached structure ----------------------------------------------------
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The routing structure (built on first use, then cached)."""
+        if self._hierarchy is None:
+            self._hierarchy = build_hierarchy(
+                self.graph,
+                self.params,
+                np.random.default_rng((self.seed, 0)),
+                beta=self._beta,
+            )
+        return self._hierarchy
+
+    @property
+    def router(self) -> Router:
+        """The router over :attr:`hierarchy` (cached)."""
+        if self._router is None:
+            self._router = Router(
+                self.hierarchy,
+                params=self.params,
+                rng=np.random.default_rng((self.seed, 1)),
+            )
+        return self._router
+
+    @property
+    def tau_mix(self) -> int:
+        """The mixing-time estimate the structure was built with."""
+        return self.hierarchy.g0.tau_mix
+
+    def construction_rounds(self) -> float:
+        """Base-graph rounds spent building the structure."""
+        return self.hierarchy.construction_rounds()
+
+    # -- applications ----------------------------------------------------------
+
+    def route(
+        self, sources, destinations, trace: bool = False
+    ) -> RoutingResult:
+        """Permutation/point-to-point routing (Theorem 1.2)."""
+        return self.router.route(
+            np.asarray(sources), np.asarray(destinations), trace=trace
+        )
+
+    def minimum_spanning_tree(
+        self, weights=None, seed_offset: int = 2
+    ) -> MstResult:
+        """Distributed MST (Theorem 1.1).
+
+        Args:
+            weights: per-edge weights; defaults to the graph's own (if it
+                is a :class:`WeightedGraph`) else i.i.d. uniform.
+            seed_offset: derive a distinct stream per call site.
+        """
+        rng = np.random.default_rng((self.seed, seed_offset))
+        if weights is not None:
+            weighted = WeightedGraph(
+                self.graph.num_nodes, list(self.graph.edges()), weights
+            )
+        elif isinstance(self.graph, WeightedGraph):
+            weighted = self.graph
+        else:
+            weighted = with_random_weights(self.graph, rng)
+        runner = MstRunner(
+            weighted,
+            hierarchy=self.hierarchy,
+            params=self.params,
+            rng=rng,
+        )
+        return runner.run()
+
+    def emulate_clique(
+        self, sample_fraction: float = 1.0
+    ) -> CliqueEmulationResult:
+        """All-to-all message exchange (Theorem 1.3)."""
+        return emulate_clique(
+            self.hierarchy,
+            self.params,
+            np.random.default_rng((self.seed, 3)),
+            router=self.router,
+            sample_fraction=sample_fraction,
+        )
+
+    def min_cut(
+        self,
+        eps: float = 0.5,
+        num_trees: int | None = None,
+        use_weights: bool = False,
+    ) -> MinCutResult:
+        """Approximate minimum cut (Section 4 corollary)."""
+        return approximate_min_cut(
+            self.graph,
+            eps=eps,
+            params=self.params,
+            rng=np.random.default_rng((self.seed, 4)),
+            hierarchy=self.hierarchy,
+            num_trees=num_trees,
+            use_weights=use_weights,
+        )
+
+    def describe(self) -> str:
+        """One-paragraph summary of the built structure."""
+        hierarchy = self.hierarchy
+        lines = [
+            f"ExpanderNetwork on {self.graph!r}",
+            f"  tau_mix ~ {hierarchy.g0.tau_mix}, "
+            f"beta = {hierarchy.beta}, levels = {hierarchy.depth}",
+            f"  G0: {hierarchy.g0.overlay.num_nodes} virtual nodes, "
+            f"one round costs {hierarchy.g0.round_cost:,.0f} G-rounds",
+            f"  construction: {self.construction_rounds():,.0f} G-rounds",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Tests for the two-hop relay clique-emulation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import two_hop_relay_emulation
+from repro.graphs import complete_graph, erdos_renyi, ring_graph, star_graph
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(170)
+
+
+class TestTwoHopRelay:
+    def test_complete_graph_all_direct(self, rng):
+        g = complete_graph(8)
+        result = two_hop_relay_emulation(g, rng)
+        assert result.delivered
+        assert result.relayed_pairs == 0
+        assert result.direct_pairs == 8 * 7
+        assert result.rounds == 1  # one message per directed edge
+
+    def test_dense_er_delivers(self, rng):
+        g = erdos_renyi(32, 0.5, rng)
+        result = two_hop_relay_emulation(g, rng)
+        assert result.delivered
+        assert result.direct_pairs + result.relayed_pairs == 32 * 31
+
+    def test_star_hub_congestion(self, rng):
+        """All leaf pairs relay through the hub: rounds ~ n per edge."""
+        g = star_graph(10)
+        result = two_hop_relay_emulation(g, rng)
+        assert result.delivered
+        # Each leaf sends 8 messages through its single edge to the hub.
+        assert result.rounds >= 8
+
+    def test_ring_fails_for_distant_pairs(self, rng):
+        g = ring_graph(12)
+        result = two_hop_relay_emulation(g, rng)
+        assert not result.delivered  # antipodal pairs have no 2-hop path
+
+    def test_congestion_grows_with_sparsity(self, rng):
+        dense = two_hop_relay_emulation(erdos_renyi(32, 0.6, rng), rng)
+        sparse = two_hop_relay_emulation(erdos_renyi(32, 0.3, rng), rng)
+        assert sparse.rounds > dense.rounds

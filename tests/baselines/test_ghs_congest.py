@@ -1,0 +1,87 @@
+"""Tests for the message-passing Boruvka on the CONGEST simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ghs_mst, kruskal
+from repro.baselines.ghs_congest import congest_ghs_mst
+from repro.graphs import (
+    grid_torus,
+    hypercube,
+    random_regular,
+    ring_graph,
+    with_random_weights,
+    with_weights,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(190)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda rng: with_random_weights(ring_graph(16), rng),
+            lambda rng: with_random_weights(hypercube(4), rng),
+            lambda rng: with_random_weights(grid_torus(4, 4), rng),
+            lambda rng: with_random_weights(
+                random_regular(40, 4, rng), rng
+            ),
+        ],
+    )
+    def test_matches_kruskal(self, factory, rng):
+        graph = factory(rng)
+        result = congest_ghs_mst(graph)
+        assert result.edge_ids == kruskal(graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_many_seeds(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = with_random_weights(random_regular(32, 4, rng), rng)
+        result = congest_ghs_mst(graph)
+        assert result.edge_ids == kruskal(graph)
+
+    def test_rejects_unweighted(self):
+        with pytest.raises(TypeError):
+            congest_ghs_mst(ring_graph(8))
+
+    def test_rejects_duplicate_weights(self):
+        graph = with_weights(ring_graph(8), np.ones(8))
+        with pytest.raises(ValueError, match="distinct"):
+            congest_ghs_mst(graph)
+
+
+class TestRoundCounting:
+    def test_iterations_logarithmic(self, rng):
+        graph = with_random_weights(random_regular(64, 6, rng), rng)
+        result = congest_ghs_mst(graph)
+        assert result.iterations <= 10
+
+    def test_messages_positive(self, rng):
+        graph = with_random_weights(hypercube(4), rng)
+        result = congest_ghs_mst(graph)
+        assert result.messages > graph.num_edges
+
+    def test_cross_check_accounted_model(self, rng):
+        """The accounted ghs_mst model tracks real execution within 3x."""
+        for seed in range(3):
+            local = np.random.default_rng(seed)
+            graph = with_random_weights(
+                random_regular(48, 4, local), local
+            )
+            real = congest_ghs_mst(graph)
+            accounted = ghs_mst(graph)
+            ratio = real.rounds / accounted.rounds
+            assert 1 / 3 < ratio < 3, (seed, real.rounds, accounted.rounds)
+
+    def test_rounds_grow_with_mst_diameter(self, rng):
+        small = congest_ghs_mst(
+            with_random_weights(ring_graph(16), np.random.default_rng(5))
+        )
+        large = congest_ghs_mst(
+            with_random_weights(ring_graph(96), np.random.default_rng(5))
+        )
+        assert large.rounds > small.rounds

@@ -1,0 +1,92 @@
+"""Tests for the GHS-flooding and GKP-style MST baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import ghs_mst, gkp_mst, kruskal
+from repro.graphs import (
+    hypercube,
+    path_graph,
+    random_regular,
+    ring_graph,
+    with_random_weights,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(150)
+
+
+class TestGhs:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_kruskal(self, seed):
+        local = np.random.default_rng(seed)
+        g = with_random_weights(random_regular(48, 4, local), local)
+        assert ghs_mst(g).edge_ids == kruskal(g)
+
+    def test_rounds_positive(self, rng):
+        g = with_random_weights(hypercube(4), rng)
+        result = ghs_mst(g)
+        assert result.rounds > 0
+        assert result.messages > 0
+        assert result.iterations <= 4 * math.log2(16) + 8
+
+    def test_per_iteration_sums(self, rng):
+        g = with_random_weights(ring_graph(16), rng)
+        result = ghs_mst(g)
+        assert sum(result.per_iteration_rounds) == result.rounds
+
+    def test_path_graph_rounds_scale_linearly(self, rng):
+        """Fragment diameters on a path reach Theta(n)."""
+        small = ghs_mst(with_random_weights(path_graph(16), rng))
+        large = ghs_mst(with_random_weights(path_graph(64), rng))
+        assert large.rounds > 2 * small.rounds
+
+
+class TestGkp:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_kruskal(self, seed):
+        local = np.random.default_rng(seed)
+        g = with_random_weights(random_regular(48, 4, local), local)
+        assert gkp_mst(g).edge_ids == kruskal(g)
+
+    def test_phase_split(self, rng):
+        g = with_random_weights(random_regular(64, 6, rng), rng)
+        result = gkp_mst(g)
+        assert result.phase1_rounds > 0
+        assert result.rounds == result.phase1_rounds + result.phase2_rounds
+
+    def test_fragments_after_phase1_bounded(self, rng):
+        g = with_random_weights(random_regular(64, 6, rng), rng)
+        result = gkp_mst(g)
+        assert result.fragments_after_phase1 <= math.ceil(math.sqrt(64)) + 1
+
+    def test_diameter_recorded(self, rng):
+        g = with_random_weights(hypercube(4), rng)
+        result = gkp_mst(g)
+        assert result.diameter == 4
+
+    def test_beats_ghs_when_mst_is_long_but_diameter_small(self, rng):
+        """The Das Sarma-style separation: diameter-1 graph whose MST is a
+        Hamiltonian path.  GHS fragments grow to diameter Theta(n); GKP
+        caps them at sqrt(n) and pipelines the rest."""
+        from repro.graphs import complete_graph, with_weights
+
+        base = complete_graph(64)
+        weights = []
+        for u, v in base.edges():
+            if v == u + 1:
+                weights.append(float(u))  # the Hamiltonian path, cheap
+            else:
+                weights.append(1000.0 + u * 64 + v)  # everything else
+        g = with_weights(base, weights)
+        ghs = ghs_mst(g)
+        gkp = gkp_mst(g)
+        path_edge_ids = sorted(
+            eid for eid, (u, v) in enumerate(base.edges()) if v == u + 1
+        )
+        assert ghs.edge_ids == path_edge_ids
+        assert gkp.rounds < ghs.rounds

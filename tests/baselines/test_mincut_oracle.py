@@ -1,0 +1,91 @@
+"""Tests for the centralized min-cut oracles, and the distributed
+min-cut cross-check against them."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mincut_oracle import exact_min_cut, karger_min_cut
+from repro.core import approximate_min_cut
+from repro.graphs import (
+    barbell_graph,
+    complete_graph,
+    cut_size,
+    hypercube,
+    random_regular,
+    ring_graph,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(210)
+
+
+class TestExactOracle:
+    def test_ring(self):
+        value, side = exact_min_cut(ring_graph(10))
+        assert value == 2
+        assert cut_size(ring_graph(10), side) == 2
+
+    def test_complete(self):
+        value, __ = exact_min_cut(complete_graph(6))
+        assert value == 5
+
+    def test_barbell(self):
+        value, side = exact_min_cut(barbell_graph(5))
+        assert value == 1
+        assert side.sum() in (5, 6)  # one clique (+ maybe bridge mid)
+
+    def test_too_large(self):
+        with pytest.raises(ValueError, match="exponential"):
+            exact_min_cut(ring_graph(30))
+
+    def test_too_small(self):
+        from repro.graphs import Graph
+
+        with pytest.raises(ValueError):
+            exact_min_cut(Graph(1, []))
+
+
+class TestKargerOracle:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ring_graph(12),
+            lambda: barbell_graph(6),
+            lambda: hypercube(3),
+            lambda: complete_graph(7),
+        ],
+    )
+    def test_matches_exact(self, factory, rng):
+        g = factory()
+        exact_value, __ = exact_min_cut(g)
+        karger_value, side = karger_min_cut(g, rng)
+        assert karger_value == exact_value
+        assert cut_size(g, side) == karger_value
+
+    def test_larger_graph(self, rng):
+        g = random_regular(48, 4, rng)
+        value, side = karger_min_cut(g, rng)
+        assert 1 <= value <= 4
+        assert cut_size(g, side) == value
+
+    def test_trials_override(self, rng):
+        g = ring_graph(8)
+        value, __ = karger_min_cut(g, rng, trials=200)
+        assert value == 2
+
+
+class TestDistributedAgainstKarger:
+    def test_tree_packing_matches_karger(self, rng, params):
+        """The distributed (1+eps) min cut finds the exact value on
+        moderate instances."""
+        g = random_regular(32, 4, np.random.default_rng(211))
+        karger_value, __ = karger_min_cut(g, rng)
+        distributed = approximate_min_cut(
+            g, params=params, rng=rng, num_trees=6
+        )
+        assert distributed.cut_value <= 4
+        # (1 + eps) guarantee, empirically exact on these families:
+        assert distributed.cut_value >= karger_value
+        assert distributed.cut_value <= 2 * karger_value

@@ -1,0 +1,85 @@
+"""Tests for the cycle-property MST certificate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import kruskal
+from repro.baselines.mst_verify import verify_mst
+from repro.graphs import (
+    WeightedGraph,
+    complete_graph,
+    hypercube,
+    random_regular,
+    ring_graph,
+    with_random_weights,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(300)
+
+
+class TestCertificate:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kruskal_trees_verify(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = with_random_weights(random_regular(40, 4, rng), rng)
+        certificate = verify_mst(graph, kruskal(graph))
+        assert certificate.valid
+        assert certificate.violations == []
+        assert certificate.checked_edges == graph.num_edges - 39
+
+    def test_distributed_mst_verifies(self, weighted64, hierarchy64, params):
+        from repro.core import MstRunner
+
+        runner = MstRunner(
+            weighted64,
+            hierarchy=hierarchy64,
+            params=params,
+            rng=np.random.default_rng(301),
+        )
+        result = runner.run()
+        assert verify_mst(weighted64, result.edge_ids).valid
+
+    def test_wrong_tree_rejected(self, rng):
+        graph = with_random_weights(complete_graph(8), rng)
+        mst = kruskal(graph)
+        # Swap the lightest tree edge for the heaviest non-tree edge.
+        non_tree = [e for e in range(graph.num_edges) if e not in mst]
+        heaviest = max(non_tree, key=lambda e: graph.weights[e])
+        u, v = graph.edge_array[heaviest]
+        # Build a valid spanning tree containing `heaviest`.
+        from repro.baselines.centralized_mst import _UnionFind
+
+        uf = _UnionFind(8)
+        uf.union(int(u), int(v))
+        forced = [heaviest]
+        for eid in sorted(
+            range(graph.num_edges), key=lambda e: (graph.weights[e], e)
+        ):
+            a, b = graph.edge_array[eid]
+            if uf.union(int(a), int(b)):
+                forced.append(eid)
+        certificate = verify_mst(graph, sorted(forced))
+        assert not certificate.valid
+        assert certificate.violations
+
+    def test_non_spanning_tree_rejected(self, rng):
+        graph = with_random_weights(ring_graph(8), rng)
+        certificate = verify_mst(graph, [0, 1, 2])  # too few edges
+        assert not certificate.valid
+
+    def test_tie_break_uniqueness(self):
+        """Equal weights: only the id-minimal tree verifies."""
+        graph = WeightedGraph(
+            3, [(0, 1), (1, 2), (0, 2)], [1.0, 1.0, 1.0]
+        )
+        assert verify_mst(graph, [0, 1]).valid
+        assert not verify_mst(graph, [1, 2]).valid
+
+    def test_tree_graph_trivially_valid(self, rng):
+        graph = with_random_weights(hypercube(3), rng)
+        mst = kruskal(graph)
+        certificate = verify_mst(graph, mst)
+        assert certificate.valid

@@ -1,0 +1,111 @@
+"""Tests for the naive routing baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import bfs_store_and_forward, random_walk_delivery
+from repro.graphs import (
+    complete_graph,
+    hypercube,
+    path_graph,
+    random_regular,
+    ring_graph,
+    star_graph,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(160)
+
+
+class TestStoreAndForward:
+    def test_permutation_on_expander(self, rng):
+        g = random_regular(32, 4, rng)
+        perm = rng.permutation(32)
+        result = bfs_store_and_forward(g, np.arange(32), perm, rng)
+        assert result.delivered
+        assert result.rounds >= 1
+
+    def test_rounds_at_least_eccentricity(self, rng):
+        g = path_graph(10)
+        result = bfs_store_and_forward(
+            g, np.array([0]), np.array([9]), rng
+        )
+        assert result.rounds == 9
+        assert result.total_hops == 9
+
+    def test_zero_hop_packets(self, rng):
+        g = ring_graph(6)
+        result = bfs_store_and_forward(
+            g, np.arange(6), np.arange(6), rng
+        )
+        assert result.rounds == 0
+
+    def test_congestion_serializes(self, rng):
+        """Star hub: all packets cross the hub, so rounds ~ #packets."""
+        g = star_graph(10)
+        sources = np.arange(1, 10)
+        destinations = np.roll(sources, 1)
+        result = bfs_store_and_forward(g, sources, destinations, rng)
+        # 9 packets, all second hops leave the hub on distinct edges, but
+        # hub arrivals serialize per in-edge; still >= 2 rounds.
+        assert result.rounds >= 2
+        assert result.max_queue >= 1
+
+    def test_hot_edge_bottleneck(self, rng):
+        """Many packets over one bridge edge serialize linearly."""
+        g = path_graph(3)
+        k = 20
+        sources = np.zeros(k, dtype=np.int64)
+        destinations = np.full(k, 2, dtype=np.int64)
+        result = bfs_store_and_forward(g, sources, destinations, rng)
+        assert result.rounds >= k
+
+    def test_unreachable_raises(self, rng):
+        from repro.graphs import Graph
+
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="unreachable"):
+            bfs_store_and_forward(g, np.array([0]), np.array([3]), rng)
+
+
+class TestRandomWalkDelivery:
+    def test_complete_graph_fast(self, rng):
+        g = complete_graph(8)
+        result = random_walk_delivery(
+            g, np.arange(8), np.roll(np.arange(8), 1), rng
+        )
+        assert result.delivered == 1.0
+        assert result.mean_hitting_time > 0
+
+    def test_cap_respected(self, rng):
+        g = ring_graph(64)
+        result = random_walk_delivery(
+            g, np.array([0]), np.array([32]), rng, max_steps=5
+        )
+        assert result.rounds <= 5
+        assert result.delivered in (0.0, 1.0)
+
+    def test_already_there(self, rng):
+        g = hypercube(3)
+        result = random_walk_delivery(
+            g, np.array([2]), np.array([2]), rng
+        )
+        assert result.delivered == 1.0
+        assert result.rounds == 0
+
+    def test_hitting_time_grows_with_graph(self, rng):
+        small = random_walk_delivery(
+            complete_graph(8),
+            np.zeros(40, dtype=np.int64),
+            np.full(40, 7, dtype=np.int64),
+            rng,
+        )
+        large = random_walk_delivery(
+            complete_graph(32),
+            np.zeros(40, dtype=np.int64),
+            np.full(40, 31, dtype=np.int64),
+            rng,
+        )
+        assert large.mean_hitting_time > small.mean_hitting_time

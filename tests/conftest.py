@@ -1,0 +1,81 @@
+"""Shared fixtures: small cached graphs and prebuilt routing structures.
+
+Session-scoped so the expensive artifacts (hierarchies, routers) are
+constructed once and reused across the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Router, build_hierarchy
+from repro.graphs import (
+    erdos_renyi,
+    hypercube,
+    random_regular,
+    with_random_weights,
+)
+from repro.params import Params
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A module-wide RNG; tests needing isolation seed their own."""
+    return np.random.default_rng(20170725)  # PODC'17 started July 25.
+
+
+@pytest.fixture(scope="session")
+def expander64():
+    """A 6-regular random expander on 64 nodes."""
+    return random_regular(64, 6, np.random.default_rng(1))
+
+
+@pytest.fixture(scope="session")
+def expander128():
+    """A 6-regular random expander on 128 nodes."""
+    return random_regular(128, 6, np.random.default_rng(2))
+
+
+@pytest.fixture(scope="session")
+def weighted64(expander64):
+    """The 64-node expander with i.i.d. uniform weights."""
+    return with_random_weights(expander64, np.random.default_rng(3))
+
+
+@pytest.fixture(scope="session")
+def hypercube64():
+    """The 6-dimensional hypercube."""
+    return hypercube(6)
+
+
+@pytest.fixture(scope="session")
+def er64():
+    """A supercritical G(64, 0.15)."""
+    return erdos_renyi(64, 0.15, np.random.default_rng(4))
+
+
+@pytest.fixture(scope="session")
+def params():
+    """Default construction constants."""
+    return Params.default()
+
+
+@pytest.fixture(scope="session")
+def hierarchy64(expander64, params):
+    """A deep (beta=4) hierarchy on the 64-node expander."""
+    return build_hierarchy(
+        expander64, params, np.random.default_rng(5), beta=4
+    )
+
+
+@pytest.fixture(scope="session")
+def router64(hierarchy64, params):
+    """Router over the 64-node hierarchy."""
+    return Router(hierarchy64, params=params, rng=np.random.default_rng(6))
+
+
+@pytest.fixture(scope="session")
+def hierarchy128(expander128, params):
+    """A default-beta hierarchy on the 128-node expander."""
+    return build_hierarchy(expander128, params, np.random.default_rng(7))

@@ -1,0 +1,80 @@
+"""Tests for the pipelined min-collect primitive."""
+
+import numpy as np
+import pytest
+
+from repro.congest import Network
+from repro.congest.aggregation import pipelined_min_collect
+from repro.graphs import hypercube, path_graph, random_regular, star_graph
+
+
+class TestPipelinedCollect:
+    def test_collects_global_minima(self):
+        g = hypercube(4)
+        network = Network(g)
+        items = [[(float(v), v)] for v in range(16)]
+        collected, rounds = pipelined_min_collect(network, 0, items, 4)
+        assert collected == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+        assert rounds > 0
+
+    def test_empty_nodes_allowed(self):
+        g = path_graph(6)
+        network = Network(g)
+        items = [[] for _ in range(6)]
+        items[5] = [(7.0, 5)]
+        collected, __ = pipelined_min_collect(network, 0, items, 3)
+        assert collected == [(7.0, 5)]
+
+    def test_multiple_items_per_node(self):
+        g = star_graph(5)
+        network = Network(g)
+        items = [
+            [(float(10 * v + j), v) for j in range(3)] for v in range(5)
+        ]
+        collected, __ = pipelined_min_collect(network, 0, items, 5)
+        assert collected[0] == (0.0, 0)
+        assert len(collected) == 5
+
+    def test_limit_respected(self):
+        g = hypercube(3)
+        network = Network(g)
+        items = [[(float(v), v)] for v in range(8)]
+        collected, __ = pipelined_min_collect(network, 2, items, 2)
+        assert collected == [(0.0, 0), (1.0, 1)]
+
+    def test_pipelining_beats_sequential(self):
+        """k items over a path: rounds ~ D + k, far below D * k."""
+        n, k = 24, 12
+        g = path_graph(n)
+        network = Network(g)
+        items = [[] for _ in range(n)]
+        for j in range(k):
+            items[n - 1 - j].append((float(j), j))
+        collected, rounds = pipelined_min_collect(network, 0, items, k)
+        assert len(collected) == k
+        diameter = n - 1
+        assert rounds <= 3 * (diameter + k)
+        assert rounds < diameter * k / 2
+
+    def test_root_with_all_items(self):
+        g = path_graph(4)
+        network = Network(g)
+        items = [[(1.0, 0), (2.0, 0)], [], [], []]
+        collected, __ = pipelined_min_collect(network, 0, items, 2)
+        assert collected == [(1.0, 0), (2.0, 0)]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_regular(24, 4, rng)
+        network = Network(g)
+        all_items = []
+        items = [[] for _ in range(24)]
+        for v in range(24):
+            for __ in range(int(rng.integers(0, 3))):
+                item = (float(np.round(rng.random(), 6)), v)
+                items[v].append(item)
+                all_items.append(item)
+        limit = 5
+        collected, __ = pipelined_min_collect(network, 0, items, limit)
+        assert collected == sorted(all_items)[:limit]

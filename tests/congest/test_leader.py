@@ -1,0 +1,69 @@
+"""Tests for leader election and seed dissemination."""
+
+import numpy as np
+import pytest
+
+from repro.congest import Network
+from repro.congest.leader import disseminate_seed, elect_leader
+from repro.graphs import hypercube, path_graph, random_regular, ring_graph
+
+
+class TestElection:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ring_graph(12),
+            lambda: hypercube(4),
+            lambda: path_graph(10),
+            lambda: random_regular(32, 4, np.random.default_rng(0)),
+        ],
+    )
+    def test_minimum_wins(self, factory):
+        g = factory()
+        leader, rounds = elect_leader(Network(g))
+        assert leader == 0
+        assert rounds >= 1
+
+    def test_rounds_scale_with_diameter(self):
+        short, __ = 0, 0
+        __, rounds_short = elect_leader(Network(path_graph(5)))
+        __, rounds_long = elect_leader(Network(path_graph(40)))
+        assert rounds_long > rounds_short
+
+    def test_single_node(self):
+        from repro.graphs import Graph
+
+        leader, rounds = elect_leader(Network(Graph(1, [])))
+        assert leader == 0
+
+
+class TestSeedDissemination:
+    def test_everyone_gets_words(self):
+        g = hypercube(4)
+        network = Network(g)
+        seed, rounds = disseminate_seed(
+            network, np.random.default_rng(1), words=3
+        )
+        assert len(seed) == 3
+        assert all(0 <= word < 2**31 for word in seed)
+        assert rounds >= 3  # election + 3 broadcasts
+
+    def test_rounds_scale_with_words(self):
+        g = ring_graph(16)
+        __, rounds_small = disseminate_seed(
+            Network(g), np.random.default_rng(2), words=1
+        )
+        __, rounds_large = disseminate_seed(
+            Network(g), np.random.default_rng(2), words=6
+        )
+        assert rounds_large > rounds_small
+
+    def test_deterministic_given_rng(self):
+        g = hypercube(3)
+        seed_a, __ = disseminate_seed(
+            Network(g), np.random.default_rng(3), words=2
+        )
+        seed_b, __ = disseminate_seed(
+            Network(g), np.random.default_rng(3), words=2
+        )
+        assert seed_a == seed_b

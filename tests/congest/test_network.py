@@ -1,0 +1,169 @@
+"""Tests for the CONGEST simulator and its primitives."""
+
+import numpy as np
+import pytest
+
+from repro.congest import (
+    CongestViolation,
+    Network,
+    NodeAlgorithm,
+    broadcast_value,
+    build_bfs_tree,
+)
+from repro.graphs import (
+    grid_torus,
+    hypercube,
+    path_graph,
+    random_regular,
+    ring_graph,
+    with_random_weights,
+)
+
+
+class _Silent(NodeAlgorithm):
+    def initialize(self):
+        self.finished = True
+        return {}
+
+    def receive(self, round_number, inbox):
+        return {}
+
+
+class _SendOnce(NodeAlgorithm):
+    """Node 0 sends one message to each neighbour in round 1."""
+
+    def __init__(self, context):
+        super().__init__(context)
+        self.received = {}
+
+    def initialize(self):
+        self.finished = True
+        if self.context.node_id == 0:
+            return {w: ("hi", self.context.node_id) for w in self.context.neighbors}
+        return {}
+
+    def receive(self, round_number, inbox):
+        self.received.update(inbox)
+        return {}
+
+
+class TestNetworkMechanics:
+    def test_silent_network_zero_rounds(self):
+        net = Network(ring_graph(6))
+        stats = net.run([_Silent(net.context(v)) for v in range(6)])
+        assert stats.rounds == 0
+        assert stats.messages == 0
+
+    def test_messages_delivered_next_round(self):
+        g = ring_graph(6)
+        net = Network(g)
+        algorithms = [_SendOnce(net.context(v)) for v in range(6)]
+        stats = net.run(algorithms)
+        assert stats.rounds == 1
+        assert stats.messages == 2
+        assert 0 in algorithms[1].received
+        assert 0 in algorithms[5].received
+
+    def test_wrong_algorithm_count(self):
+        net = Network(ring_graph(6))
+        with pytest.raises(ValueError):
+            net.run([_Silent(net.context(0))])
+
+    def test_non_neighbor_send_rejected(self):
+        class Bad(_Silent):
+            def initialize(self):
+                self.finished = True
+                return {3: ("x",)}
+
+        net = Network(path_graph(5))
+        with pytest.raises(CongestViolation, match="non-neighbor"):
+            net.run([Bad(net.context(v)) for v in range(5)])
+
+    def test_oversized_payload_rejected(self):
+        class Chatty(_Silent):
+            def initialize(self):
+                self.finished = True
+                if self.context.node_id == 0:
+                    return {1: tuple(range(10))}
+                return {}
+
+        net = Network(path_graph(3))
+        with pytest.raises(CongestViolation, match="word"):
+            net.run([Chatty(net.context(v)) for v in range(3)])
+
+    def test_non_tuple_payload_rejected(self):
+        class Wrong(_Silent):
+            def initialize(self):
+                self.finished = True
+                if self.context.node_id == 0:
+                    return {1: "not a tuple"}
+                return {}
+
+        net = Network(path_graph(3))
+        with pytest.raises(CongestViolation, match="non-tuple"):
+            net.run([Wrong(net.context(v)) for v in range(3)])
+
+    def test_nontermination_detected(self):
+        class Forever(NodeAlgorithm):
+            def initialize(self):
+                return {self.context.neighbors[0]: ("ping",)}
+
+            def receive(self, round_number, inbox):
+                return {self.context.neighbors[0]: ("ping",)}
+
+        net = Network(ring_graph(4))
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            net.run(
+                [Forever(net.context(v)) for v in range(4)], max_rounds=50
+            )
+
+    def test_context_weights(self):
+        g = with_random_weights(ring_graph(5), np.random.default_rng(0))
+        net = Network(g)
+        ctx = net.context(0)
+        assert ctx.edge_weights is not None
+        assert len(ctx.edge_weights) == ctx.degree == 2
+
+    def test_context_unweighted(self):
+        net = Network(ring_graph(5))
+        assert net.context(0).edge_weights is None
+
+
+class TestBfs:
+    @pytest.mark.parametrize(
+        "factory", [lambda: ring_graph(12), lambda: hypercube(4),
+                    lambda: grid_torus(4, 4)]
+    )
+    def test_depths_match_bfs_distances(self, factory):
+        g = factory()
+        net = Network(g)
+        parents, depths, rounds = build_bfs_tree(net, 0)
+        expected = g.bfs_distances(0)
+        assert depths == expected.tolist()
+        assert rounds <= int(expected.max()) + 2
+
+    def test_parents_consistent(self):
+        g = random_regular(32, 4, np.random.default_rng(1))
+        net = Network(g)
+        parents, depths, __ = build_bfs_tree(net, 5)
+        for v in range(32):
+            if v == 5:
+                assert parents[v] == 5
+            else:
+                assert depths[v] == depths[parents[v]] + 1
+                assert g.has_edge(v, parents[v])
+
+
+class TestBroadcast:
+    def test_everyone_learns_value(self):
+        g = hypercube(4)
+        net = Network(g)
+        values, rounds = broadcast_value(net, 3, ("seed", 42))
+        assert all(v == ("seed", 42) for v in values)
+        assert rounds <= g.diameter() + 2
+
+    def test_broadcast_rounds_scale_with_diameter(self):
+        g = path_graph(20)
+        net = Network(g)
+        __, rounds = broadcast_value(net, 0, 7)
+        assert rounds >= 19

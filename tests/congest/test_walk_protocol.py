@@ -1,0 +1,94 @@
+"""Tests for the message-passing walk protocol (forward + reversal)."""
+
+import numpy as np
+import pytest
+
+from repro.congest.walk_protocol import run_walk_protocol
+from repro.graphs import hypercube, random_regular, ring_graph, star_graph
+
+
+class TestForwardPass:
+    def test_endpoints_assigned(self):
+        g = hypercube(4)
+        starts = np.zeros(20, dtype=np.int64)
+        outcome = run_walk_protocol(g, starts, 8, seed=1)
+        assert np.all(outcome.endpoints >= 0)
+        assert np.all(outcome.endpoints < 16)
+
+    def test_zero_length_stays_home(self):
+        g = ring_graph(6)
+        starts = np.arange(6)
+        outcome = run_walk_protocol(g, starts, 0, seed=2)
+        assert np.array_equal(outcome.endpoints, starts)
+        assert np.array_equal(outcome.returned_to, starts)
+
+    def test_endpoints_near_stationary(self):
+        """Long-run endpoint distribution is degree-proportional."""
+        g = star_graph(5)
+        starts = np.repeat(np.arange(5), 300)
+        outcome = run_walk_protocol(g, starts, 50, seed=3)
+        counts = np.bincount(outcome.endpoints, minlength=5)
+        stationary = g.degrees / (2 * g.num_edges)
+        empirical = counts / counts.sum()
+        assert np.abs(empirical - stationary).max() < 0.06
+
+    def test_rounds_at_least_walk_length(self):
+        g = hypercube(3)
+        outcome = run_walk_protocol(
+            g, np.zeros(4, dtype=np.int64), 10, seed=4
+        )
+        # Lazy walks move ~half the steps; queueing adds more.
+        assert outcome.forward_rounds >= 1
+
+
+class TestReversal:
+    """The paper's key mechanic: every token returns to its origin."""
+
+    @pytest.mark.parametrize(
+        "factory,walks,length",
+        [
+            (lambda: ring_graph(10), 30, 12),
+            (lambda: hypercube(4), 50, 10),
+            (lambda: star_graph(8), 40, 15),
+            (lambda: random_regular(24, 4, np.random.default_rng(5)), 60, 8),
+        ],
+    )
+    def test_all_tokens_return(self, factory, walks, length):
+        g = factory()
+        rng = np.random.default_rng(6)
+        starts = rng.integers(0, g.num_nodes, size=walks)
+        outcome = run_walk_protocol(g, starts, length, seed=7)
+        assert np.array_equal(outcome.returned_to, starts)
+
+    def test_reverse_no_slower_than_forward_by_much(self):
+        g = hypercube(4)
+        starts = np.zeros(32, dtype=np.int64)
+        outcome = run_walk_protocol(g, starts, 12, seed=8)
+        # The reverse pass retraces the same edges; congestion is
+        # comparable, so round counts should be of the same order.
+        assert outcome.reverse_rounds <= 5 * (outcome.forward_rounds + 5)
+
+    def test_messages_counted(self):
+        g = ring_graph(8)
+        outcome = run_walk_protocol(
+            g, np.arange(8, dtype=np.int64), 6, seed=9
+        )
+        assert outcome.messages > 0
+
+
+class TestCongestionBehaviour:
+    def test_many_tokens_one_origin_queue(self):
+        """Tokens funnel through 2 edges: rounds scale with token count."""
+        g = ring_graph(12)
+        few = run_walk_protocol(g, np.zeros(4, dtype=np.int64), 6, seed=10)
+        many = run_walk_protocol(g, np.zeros(64, dtype=np.int64), 6, seed=10)
+        assert many.forward_rounds > few.forward_rounds
+
+    def test_degree_proportional_load_is_mild(self):
+        """Stationary-start batches keep queues short (Lemma 2.4)."""
+        g = random_regular(24, 4, np.random.default_rng(11))
+        starts = np.repeat(np.arange(24), 4)  # k=1 per-degree
+        outcome = run_walk_protocol(g, starts, 10, seed=12)
+        # With k=1 the schedule should be close to the walk length, not
+        # the token count.
+        assert outcome.forward_rounds < 12 * 10

@@ -1,0 +1,63 @@
+"""Tests for the round ledger."""
+
+import pytest
+
+from repro.core import RoundLedger
+
+
+class TestLedger:
+    def test_empty_total(self):
+        assert RoundLedger().total() == 0.0
+
+    def test_charge_accumulates(self):
+        ledger = RoundLedger()
+        ledger.charge("a", 5)
+        ledger.charge("a", 7)
+        ledger.charge("b", 1)
+        assert ledger.total() == 13
+        assert ledger.by_label() == {"a": 12.0, "b": 1.0}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RoundLedger().charge("x", -1)
+
+    def test_detail_stored(self):
+        ledger = RoundLedger()
+        ledger.charge("x", 1, packets=3)
+        assert ledger.charges[0].detail == {"packets": 3}
+
+    def test_by_prefix(self):
+        ledger = RoundLedger()
+        ledger.charge("route/hop", 2)
+        ledger.charge("route/bottom", 3)
+        ledger.charge("mst/it0", 4)
+        assert ledger.by_prefix() == {"route": 5.0, "mst": 4.0}
+
+    def test_merge(self):
+        a, b = RoundLedger(), RoundLedger()
+        a.charge("x", 1)
+        b.charge("y", 2)
+        a.merge(b)
+        assert a.total() == 3
+
+    def test_label_order_preserved(self):
+        ledger = RoundLedger()
+        for label in ("c", "a", "b"):
+            ledger.charge(label, 1)
+        assert list(ledger.by_label()) == ["c", "a", "b"]
+
+    def test_format_contains_total(self):
+        ledger = RoundLedger()
+        ledger.charge("x", 2)
+        assert "TOTAL" in ledger.format()
+        assert "x" in ledger.format()
+
+    def test_repr(self):
+        ledger = RoundLedger()
+        ledger.charge("x", 2)
+        assert "entries=1" in repr(ledger)
+
+    def test_zero_charge_allowed(self):
+        ledger = RoundLedger()
+        ledger.charge("noop", 0)
+        assert ledger.total() == 0.0

@@ -1,0 +1,90 @@
+"""Property-based tests of the full routing pipeline on random graphs.
+
+Hypothesis drives random connected graphs and random demands through
+hierarchy construction and routing; the invariant under test is absolute:
+every packet is delivered to its destination's host.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Router, build_hierarchy
+from repro.graphs import Graph, random_regular
+from repro.params import Params
+
+pipeline_settings = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_connected_graphs(draw):
+    """Connected graphs of 12-40 nodes with decent minimum degree."""
+    n = draw(st.integers(min_value=12, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = np.random.default_rng(seed)
+    # Random tree backbone + random chords for connectivity + expansion.
+    edges = set()
+    for v in range(1, n):
+        parent = int(rng.integers(0, v))
+        edges.add((parent, v))
+    extra = draw(st.integers(min_value=n, max_value=3 * n))
+    for _ in range(extra):
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges)), seed
+
+
+class TestRoutingDeliveryProperty:
+    @pipeline_settings
+    @given(small_connected_graphs(), st.integers(min_value=0, max_value=100))
+    def test_random_graph_random_demand_delivers(self, graph_seed, demand_seed):
+        graph, seed = graph_seed
+        params = Params.default()
+        rng = np.random.default_rng(seed)
+        hierarchy = build_hierarchy(graph, params, rng)
+        router = Router(hierarchy, params=params, rng=rng)
+        demand_rng = np.random.default_rng(demand_seed)
+        count = int(demand_rng.integers(1, 2 * graph.num_nodes))
+        sources = demand_rng.integers(0, graph.num_nodes, size=count)
+        destinations = demand_rng.integers(0, graph.num_nodes, size=count)
+        result = router.route(sources, destinations)
+        assert result.delivered
+        hosts = hierarchy.g0.virtual.host[result.final_vnodes]
+        assert np.array_equal(hosts, destinations)
+
+    @pipeline_settings
+    @given(st.integers(min_value=0, max_value=50))
+    def test_permutation_on_expander_seeds(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = random_regular(32, 4, rng)
+        params = Params.default()
+        hierarchy = build_hierarchy(graph, params, rng)
+        router = Router(hierarchy, params=params, rng=rng)
+        perm = rng.permutation(32)
+        assert router.route(np.arange(32), perm).delivered
+
+
+class TestCostMonotonicityProperty:
+    @pipeline_settings
+    @given(st.integers(min_value=0, max_value=20))
+    def test_costs_always_positive_and_composed(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = random_regular(32, 4, rng)
+        params = Params.default()
+        hierarchy = build_hierarchy(graph, params, rng)
+        router = Router(hierarchy, params=params, rng=rng)
+        result = router.route(
+            rng.integers(0, 32, size=16), rng.integers(0, 32, size=16)
+        )
+        assert result.prep_rounds >= 0
+        assert result.cost_g0_rounds >= 0
+        assert result.cost_rounds == pytest.approx(
+            result.prep_rounds
+            + result.cost_g0_rounds * hierarchy.g0.round_cost
+        )

@@ -1,0 +1,152 @@
+"""Tests for portal discovery (Lemma 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_portals
+from repro.core.portals import _boundary_nodes
+from repro.graphs import Graph
+from repro.params import Params
+
+
+@pytest.fixture(scope="module")
+def portals64(hierarchy64, params):
+    return build_portals(hierarchy64, params, np.random.default_rng(60))
+
+
+class TestBoundaryNodes:
+    def test_simple_boundary(self):
+        # Two parts {0,1} and {2,3} with edges 1-2 crossing.
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        parts = np.array([0, 0, 1, 1])
+        boundary = _boundary_nodes(g, parts, beta=2)
+        assert set(boundary[(0, 1)].tolist()) == {1}
+        assert set(boundary[(1, 0)].tolist()) == {2}
+
+    def test_cross_parent_edges_ignored(self):
+        # Parts 0 and 2 have different parents when beta=2 (0//2 != 2//2).
+        g = Graph(2, [(0, 1)])
+        parts = np.array([0, 2])
+        boundary = _boundary_nodes(g, parts, beta=2)
+        assert boundary == {}
+
+    def test_empty_graph(self):
+        g = Graph(3, [])
+        assert _boundary_nodes(g, np.zeros(3, dtype=np.int64), 2) == {}
+
+
+class TestPortalTables:
+    def test_full_coverage(self, portals64, hierarchy64):
+        beta = hierarchy64.beta
+        for level in range(1, hierarchy64.depth + 1):
+            table = portals64.tables[level - 1]
+            parts = hierarchy64.parts_at(level)
+            own = parts % beta
+            for j in range(beta):
+                needed = own != j
+                assert np.all(table[needed, j] >= 0), (level, j)
+
+    def test_own_sibling_unset(self, portals64, hierarchy64):
+        beta = hierarchy64.beta
+        for level in range(1, hierarchy64.depth + 1):
+            table = portals64.tables[level - 1]
+            parts = hierarchy64.parts_at(level)
+            own = parts % beta
+            for j in range(beta):
+                mine = own == j
+                assert np.all(table[mine, j] == -1)
+
+    def test_portal_in_same_part(self, portals64, hierarchy64):
+        beta = hierarchy64.beta
+        for level in range(1, hierarchy64.depth + 1):
+            table = portals64.tables[level - 1]
+            parts = hierarchy64.parts_at(level)
+            for j in range(beta):
+                holders = np.flatnonzero(table[:, j] >= 0)
+                assert np.array_equal(
+                    parts[table[holders, j]], parts[holders]
+                )
+
+    def test_portal_has_boundary_edge(self, portals64, hierarchy64):
+        """Every portal really has a prev-overlay edge into the target."""
+        beta = hierarchy64.beta
+        for level in range(1, hierarchy64.depth + 1):
+            table = portals64.tables[level - 1]
+            parts = hierarchy64.parts_at(level)
+            overlay_prev = hierarchy64.overlay_at(level - 1)
+            for j in range(beta):
+                holders = np.flatnonzero(table[:, j] >= 0)
+                sample = holders[:: max(1, holders.shape[0] // 20)]
+                for x in sample:
+                    portal = int(table[x, j])
+                    target_part = (parts[x] // beta) * beta + j
+                    heads = overlay_prev.neighbors(portal)
+                    assert np.any(parts[heads] == target_part)
+
+    def test_vectorized_lookup(self, portals64):
+        vnodes = np.array([0, 1, 2])
+        siblings = np.array([1, 2, 3])
+        looked = portals64.portals_for(1, vnodes, siblings)
+        for i in range(3):
+            assert looked[i] == portals64.portal(
+                1, int(vnodes[i]), int(siblings[i])
+            )
+
+    def test_cost_charged(self, hierarchy64, params):
+        from repro.core import RoundLedger
+
+        ledger = RoundLedger()
+        build_portals(hierarchy64, params, np.random.default_rng(61), ledger)
+        labels = ledger.by_label()
+        assert any(label.startswith("portals/level") for label in labels)
+
+    def test_boundary_counts_recorded(self, portals64, hierarchy64):
+        assert len(portals64.boundary_counts) == hierarchy64.depth
+        assert all(
+            count > 0
+            for level in portals64.boundary_counts
+            for count in level.values()
+        )
+
+
+class TestWalkVariant:
+    def test_walk_portals_cover(self, hierarchy64):
+        params = Params.default().with_overrides(use_walk_portals=True)
+        portals = build_portals(
+            hierarchy64, params, np.random.default_rng(62)
+        )
+        beta = hierarchy64.beta
+        table = portals.tables[0]
+        parts = hierarchy64.parts_at(1)
+        own = parts % beta
+        for j in range(beta):
+            needed = own != j
+            coverage = np.mean(table[needed, j] >= 0)
+            assert coverage > 0.95, (j, coverage)
+
+    def test_walk_and_sampled_distributions_agree(self, hierarchy64):
+        """Both variants pick uniform boundary nodes: compare histograms."""
+        rng = np.random.default_rng(63)
+        sampled = build_portals(
+            hierarchy64,
+            Params.default(),
+            rng,
+        )
+        walked = build_portals(
+            hierarchy64,
+            Params.default().with_overrides(
+                use_walk_portals=True, portal_walks_factor=6.0
+            ),
+            rng,
+        )
+        parts = hierarchy64.parts_at(1)
+        beta = hierarchy64.beta
+        part0 = np.flatnonzero(parts == parts[0])
+        target = (int(parts[0]) + 1) % beta
+        a = sampled.tables[0][part0, target]
+        b = walked.tables[0][part0, target]
+        a, b = a[a >= 0], b[b >= 0]
+        # Portal supports should largely coincide.
+        support_a, support_b = set(a.tolist()), set(b.tolist())
+        overlap = len(support_a & support_b) / max(1, len(support_a | support_b))
+        assert overlap > 0.3

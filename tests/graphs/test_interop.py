@@ -1,0 +1,109 @@
+"""Tests for NetworkX conversion and JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    WeightedGraph,
+    from_json,
+    from_networkx,
+    hypercube,
+    load_graph,
+    random_regular,
+    ring_graph,
+    save_graph,
+    to_json,
+    to_networkx,
+    with_random_weights,
+)
+
+
+class TestNetworkx:
+    def test_roundtrip_unweighted(self):
+        g = hypercube(4)
+        back = from_networkx(to_networkx(g))
+        assert sorted(back.edges()) == sorted(g.edges())
+        assert back.num_nodes == g.num_nodes
+
+    def test_roundtrip_weighted(self):
+        g = with_random_weights(ring_graph(10), np.random.default_rng(0))
+        back = from_networkx(to_networkx(g))
+        assert isinstance(back, WeightedGraph)
+        assert sorted(
+            (min(u, v), max(u, v), round(float(w), 9))
+            for (u, v), w in zip(back.edges(), back.weights)
+        ) == sorted(
+            (min(u, v), max(u, v), round(float(w), 9))
+            for (u, v), w in zip(g.edges(), g.weights)
+        )
+
+    def test_multigraph_roundtrip(self):
+        g = Graph(3, [(0, 1), (0, 1), (1, 2)])
+        nx_graph = to_networkx(g)
+        assert nx_graph.number_of_edges() == 3
+        back = from_networkx(nx_graph)
+        assert back.num_edges == 3
+
+    def test_from_networkx_relabels(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("alice", "bob")
+        nx_graph.add_edge("bob", "carol")
+        g = from_networkx(nx_graph)
+        assert g.num_nodes == 3
+        assert g.is_connected()
+
+    def test_from_networkx_rejects_self_loop(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 0)
+        with pytest.raises(ValueError, match="self-loop"):
+            from_networkx(nx_graph)
+
+    def test_properties_preserved(self):
+        import networkx as nx
+
+        g = random_regular(32, 4, np.random.default_rng(1))
+        nx_graph = to_networkx(g)
+        assert nx.is_connected(nx_graph)
+        assert dict(nx_graph.degree())[0] == 4
+
+
+class TestJson:
+    def test_roundtrip_unweighted(self):
+        g = hypercube(3)
+        back = from_json(to_json(g))
+        assert sorted(back.edges()) == sorted(g.edges())
+        assert not isinstance(back, WeightedGraph)
+
+    def test_roundtrip_weighted(self):
+        g = with_random_weights(ring_graph(8), np.random.default_rng(2))
+        back = from_json(to_json(g))
+        assert isinstance(back, WeightedGraph)
+        assert np.allclose(back.weights, g.weights)
+
+    def test_file_roundtrip(self, tmp_path):
+        g = with_random_weights(hypercube(3), np.random.default_rng(3))
+        path = str(tmp_path / "graph.json")
+        save_graph(g, path)
+        back = load_graph(path)
+        assert sorted(back.edges()) == sorted(g.edges())
+        assert np.allclose(back.weights, g.weights)
+
+    def test_empty_graph(self):
+        g = Graph(5, [])
+        back = from_json(to_json(g))
+        assert back.num_nodes == 5
+        assert back.num_edges == 0
+
+
+class TestMultiEdgeDetection:
+    def test_has_multi_edges(self):
+        from repro.graphs.interop import _has_multi_edges
+
+        assert _has_multi_edges(Graph(2, [(0, 1), (0, 1)]))
+        assert not _has_multi_edges(Graph(3, [(0, 1), (1, 2)]))
+        assert not _has_multi_edges(Graph(3, []))

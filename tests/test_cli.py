@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import load_graph, ring_graph, save_graph, with_random_weights
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = str(tmp_path / "graph.json")
+    save_graph(ring_graph(24), path)
+    return path
+
+
+@pytest.fixture()
+def weighted_file(tmp_path):
+    path = str(tmp_path / "weighted.json")
+    graph = with_random_weights(ring_graph(16), np.random.default_rng(0))
+    save_graph(graph, path)
+    return path
+
+
+class TestGenerate:
+    def test_generate_expander(self, tmp_path, capsys):
+        out = str(tmp_path / "expander.json")
+        assert main(["generate", "expander", "32", "-o", out]) == 0
+        graph = load_graph(out)
+        assert graph.num_nodes == 32
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_weighted(self, tmp_path):
+        out = str(tmp_path / "weighted.json")
+        assert main(
+            ["generate", "ring", "16", "-o", out, "--weighted"]
+        ) == 0
+        from repro.graphs import WeightedGraph
+
+        assert isinstance(load_graph(out), WeightedGraph)
+
+    def test_generate_deterministic(self, tmp_path):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        main(["generate", "expander", "32", "-o", a, "--seed", "7"])
+        main(["generate", "expander", "32", "-o", b, "--seed", "7"])
+        assert sorted(load_graph(a).edges()) == sorted(load_graph(b).edges())
+
+    def test_unknown_family_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", "16", "-o", str(tmp_path / "x")])
+
+
+class TestInfo:
+    def test_info_output(self, graph_file, capsys):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "tau_mix" in out
+        assert "connected         True" in out
+
+    def test_info_weighted(self, weighted_file, capsys):
+        assert main(["info", weighted_file]) == 0
+        assert "weights" in capsys.readouterr().out
+
+
+class TestRoute:
+    def test_route_permutation(self, tmp_path, capsys):
+        out = str(tmp_path / "expander.json")
+        main(["generate", "expander", "48", "-o", out])
+        assert main(["route", out, "--seed", "1"]) == 0
+        text = capsys.readouterr().out
+        assert "delivered    True" in text
+
+    def test_route_explicit_packets(self, tmp_path, capsys):
+        out = str(tmp_path / "expander.json")
+        main(["generate", "expander", "48", "-o", out])
+        assert main(["route", out, "--packets", "20"]) == 0
+        assert "packets      20" in capsys.readouterr().out
+
+
+class TestMst:
+    def test_mst_weighted(self, tmp_path, capsys):
+        out = str(tmp_path / "g.json")
+        main(["generate", "expander", "32", "-o", out, "--weighted"])
+        assert main(["mst", out]) == 0
+        assert "verified     True" in capsys.readouterr().out
+
+    def test_mst_unweighted_gets_weights(self, graph_file, capsys):
+        assert main(["mst", graph_file]) == 0
+        assert "attaching" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestMincutCommand:
+    def test_mincut_runs(self, tmp_path, capsys):
+        out = str(tmp_path / "ring.json")
+        main(["generate", "ring", "12", "-o", out])
+        assert main(["mincut", out, "--trees", "3"]) == 0
+        text = capsys.readouterr().out
+        assert "cut value    2" in text
+
+
+class TestCliqueCommand:
+    def test_clique_runs(self, tmp_path, capsys):
+        out = str(tmp_path / "exp.json")
+        main(["generate", "expander", "32", "-o", out])
+        assert main(["clique", out, "--sample", "0.3"]) == 0
+        assert "delivered    True" in capsys.readouterr().out

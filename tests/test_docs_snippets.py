@@ -1,0 +1,35 @@
+"""The tutorial's code blocks must run (like the README's).
+
+Blocks share one namespace in order, mirroring a reader following along.
+Sizes in the tutorial are moderate, so this is the slowest doc test —
+still well under a minute.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+TUTORIAL = Path(__file__).resolve().parents[1] / "docs" / "tutorial.md"
+
+
+def _blocks() -> list[str]:
+    text = TUTORIAL.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestTutorial:
+    def test_tutorial_exists(self):
+        assert TUTORIAL.exists()
+        assert len(_blocks()) >= 5
+
+    def test_blocks_execute_in_order(self):
+        namespace: dict = {}
+        for index, block in enumerate(_blocks()):
+            exec(
+                compile(block, f"tutorial block {index}", "exec"),
+                namespace,
+            )
+        # The walkthrough must have produced a delivered routing result.
+        assert namespace["result"].delivered
+        assert namespace["cut"].cut_value >= 1

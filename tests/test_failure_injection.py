@@ -1,0 +1,134 @@
+"""Robustness: pathological topologies and adversarial inputs.
+
+The paper's guarantees assume good expansion; these tests push the
+implementation onto graphs with terrible expansion, trivial degrees, or
+degenerate sizes and require it to either work correctly (at whatever
+cost) or fail loudly with a diagnosable error — never deliver wrong
+results silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Params, Router, build_hierarchy, minimum_spanning_tree
+from repro.baselines import kruskal
+from repro.graphs import (
+    Graph,
+    WeightedGraph,
+    binary_tree,
+    path_graph,
+    star_graph,
+    with_random_weights,
+)
+
+
+class TestDegenerateSizes:
+    def test_two_node_graph_routes(self, params):
+        graph = Graph(2, [(0, 1)])
+        rng = np.random.default_rng(260)
+        hierarchy = build_hierarchy(graph, params, rng)
+        router = Router(hierarchy, params=params, rng=rng)
+        result = router.route(np.array([0, 1]), np.array([1, 0]))
+        assert result.delivered
+
+    def test_two_node_mst(self, params):
+        graph = WeightedGraph(2, [(0, 1)], [3.5])
+        rng = np.random.default_rng(261)
+        result = minimum_spanning_tree(graph, params, rng)
+        assert result.edge_ids == [0]
+        assert result.total_weight == pytest.approx(3.5)
+
+    def test_triangle_mst(self, params):
+        graph = WeightedGraph(
+            3, [(0, 1), (1, 2), (0, 2)], [1.0, 2.0, 3.0]
+        )
+        rng = np.random.default_rng(262)
+        result = minimum_spanning_tree(graph, params, rng)
+        assert result.edge_ids == [0, 1]
+
+
+class TestTerribleExpansion:
+    """Trees and paths: conductance ~1/n, mixing time ~n^2."""
+
+    def test_binary_tree_pipeline(self, params):
+        graph = binary_tree(31)
+        rng = np.random.default_rng(263)
+        hierarchy = build_hierarchy(graph, params, rng)
+        router = Router(hierarchy, params=params, rng=rng)
+        perm = rng.permutation(31)
+        assert router.route(np.arange(31), perm).delivered
+
+    def test_path_graph_mst(self, params):
+        rng = np.random.default_rng(264)
+        graph = with_random_weights(path_graph(20), rng)
+        result = minimum_spanning_tree(graph, params, rng)
+        assert result.edge_ids == kruskal(graph)
+
+    def test_star_graph_pipeline(self, params):
+        """The hub simulates n-1 virtual nodes; leaves simulate one."""
+        graph = star_graph(24)
+        rng = np.random.default_rng(265)
+        hierarchy = build_hierarchy(graph, params, rng)
+        # Hub hosts half of all virtual nodes.
+        hub_vnodes = int(np.sum(hierarchy.g0.virtual.host == 0))
+        assert hub_vnodes == 23
+        router = Router(hierarchy, params=params, rng=rng)
+        perm = rng.permutation(24)
+        assert router.route(np.arange(24), perm).delivered
+
+
+class TestMultigraphs:
+    def test_multigraph_pipeline(self, params):
+        """Parallel edges: more virtual nodes on the doubled pair."""
+        edges = [(0, 1), (0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]
+        graph = Graph(4, edges)
+        rng = np.random.default_rng(266)
+        hierarchy = build_hierarchy(graph, params, rng)
+        assert hierarchy.g0.virtual.count == 12
+        router = Router(hierarchy, params=params, rng=rng)
+        result = router.route(
+            np.array([0, 1, 2, 3]), np.array([2, 3, 0, 1])
+        )
+        assert result.delivered
+
+    def test_multigraph_mst_uses_cheaper_parallel_edge(self, params):
+        edges = [(0, 1), (0, 1), (1, 2)]
+        graph = WeightedGraph(3, edges, [5.0, 1.0, 2.0])
+        rng = np.random.default_rng(267)
+        result = minimum_spanning_tree(graph, params, rng)
+        assert result.edge_ids == [1, 2]
+
+
+class TestAdversarialDemand:
+    def test_maximal_skew_with_phasing(self, router64):
+        """Every packet to one node, repeated: heavy phasing, delivered."""
+        sources = np.tile(np.arange(64), 3)
+        destinations = np.full(192, 17, dtype=np.int64)
+        result = router64.route(sources, destinations)
+        assert result.delivered
+        assert result.num_phases > 1
+
+    def test_pathological_weights_mst(self, params, expander64, hierarchy64):
+        """Weights spanning 12 orders of magnitude."""
+        rng = np.random.default_rng(268)
+        weights = 10.0 ** rng.uniform(-6, 6, size=expander64.num_edges)
+        graph = WeightedGraph(
+            expander64.num_nodes, list(expander64.edges()), weights
+        )
+        result = minimum_spanning_tree(
+            graph, params, rng, hierarchy=hierarchy64
+        )
+        assert result.edge_ids == kruskal(graph)
+
+    def test_negative_weights_mst(self, params, expander64, hierarchy64):
+        """Negative weights are legal for MST."""
+        rng = np.random.default_rng(269)
+        weights = rng.uniform(-10, -1, size=expander64.num_edges)
+        graph = WeightedGraph(
+            expander64.num_nodes, list(expander64.edges()), weights
+        )
+        result = minimum_spanning_tree(
+            graph, params, rng, hierarchy=hierarchy64
+        )
+        assert result.edge_ids == kruskal(graph)
+        assert result.total_weight < 0

@@ -1,0 +1,83 @@
+"""End-to-end fidelity: construct a small G0 through real message passing.
+
+Runs the Section 3.1.1 recipe with the CONGEST walk protocol — start
+``Theta(log n)`` tokens per virtual node, walk ``~2 tau_mix`` steps,
+reverse them to report endpoints — and checks that the resulting overlay
+has the same structural properties as the vectorized ``build_g0``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.congest import run_walk_protocol
+from repro.core import build_g0
+from repro.core.embedding import VirtualNodes
+from repro.core.sampling import group_select
+from repro.graphs import Graph, mixing_time, random_regular
+from repro.params import Params
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = random_regular(24, 4, np.random.default_rng(250))
+    tau = mixing_time(graph)
+    return graph, tau
+
+
+def _g0_via_messages(graph, tau, walks_per_vnode, degree, seed):
+    """The paper's construction, executed through the walk protocol."""
+    virtual = VirtualNodes(graph=graph, host=graph.arc_tails)
+    starts = np.repeat(virtual.host, walks_per_vnode)
+    owners = np.repeat(np.arange(virtual.count), walks_per_vnode)
+    outcome = run_walk_protocol(graph, starts, 2 * tau, seed=seed)
+    # Reversal must have informed every source of its endpoint.
+    assert np.array_equal(outcome.returned_to, starts)
+    rng = np.random.default_rng(seed)
+    targets = virtual.random_vnode_of(outcome.endpoints, rng)
+    edges = group_select(owners, targets, virtual.count, degree, rng)
+    return Graph(virtual.count, edges), outcome
+
+
+class TestG0OverMessages:
+    def test_structure_matches_vectorized(self, setting):
+        graph, tau = setting
+        params = Params.default()
+        n = graph.num_nodes
+        walks = params.g0_walks_per_vnode(n)
+        degree = params.g0_degree(n)
+        overlay_msg, outcome = _g0_via_messages(
+            graph, tau, walks, degree, seed=251
+        )
+        reference = build_g0(
+            graph, params, np.random.default_rng(252), tau_mix=tau
+        )
+        # Same node set, same degree scale, both connected.
+        assert overlay_msg.num_nodes == reference.overlay.num_nodes
+        assert overlay_msg.is_connected()
+        assert reference.overlay.is_connected()
+        mean_msg = overlay_msg.degrees.mean()
+        mean_ref = reference.overlay.degrees.mean()
+        assert mean_msg == pytest.approx(mean_ref, rel=0.25)
+
+    def test_forward_rounds_reflect_congestion(self, setting):
+        graph, tau = setting
+        overlay, outcome = _g0_via_messages(graph, tau, 8, 4, seed=253)
+        # Each node starts 8 * d(v) tokens (k = 8): the queued schedule
+        # needs at least ~k * length / 2 rounds and should stay within a
+        # constant factor of Lemma 2.5's (k + log n) * length.
+        length = 2 * tau
+        k = 8
+        assert outcome.forward_rounds >= length
+        assert outcome.forward_rounds <= 4 * (k + np.log2(24)) * length
+
+    def test_endpoint_distribution_uniform_over_vnodes(self, setting):
+        graph, tau = setting
+        virtual = VirtualNodes(graph=graph, host=graph.arc_tails)
+        starts = np.repeat(virtual.host, 20)
+        outcome = run_walk_protocol(graph, starts, 2 * tau, seed=254)
+        rng = np.random.default_rng(255)
+        targets = virtual.random_vnode_of(outcome.endpoints, rng)
+        counts = np.bincount(targets, minlength=virtual.count)
+        expected = starts.shape[0] / virtual.count
+        # Uniformity within Poisson-ish fluctuation.
+        assert counts.max() < expected + 6 * np.sqrt(expected) + 5

@@ -1,0 +1,145 @@
+"""End-to-end integration tests across the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Params,
+    Router,
+    approximate_min_cut,
+    build_hierarchy,
+    emulate_clique,
+    minimum_spanning_tree,
+)
+from repro.baselines import ghs_mst, gkp_mst, kruskal
+from repro.graphs import (
+    barbell_graph,
+    cut_size,
+    erdos_renyi,
+    grid_torus,
+    hypercube,
+    random_regular,
+    watts_strogatz,
+    with_random_weights,
+)
+
+
+class TestFullPipeline:
+    """Build -> route -> verify, one per topology family."""
+
+    @pytest.mark.parametrize(
+        "name,factory",
+        [
+            ("expander", lambda rng: random_regular(80, 6, rng)),
+            ("hypercube", lambda rng: hypercube(6)),
+            ("torus", lambda rng: grid_torus(8, 8)),
+            ("erdos_renyi", lambda rng: erdos_renyi(72, 0.15, rng)),
+            ("small_world", lambda rng: watts_strogatz(80, 6, 0.3, rng)),
+        ],
+    )
+    def test_route_permutation(self, name, factory, params):
+        rng = np.random.default_rng(hash(name) % 2**31)
+        graph = factory(rng)
+        hierarchy = build_hierarchy(graph, params, rng)
+        router = Router(hierarchy, params=params, rng=rng)
+        n = graph.num_nodes
+        perm = rng.permutation(n)
+        result = router.route(np.arange(n), perm)
+        assert result.delivered, name
+        hosts = hierarchy.g0.virtual.host[result.final_vnodes]
+        assert np.array_equal(hosts, perm)
+
+    def test_slow_mixing_barbell_still_routes(self, params):
+        """Failure injection: near-zero conductance — expensive but correct."""
+        rng = np.random.default_rng(999)
+        graph = barbell_graph(24)
+        hierarchy = build_hierarchy(graph, params, rng)
+        # Mixing time must reflect the bottleneck.
+        assert hierarchy.g0.tau_mix > 100
+        router = Router(hierarchy, params=params, rng=rng)
+        n = graph.num_nodes
+        perm = rng.permutation(n)
+        result = router.route(np.arange(n), perm)
+        assert result.delivered
+
+
+class TestMstAgainstAllBaselines:
+    def test_three_way_agreement(self, params):
+        rng = np.random.default_rng(77)
+        graph = with_random_weights(random_regular(64, 6, rng), rng)
+        ours = minimum_spanning_tree(graph, params, rng)
+        assert ours.edge_ids == kruskal(graph)
+        assert ours.edge_ids == ghs_mst(graph).edge_ids
+        assert ours.edge_ids == gkp_mst(graph).edge_ids
+
+    def test_hierarchy_reuse_across_weighted_instances(self, params):
+        """The structure is topology-only: reuse it for many weightings."""
+        rng = np.random.default_rng(78)
+        base = random_regular(48, 4, rng)
+        hierarchy = build_hierarchy(base, params, rng)
+        for seed in range(3):
+            local = np.random.default_rng(seed)
+            weighted = with_random_weights(base, local)
+            result = minimum_spanning_tree(
+                weighted, params, local, hierarchy=hierarchy
+            )
+            assert result.edge_ids == kruskal(weighted)
+
+
+class TestCliqueToMinCut:
+    def test_clique_emulation_then_min_cut_same_structure(self, params):
+        """Exercise two applications over one shared routing structure."""
+        rng = np.random.default_rng(79)
+        graph = erdos_renyi(40, 0.3, rng)
+        hierarchy = build_hierarchy(graph, params, rng)
+        clique = emulate_clique(hierarchy, params, rng)
+        assert clique.delivered
+        cut = approximate_min_cut(
+            graph, params=params, rng=rng, hierarchy=hierarchy, num_trees=3,
+            two_respecting=False,
+        )
+        assert cut.cut_value >= 1
+        assert cut_size(graph, cut.cut_side) == cut.cut_value
+
+
+class TestPaperConstantsPreset:
+    def test_paper_params_on_tiny_graph(self):
+        """The literal paper constants are runnable at toy scale."""
+        params = Params.paper()
+        rng = np.random.default_rng(80)
+        graph = random_regular(24, 4, rng)
+        hierarchy = build_hierarchy(graph, params, rng)
+        router = Router(hierarchy, params=params, rng=rng)
+        perm = rng.permutation(24)
+        assert router.route(np.arange(24), perm).delivered
+
+
+class TestDeterminism:
+    def test_same_seed_same_structure(self, params):
+        graph = random_regular(48, 4, np.random.default_rng(81))
+        h1 = build_hierarchy(graph, params, np.random.default_rng(5))
+        h2 = build_hierarchy(graph, params, np.random.default_rng(5))
+        assert np.array_equal(h1.partition.leaf, h2.partition.leaf)
+        assert sorted(h1.g0.overlay.edges()) == sorted(h2.g0.overlay.edges())
+        assert h1.g0.tau_mix == h2.g0.tau_mix
+
+
+class TestCorrelatedWalkPipeline:
+    def test_correlated_construction_routes(self, params):
+        """The k = o(log n) refinement: same delivery, cheaper schedule."""
+        rng = np.random.default_rng(314)
+        graph = random_regular(96, 6, rng)
+        independent = build_hierarchy(graph, params, np.random.default_rng(1))
+        correlated_params = params.with_overrides(use_correlated_walks=True)
+        correlated = build_hierarchy(
+            graph, correlated_params, np.random.default_rng(1)
+        )
+        # Correlated scheduling strictly reduces the G0 emulation cost.
+        assert correlated.g0.round_cost < independent.g0.round_cost
+        router = Router(
+            correlated, params=correlated_params,
+            rng=np.random.default_rng(2),
+        )
+        perm = np.random.default_rng(3).permutation(96)
+        result = router.route(np.arange(96), perm)
+        assert result.delivered

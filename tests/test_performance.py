@@ -1,0 +1,66 @@
+"""Performance regression guards.
+
+Loose wall-clock ceilings on the vectorized kernels: these are not
+micro-benchmarks (see benchmarks/) but tripwires against accidentally
+de-vectorizing a hot path.  Thresholds are ~10x typical laptop times.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.graphs import random_regular
+from repro.walks import degree_proportional_starts, run_lazy_walks
+from repro.walks.correlated import run_correlated_walks
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    return random_regular(1024, 8, np.random.default_rng(310))
+
+
+class TestKernelSpeed:
+    def test_walk_engine_throughput(self, big_graph):
+        """~1.6M walk-steps should take well under 10 seconds."""
+        rng = np.random.default_rng(311)
+        starts = degree_proportional_starts(big_graph, 2)  # 16384 walks
+        begin = time.perf_counter()
+        run_lazy_walks(big_graph, starts, 100, rng)
+        elapsed = time.perf_counter() - begin
+        assert elapsed < 10.0, f"walk engine too slow: {elapsed:.1f}s"
+
+    def test_correlated_engine_throughput(self, big_graph):
+        rng = np.random.default_rng(312)
+        starts = degree_proportional_starts(big_graph, 1)
+        begin = time.perf_counter()
+        run_correlated_walks(big_graph, starts, 50, rng)
+        elapsed = time.perf_counter() - begin
+        assert elapsed < 10.0, f"correlated engine too slow: {elapsed:.1f}s"
+
+    def test_spectral_gap_large_graph(self, big_graph):
+        from repro.graphs import spectral_gap
+
+        begin = time.perf_counter()
+        gap = spectral_gap(big_graph)
+        elapsed = time.perf_counter() - begin
+        assert gap > 0
+        assert elapsed < 10.0, f"sparse gap too slow: {elapsed:.1f}s"
+
+    def test_hierarchy_build_moderate(self):
+        from repro.core import build_hierarchy
+        from repro.params import Params
+
+        graph = random_regular(256, 8, np.random.default_rng(313))
+        begin = time.perf_counter()
+        build_hierarchy(graph, Params.default(), np.random.default_rng(314))
+        elapsed = time.perf_counter() - begin
+        assert elapsed < 30.0, f"hierarchy build too slow: {elapsed:.1f}s"
+
+    def test_routing_instance_fast(self, hierarchy64, router64):
+        rng = np.random.default_rng(315)
+        begin = time.perf_counter()
+        for _ in range(10):
+            router64.route(np.arange(64), rng.permutation(64))
+        elapsed = time.perf_counter() - begin
+        assert elapsed < 10.0, f"routing too slow: {elapsed:.1f}s"

@@ -1,0 +1,54 @@
+"""Tests for cover-time estimation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import complete_graph, path_graph, ring_graph
+from repro.walks.cover import cover_time_bounds, estimate_cover_time
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(290)
+
+
+class TestCoverTime:
+    def test_complete_graph_coupon_collector(self, rng):
+        """Lazy K_n covers in ~2 n ln n steps."""
+        n = 16
+        g = complete_graph(n)
+        estimate = estimate_cover_time(g, rng, trials=40)
+        expected = 2.0 * n * np.log(n)
+        assert estimate.truncated == 0
+        assert 0.5 * expected < estimate.mean < 2.5 * expected
+
+    def test_within_classic_bounds(self, rng):
+        for g in (complete_graph(12), ring_graph(12), path_graph(10)):
+            estimate = estimate_cover_time(g, rng, trials=20)
+            lower, upper = cover_time_bounds(g)
+            assert lower * 0.3 < estimate.mean < upper
+
+    def test_path_slower_than_clique(self, rng):
+        clique = estimate_cover_time(complete_graph(14), rng, trials=20)
+        path = estimate_cover_time(path_graph(14), rng, trials=20)
+        assert path.mean > 2 * clique.mean
+
+    def test_fixed_start(self, rng):
+        g = ring_graph(10)
+        estimate = estimate_cover_time(g, rng, trials=10, start=3)
+        assert estimate.mean > 0
+
+    def test_cap_reported(self, rng):
+        g = path_graph(16)
+        estimate = estimate_cover_time(g, rng, trials=5, max_steps=10)
+        assert estimate.truncated == 5
+
+    def test_disconnected_raises(self, rng):
+        from repro.graphs import Graph
+
+        with pytest.raises(ValueError):
+            estimate_cover_time(Graph(4, [(0, 1), (2, 3)]), rng)
+
+    def test_std_computed(self, rng):
+        estimate = estimate_cover_time(ring_graph(8), rng, trials=10)
+        assert estimate.std >= 0.0

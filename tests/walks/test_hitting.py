@@ -1,0 +1,89 @@
+"""Tests for exact hitting times (the blind-walk cost floor)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    path_graph,
+    random_regular,
+    ring_graph,
+    star_graph,
+)
+from repro.walks import (
+    expected_hitting_time,
+    hitting_time_lower_bound,
+    hitting_times,
+)
+from repro.walks.engine import run_lazy_walks
+
+
+class TestExactValues:
+    def test_target_is_zero(self):
+        h = hitting_times(ring_graph(8), 3)
+        assert h[3] == 0.0
+        assert np.all(h[np.arange(8) != 3] > 0)
+
+    def test_two_path(self):
+        # Lazy walk on an edge: move w.p. 1/2 each step -> E[hit] = 2.
+        g = path_graph(2)
+        assert expected_hitting_time(g, 0, 1) == pytest.approx(2.0)
+
+    def test_complete_graph_formula(self):
+        # Non-lazy K_n hitting time is n - 1; laziness doubles it.
+        n = 10
+        g = complete_graph(n)
+        assert expected_hitting_time(g, 0, 1) == pytest.approx(
+            2.0 * (n - 1)
+        )
+
+    def test_symmetric_on_vertex_transitive(self):
+        g = ring_graph(9)
+        assert expected_hitting_time(g, 0, 3) == pytest.approx(
+            expected_hitting_time(g, 3, 6)
+        )
+
+    def test_disconnected_raises(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            hitting_times(g, 0)
+
+    def test_monte_carlo_agreement(self):
+        g = star_graph(6)
+        exact = expected_hitting_time(g, 1, 2)
+        rng = np.random.default_rng(0)
+        total = 0.0
+        trials = 1500
+        positions = np.full(trials, 1, dtype=np.int64)
+        alive = np.ones(trials, dtype=bool)
+        steps = 0
+        while alive.any() and steps < 10000:
+            steps += 1
+            run = run_lazy_walks(g, positions[alive], 1, rng)
+            positions[alive] = run.positions
+            arrived = alive & (positions == 2)
+            total += steps * arrived.sum()
+            alive &= positions != 2
+        estimate = total / trials
+        assert estimate == pytest.approx(exact, rel=0.15)
+
+
+class TestPaperMotivation:
+    def test_hitting_scales_like_m_over_degree(self):
+        """The paper's point: even on expanders, blind walks need
+        ~m/d(t) steps per packet."""
+        rng = np.random.default_rng(1)
+        small = random_regular(32, 4, rng)
+        large = random_regular(128, 4, rng)
+        h_small = expected_hitting_time(small, 0, 16)
+        h_large = expected_hitting_time(large, 0, 64)
+        # m grows 4x; hitting time should grow roughly linearly.
+        assert 2.0 < h_large / h_small < 8.0
+
+    def test_lower_bound_is_lower(self):
+        rng = np.random.default_rng(2)
+        g = random_regular(64, 6, rng)
+        bound = hitting_time_lower_bound(g, 7)
+        measured = expected_hitting_time(g, 0, 7)
+        assert measured > 0.5 * bound
