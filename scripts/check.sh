@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Pre-PR gate: style lint (ruff), contract lint (reprolint), tests.
+#
+# Usage: scripts/check.sh
+#
+# This is the exact sequence CI runs; a change that passes here is safe
+# to put up for review.  See docs/linting.md for the reprolint rule
+# catalogue and CONTRIBUTING.md for the full conventions.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff"
+    ruff check src tests
+else
+    echo "== ruff not installed; skipping style lint (pip install ruff)"
+fi
+
+echo "== reprolint (CONGEST + determinism contract)"
+python -m repro.lint src/repro tests
+
+echo "== pytest"
+python -m pytest -x -q
+
+echo "== all checks passed"

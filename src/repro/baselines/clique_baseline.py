@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..rng import resolve_rng
 
 __all__ = ["TwoHopRelayResult", "two_hop_relay_emulation"]
 
@@ -44,6 +45,7 @@ class TwoHopRelayResult:
 def two_hop_relay_emulation(
     graph: Graph,
     rng: np.random.Generator | None = None,
+    seed: int | None = None,
 ) -> TwoHopRelayResult:
     """Emulate one clique round by two-hop relays, measuring congestion.
 
@@ -52,7 +54,7 @@ def two_hop_relay_emulation(
         pair has neither an edge nor a common neighbour (possible below
         the ``G(n, p)`` density the baseline assumes).
     """
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng, seed)
     n = graph.num_nodes
     adjacency = np.zeros((n, n), dtype=bool)
     for u, v in graph.edges():

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..rng import resolve_rng
 from ..walks.engine import run_lazy_walks
 
 __all__ = [
@@ -54,13 +55,14 @@ def bfs_store_and_forward(
     destinations: np.ndarray,
     rng: np.random.Generator | None = None,
     max_rounds: int = 1_000_000,
+    seed: int | None = None,
 ) -> StoreAndForwardResult:
     """Route packets along BFS shortest paths with unit edge capacity.
 
     Each directed edge forwards at most one packet per round; contended
     packets queue FIFO (arrival order randomized by ``rng``).
     """
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng, seed)
     sources = np.asarray(sources, dtype=np.int64)
     destinations = np.asarray(destinations, dtype=np.int64)
     paths = _shortest_paths(graph, sources, destinations)
@@ -71,6 +73,7 @@ def schedule_paths(
     paths: list[list[int]],
     rng: np.random.Generator | None = None,
     max_rounds: int = 1_000_000,
+    seed: int | None = None,
 ) -> StoreAndForwardResult:
     """Store-and-forward scheduling of *explicit* packet paths.
 
@@ -79,7 +82,7 @@ def schedule_paths(
     Used both for shortest-path routing and for delivering overlay
     messages along their embedded walk paths (``repro.congest.native``).
     """
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng, seed)
     total_hops = sum(len(path) - 1 for path in paths)
     # Queue per directed edge (u -> v), keyed by (u, v).
     queues: dict[tuple[int, int], deque] = {}
@@ -180,9 +183,10 @@ def random_walk_delivery(
     destinations: np.ndarray,
     rng: np.random.Generator | None = None,
     max_steps: int = 100_000,
+    seed: int | None = None,
 ) -> RandomWalkDeliveryResult:
     """Let each packet walk blindly until it hits its destination."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng, seed)
     sources = np.asarray(sources, dtype=np.int64)
     destinations = np.asarray(destinations, dtype=np.int64)
     positions = sources.copy()

@@ -123,22 +123,27 @@ class Network:
         )
 
     def _validate_outbox(
-        self, sender: int, outbox: Mapping[int, tuple]
+        self, sender: int, outbox: Mapping[int, tuple], round_number: int
     ) -> None:
         neighbors = self._neighbor_lists[sender]
         for target, payload in outbox.items():
             if target not in neighbors:
                 raise CongestViolation(
-                    f"node {sender} sent to non-neighbor {target}"
+                    f"round {round_number}: node {sender} sent to "
+                    f"non-neighbor {target} (payload {payload!r}); CONGEST "
+                    "messages travel only along edges of the graph"
                 )
             if not isinstance(payload, tuple):
                 raise CongestViolation(
-                    f"node {sender} sent a non-tuple payload {payload!r}"
+                    f"round {round_number}: node {sender} sent a non-tuple "
+                    f"payload {payload!r} to {target}; payloads must be "
+                    "tuples of words"
                 )
             if len(payload) > MESSAGE_WORD_LIMIT:
                 raise CongestViolation(
-                    f"node {sender} exceeded the {MESSAGE_WORD_LIMIT}-word "
-                    f"message budget: {payload!r}"
+                    f"round {round_number}: node {sender} exceeded the "
+                    f"{MESSAGE_WORD_LIMIT}-word message budget to {target}: "
+                    f"{len(payload)} words in {payload!r}"
                 )
 
     def run(
@@ -158,7 +163,7 @@ class Network:
         outboxes: list[Mapping[int, tuple]] = []
         for v, algorithm in enumerate(algorithms):
             outbox = dict(algorithm.initialize())
-            self._validate_outbox(v, outbox)
+            self._validate_outbox(v, outbox, round_number=1)
             outboxes.append(outbox)
         while True:
             in_flight = sum(len(outbox) for outbox in outboxes)
@@ -186,6 +191,6 @@ class Network:
                 outbox = dict(
                     algorithm.receive(stats.rounds, inboxes[v]) or {}
                 )
-                self._validate_outbox(v, outbox)
+                self._validate_outbox(v, outbox, round_number=stats.rounds + 1)
                 next_outboxes.append(outbox)
             outboxes = next_outboxes

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..params import Params
+from ..rng import resolve_rng
 from .hierarchy import Hierarchy
 from .router import Router, RoutingResult
 
@@ -59,6 +60,7 @@ def emulate_clique(
     rng: np.random.Generator | None = None,
     router: Router | None = None,
     sample_fraction: float = 1.0,
+    seed: int | None = None,
 ) -> CliqueEmulationResult:
     """Emulate one congested-clique round on the hierarchy's base graph.
 
@@ -77,7 +79,7 @@ def emulate_clique(
         routed subset).
     """
     params = params or Params.default()
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng, seed)
     router = router or Router(hierarchy, params=params, rng=rng)
     graph = hierarchy.g0.base_graph
     n = graph.num_nodes

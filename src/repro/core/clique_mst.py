@@ -27,6 +27,7 @@ import numpy as np
 
 from ..graphs.graph import WeightedGraph
 from ..params import Params
+from ..rng import resolve_rng
 from .clique import emulate_clique
 from .hierarchy import Hierarchy, build_hierarchy
 from .ledger import RoundLedger
@@ -66,6 +67,7 @@ def clique_boruvka_mst(
     params: Params | None = None,
     rng: np.random.Generator | None = None,
     hierarchy: Hierarchy | None = None,
+    seed: int | None = None,
 ) -> CliqueMstResult:
     """Compute the MST of ``graph`` through emulated clique rounds.
 
@@ -83,7 +85,7 @@ def clique_boruvka_mst(
     if not isinstance(graph, WeightedGraph):
         raise TypeError("clique_boruvka_mst needs a WeightedGraph")
     params = params or Params.default()
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng, seed)
     hierarchy = hierarchy or build_hierarchy(graph, params, rng)
     router = Router(hierarchy, params=params, rng=rng)
     ledger = RoundLedger()

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..params import Params
+from ..rng import resolve_rng
 from ..walks.engine import run_regular_walks
 from .embedding import G0Embedding, build_g0
 from .ledger import RoundLedger
@@ -138,13 +139,15 @@ def build_hierarchy(
     beta: int | None = None,
     depth: int | None = None,
     tau_mix: int | None = None,
+    seed: int | None = None,
 ) -> Hierarchy:
     """Construct the full hierarchical routing structure on ``graph``.
 
     Args:
         graph: connected base graph.
         params: construction constants (default :meth:`Params.default`).
-        rng: randomness source (default seeded fresh).
+        rng: randomness source (else seeded from ``seed``).
+        seed: seed for a fresh generator when ``rng`` is not given.
         beta: branching-factor override.
         depth: level-count override.
         tau_mix: mixing-time override (else estimated from the graph).
@@ -154,7 +157,7 @@ def build_hierarchy(
         to its ledger in base-graph rounds.
     """
     params = params or Params.default()
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng, seed)
     ledger = RoundLedger()
     g0 = build_g0(graph, params, rng, ledger=ledger, tau_mix=tau_mix)
     partition = build_partition(

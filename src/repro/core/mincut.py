@@ -27,6 +27,7 @@ import numpy as np
 
 from ..graphs.graph import Graph, WeightedGraph
 from ..params import Params
+from ..rng import resolve_rng
 from .hierarchy import Hierarchy, build_hierarchy
 from .ledger import RoundLedger
 from .mst import MstRunner
@@ -62,6 +63,7 @@ def approximate_min_cut(
     num_trees: int | None = None,
     two_respecting: bool = True,
     use_weights: bool = False,
+    seed: int | None = None,
 ) -> MinCutResult:
     """Approximate the minimum cut of ``graph``.
 
@@ -85,7 +87,7 @@ def approximate_min_cut(
         A :class:`MinCutResult` (``cut_value`` is a float when weighted).
     """
     params = params or Params.default()
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng, seed)
     n = graph.num_nodes
     capacities = None
     if use_weights:

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..graphs.graph import WeightedGraph
 from ..params import Params
+from ..rng import resolve_rng
 from .hierarchy import Hierarchy, build_hierarchy
 from .ledger import RoundLedger
 from .router import Router
@@ -99,12 +100,13 @@ class MstRunner:
         hierarchy: Hierarchy | None = None,
         params: Params | None = None,
         rng: np.random.Generator | None = None,
+        seed: int | None = None,
     ):
         if not isinstance(graph, WeightedGraph):
             raise TypeError("MST needs a WeightedGraph")
         self.graph = graph
         self.params = params or Params.default()
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng, seed)
         self.hierarchy = hierarchy or build_hierarchy(
             graph, self.params, self.rng
         )

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..params import Params
+from ..rng import resolve_rng
 from ..walks.correlated import run_correlated_walks
 from ..walks.engine import run_lazy_walks
 from .hierarchy import Hierarchy
@@ -114,10 +115,11 @@ class Router:
         portals: PortalTable | None = None,
         params: Params | None = None,
         rng: np.random.Generator | None = None,
+        seed: int | None = None,
     ):
         self.hierarchy = hierarchy
         self.params = params or Params.default()
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng, seed)
         self.portals = portals or build_portals(
             hierarchy, self.params, self.rng
         )

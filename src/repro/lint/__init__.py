@@ -1,0 +1,32 @@
+"""``reprolint`` — static analysis for the repo's reproducibility contract.
+
+The paper's guarantees hold only under the CONGEST model (one
+``O(log n)``-bit message per edge per round) and our experiments are
+reproducible only if every random choice flows through a seeded
+generator.  The runtime simulator (:mod:`repro.congest.network`) enforces
+the first constraint for code that runs through it; this package checks
+both constraints *statically*, over the whole tree, so the ledger-based
+fast paths (``core/``, ``walks/``) are covered too.
+
+Usage::
+
+    python -m repro.lint src/repro tests
+    reprolint --format=json src/repro
+
+Findings can be suppressed per line with ``# reprolint: disable=R001``
+(comma-separated rule ids, or ``all``).  See ``docs/linting.md`` for the
+rule catalogue.
+"""
+
+from .engine import Finding, LintModule, Rule, lint_paths, lint_source
+from .rules import RULES, get_rules
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "Rule",
+    "RULES",
+    "get_rules",
+    "lint_paths",
+    "lint_source",
+]

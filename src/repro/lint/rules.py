@@ -1,0 +1,518 @@
+"""The ``reprolint`` rule set.
+
+Each rule targets a concrete failure mode of this codebase: breaking the
+CONGEST model the paper's theorems assume, or breaking the seeded-RNG
+discipline the experiments' reproducibility rests on.  Rule ids are
+stable (suppression comments reference them); see ``docs/linting.md``
+for the catalogue with rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence
+
+from ..congest.network import MESSAGE_WORD_LIMIT
+from .engine import Finding, LintModule, Rule, qualified_name
+
+__all__ = ["RULES", "get_rules", "register"]
+
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = cls()
+    RULES[rule.rule_id] = rule
+    return cls
+
+
+def get_rules(disable: Sequence[str] = ()) -> list[Rule]:
+    """All registered rules minus ``disable`` (ids, case-insensitive)."""
+    disabled = {rule_id.upper() for rule_id in disable}
+    return [
+        rule for rule_id, rule in sorted(RULES.items())
+        if rule_id not in disabled
+    ]
+
+
+#: Calls that mint a new generator.  Seeding decides whether they are OK.
+RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+}
+
+#: Module-level sampling functions of the stdlib ``random`` module.
+STDLIB_SAMPLERS = {
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+
+#: ``numpy.random`` attributes that are *not* the legacy global samplers.
+NUMPY_RANDOM_ALLOWED = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "RandomState", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+#: Wall-clock / entropy sources that make runs unreproducible.
+NONDETERMINISTIC_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "os.urandom",
+    "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.token_urlsafe", "secrets.randbelow",
+    "secrets.randbits", "secrets.choice",
+}
+
+#: Bare names that, read inside a node-local CONGEST method, mean the
+#: algorithm is peeking at global knowledge it cannot have.
+NONLOCAL_KNOWLEDGE_NAMES = {"graph", "network", "topology", "adjacency"}
+
+#: Parameter names that count as "randomness is injected by the caller".
+SEED_PARAM_NAMES = {"rng", "seed", "random_state", "rng_factory"}
+
+
+def _call_name(module: LintModule, call: ast.Call) -> Optional[str]:
+    """Resolved callee name, or None unless rooted at a real import —
+    a local that shadows a module name must not trigger RNG rules."""
+    return module.resolve_imported(call.func)
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    return not call.args and not call.keywords
+
+
+@register
+class GlobalRngRule(Rule):
+    """R001: global or unseeded RNG use.
+
+    Every random choice must flow through an injected, seeded
+    ``numpy.random.Generator`` (or ``random.Random``); the legacy global
+    samplers and unseeded constructors make runs depend on interpreter
+    state, which breaks same-seed reproducibility.
+    """
+
+    rule_id = "R001"
+    name = "global-rng"
+    description = (
+        "module-level/global RNG use: legacy samplers, unseeded "
+        "constructors, or module-scope generator instances"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+        yield from self._check_module_level(module)
+
+    def _check_call(
+        self, module: LintModule, call: ast.Call
+    ) -> Iterator[Finding]:
+        name = _call_name(module, call)
+        if name is None:
+            return
+        if name in RNG_CONSTRUCTORS and _is_unseeded(call):
+            yield self.finding(
+                module, call,
+                f"unseeded `{name}()` — pass an explicit seed (or use "
+                "repro.rng.resolve_rng) so runs are reproducible",
+            )
+            return
+        head, _, tail = name.rpartition(".")
+        if head == "random" and tail in STDLIB_SAMPLERS:
+            yield self.finding(
+                module, call,
+                f"call to global `random.{tail}` — inject a seeded "
+                "random.Random/numpy Generator instead",
+            )
+        elif head == "numpy.random" and tail not in NUMPY_RANDOM_ALLOWED:
+            yield self.finding(
+                module, call,
+                f"call to legacy global `numpy.random.{tail}` — use a "
+                "seeded numpy.random.Generator instead",
+            )
+
+    def _check_module_level(self, module: LintModule) -> Iterator[Finding]:
+        for stmt in module.tree.body:
+            value = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                value = stmt.value
+            if (
+                isinstance(value, ast.Call)
+                and _call_name(module, value) in RNG_CONSTRUCTORS
+            ):
+                yield self.finding(
+                    module, stmt,
+                    "module-level RNG instance shares mutable state across "
+                    "every caller — construct generators inside functions "
+                    "from an explicit seed",
+                )
+
+
+def _base_names(module: LintModule, cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        resolved = module.resolve(base) or qualified_name(base)
+        if resolved:
+            names.append(resolved)
+    return names
+
+
+def _local_bindings(fn: ast.FunctionDef) -> set[str]:
+    """Names bound inside ``fn``: parameters plus any assignment target."""
+    bound = {arg.arg for arg in fn.args.args}
+    bound.update(arg.arg for arg in fn.args.posonlyargs)
+    bound.update(arg.arg for arg in fn.args.kwonlyargs)
+    if fn.args.vararg:
+        bound.add(fn.args.vararg.arg)
+    if fn.args.kwarg:
+        bound.add(fn.args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn:
+                bound.add(node.name)
+    return bound
+
+
+@register
+class CongestModelRule(Rule):
+    """R002: statically-detectable CONGEST violations in node algorithms.
+
+    Inside ``initialize``/``receive`` of a ``NodeAlgorithm`` subclass, a
+    payload tuple longer than ``MESSAGE_WORD_LIMIT`` words cannot fit in
+    one O(log n)-bit message, and reading a module-global graph/network
+    gives the node knowledge the model says it does not have.
+    """
+
+    rule_id = "R002"
+    name = "congest-model"
+    description = (
+        "NodeAlgorithm.initialize/receive builds an over-wide payload "
+        "tuple or reads global graph/network state"
+    )
+
+    _METHODS = {"initialize", "receive"}
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        classes = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        # Transitive subclass resolution *within the module*: Chatty
+        # extending _Silent extending NodeAlgorithm is still a node
+        # algorithm even though its direct base does not say so.
+        bases_of = {cls.name: _base_names(module, cls) for cls in classes}
+
+        def is_node_algorithm(name: str, seen: frozenset = frozenset()):
+            if name.endswith("NodeAlgorithm"):
+                return True
+            if name in seen:
+                return False
+            return any(
+                is_node_algorithm(base, seen | {name})
+                for base in bases_of.get(name, ())
+            )
+
+        for node in classes:
+            if not any(
+                is_node_algorithm(base)
+                for base in _base_names(module, node)
+            ):
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name in self._METHODS
+                ):
+                    yield from self._check_method(module, item)
+
+    def _check_method(
+        self, module: LintModule, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        local = _local_bindings(fn)
+        for node in ast.walk(fn):
+            width = self._static_tuple_width(node)
+            if width is not None and width > MESSAGE_WORD_LIMIT:
+                yield self.finding(
+                    module, node,
+                    f"payload tuple of {width} words exceeds the "
+                    f"{MESSAGE_WORD_LIMIT}-word CONGEST message budget "
+                    f"in {fn.name}()",
+                )
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id.lower() in NONLOCAL_KNOWLEDGE_NAMES
+                and node.id not in local
+            ):
+                yield self.finding(
+                    module, node,
+                    f"{fn.name}() reads global `{node.id}` — non-local "
+                    "knowledge breaks the CONGEST model; nodes may only "
+                    "use their NodeContext and received messages",
+                )
+
+    @staticmethod
+    def _static_tuple_width(node: ast.AST) -> Optional[int]:
+        """Length of a tuple whose size is statically known, else None."""
+        if isinstance(node, ast.Tuple) and isinstance(node.ctx, ast.Load):
+            if any(isinstance(elt, ast.Starred) for elt in node.elts):
+                return None
+            return len(node.elts)
+        # tuple(range(k)) with a constant k
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "tuple"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Call)
+            and isinstance(node.args[0].func, ast.Name)
+            and node.args[0].func.id == "range"
+            and len(node.args[0].args) == 1
+            and isinstance(node.args[0].args[0], ast.Constant)
+            and isinstance(node.args[0].args[0].value, int)
+        ):
+            return node.args[0].args[0].value
+        return None
+
+
+@register
+class NondeterminismRule(Rule):
+    """R003: wall-clock, entropy, or hash-order dependence.
+
+    ``time.time``/``os.urandom``/``uuid.uuid4`` make a run depend on the
+    environment; iterating a set directly makes it depend on hash
+    randomisation.  Either way, same-seed runs stop being identical.
+    """
+
+    rule_id = "R003"
+    name = "nondeterminism"
+    description = (
+        "wall-clock/entropy source, or direct iteration over a set"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(module, node)
+                if name is not None and name in NONDETERMINISTIC_CALLS:
+                    yield self.finding(
+                        module, node,
+                        f"`{name}` is nondeterministic — thread seeds/"
+                        "counters through parameters instead",
+                    )
+            elif isinstance(node, ast.For):
+                yield from self._check_iter(module, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_iter(module, generator.iter)
+
+    def _check_iter(
+        self, module: LintModule, iterable: ast.AST
+    ) -> Iterator[Finding]:
+        is_set_call = (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in {"set", "frozenset"}
+        )
+        if is_set_call or isinstance(iterable, ast.Set):
+            yield self.finding(
+                module, iterable,
+                "iteration order over a set depends on hash "
+                "randomisation — iterate `sorted(...)` instead",
+            )
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """R004: bare excepts and swallowed CongestViolation.
+
+    A bare ``except:`` hides model violations (and KeyboardInterrupt); a
+    handler that catches ``CongestViolation`` without re-raising turns a
+    broken-model run into a silently wrong result.
+    """
+
+    rule_id = "R004"
+    name = "exception-hygiene"
+    description = "bare except, or CongestViolation caught and swallowed"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare `except:` hides CONGEST violations and "
+                    "KeyboardInterrupt — catch specific exceptions",
+                )
+                continue
+            caught = self._caught_names(node.type)
+            has_raise = any(
+                isinstance(child, ast.Raise) for child in ast.walk(node)
+            )
+            if any(
+                name.endswith("CongestViolation") for name in caught
+            ) and not has_raise:
+                yield self.finding(
+                    module, node,
+                    "CongestViolation caught without re-raise — a "
+                    "swallowed model violation yields silently wrong "
+                    "round/message counts",
+                )
+            elif self._is_silent_pass(node) and any(
+                name in {"Exception", "BaseException"} for name in caught
+            ):
+                yield self.finding(
+                    module, node,
+                    f"`except {'/'.join(sorted(caught))}: pass` swallows "
+                    "every error, including model violations",
+                )
+
+    @staticmethod
+    def _caught_names(type_node: ast.AST) -> list[str]:
+        nodes = (
+            type_node.elts if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        names = []
+        for node in nodes:
+            name = qualified_name(node)
+            if name:
+                names.append(name)
+        return names
+
+    @staticmethod
+    def _is_silent_pass(handler: ast.ExceptHandler) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in handler.body
+        )
+
+
+@register
+class SeedParamRule(Rule):
+    """R005: public function mints an RNG no caller can control.
+
+    A public function that constructs its own generator from a constant
+    (or from nothing) cannot be replayed under a different seed and hides
+    randomness from the experiment harness: its signature must accept
+    ``rng``/``seed`` (or derive the seed from its parameters/self).
+    """
+
+    rule_id = "R005"
+    name = "missing-seed-param"
+    description = (
+        "public library function constructs an RNG without an rng/seed "
+        "parameter or a seed derived from its inputs"
+    )
+
+    #: Directories whose code is scaffolding, not library API: a pinned
+    #: literal seed there *is* the injected seed, the exact discipline
+    #: this rule exists to enforce.
+    _EXEMPT_DIRS = {"tests", "benchmarks", "examples"}
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        from pathlib import PurePath
+
+        if self._EXEMPT_DIRS & set(PurePath(module.path).parts):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if node.name.startswith("_") or node.name.startswith("test"):
+                # Private helpers inherit their caller's contract; pytest
+                # entry points take no arguments, so their literal seeds
+                # *are* the injected seeds.
+                continue
+            if self._is_fixture(module, node):
+                continue
+            params = _local_bindings_params(node)
+            if params & SEED_PARAM_NAMES:
+                continue
+            for call in _walk_own_body(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                if _call_name(module, call) not in RNG_CONSTRUCTORS:
+                    continue
+                if self._derives_from(call, params):
+                    continue
+                yield self.finding(
+                    module, call,
+                    f"{node.name}() constructs an RNG the caller cannot "
+                    "seed — add an `rng`/`seed` parameter and thread it "
+                    "through",
+                )
+
+    @staticmethod
+    def _is_fixture(
+        module: LintModule, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        """Pytest fixtures pin seeds by design."""
+        for decorator in fn.decorator_list:
+            target = decorator.func if isinstance(
+                decorator, ast.Call
+            ) else decorator
+            name = module.resolve(target) or ""
+            if "fixture" in name:
+                return True
+        return False
+
+    @staticmethod
+    def _derives_from(call: ast.Call, params: set[str]) -> bool:
+        """True if any argument of ``call`` references a parameter."""
+        sources = params | {"self", "cls"}
+        arg_nodes = list(call.args) + [kw.value for kw in call.keywords]
+        for arg in arg_nodes:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name) and node.id in sources:
+                    return True
+        return False
+
+
+def _walk_own_body(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk ``fn`` without descending into nested function definitions
+
+    (nested functions are visited — and judged — on their own)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _local_bindings_params(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    params = {arg.arg for arg in fn.args.args}
+    params.update(arg.arg for arg in fn.args.posonlyargs)
+    params.update(arg.arg for arg in fn.args.kwonlyargs)
+    if fn.args.vararg:
+        params.add(fn.args.vararg.arg)
+    if fn.args.kwarg:
+        params.add(fn.args.kwarg.arg)
+    return params

@@ -1,0 +1,42 @@
+"""Seeded-randomness helpers: every generator traces back to a seed.
+
+The experiments are reproducible only if no code path ever touches an
+unseeded RNG.  ``reprolint`` (rule R001) forbids the old
+``rng or np.random.default_rng()`` fallback; this module provides the
+replacement: an explicit resolution step whose no-argument default is a
+*fixed* seed, so a caller that passes nothing still gets a deterministic
+stream — and a caller that wants a distinct stream passes ``seed=``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DEFAULT_SEED", "resolve_rng"]
+
+#: Seed used when a caller supplies neither ``rng`` nor ``seed``.
+DEFAULT_SEED = 0
+
+
+def resolve_rng(
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> np.random.Generator:
+    """Return ``rng`` if given, else a generator seeded with ``seed``.
+
+    Args:
+        rng: an already-seeded generator; returned unchanged when given
+            (``seed`` is then ignored).
+        seed: seed for a fresh generator (default :data:`DEFAULT_SEED`).
+
+    Returns:
+        A :class:`numpy.random.Generator` that is deterministic for a
+        fixed ``(rng, seed)`` choice — never an OS-entropy stream.
+    """
+    if rng is not None:
+        return rng
+    return np.random.default_rng(
+        DEFAULT_SEED if seed is None else seed
+    )

@@ -84,7 +84,7 @@ class TestNetworkMechanics:
             def initialize(self):
                 self.finished = True
                 if self.context.node_id == 0:
-                    return {1: tuple(range(10))}
+                    return {1: tuple(range(10))}  # reprolint: disable=R002
                 return {}
 
         net = Network(path_graph(3))
@@ -127,6 +127,81 @@ class TestNetworkMechanics:
     def test_context_unweighted(self):
         net = Network(ring_graph(5))
         assert net.context(0).edge_weights is None
+
+
+class TestViolationDiagnostics:
+    """CongestViolation messages carry the payload and round number."""
+
+    def test_over_width_message_names_payload_and_round(self):
+        class Chatty(_Silent):
+            def initialize(self):
+                self.finished = True
+                if self.context.node_id == 0:
+                    return {1: (1, 2, 3, 4, 5)}  # reprolint: disable=R002
+                return {}
+
+        net = Network(path_graph(3))
+        with pytest.raises(CongestViolation) as info:
+            net.run([Chatty(net.context(v)) for v in range(3)])
+        text = str(info.value)
+        assert "round 1" in text
+        assert "(1, 2, 3, 4, 5)" in text
+        assert "5 words" in text
+        assert "node 0" in text
+
+    def test_bad_addressing_names_payload_and_round(self):
+        class Lost(_Silent):
+            def initialize(self):
+                self.finished = True
+                if self.context.node_id == 0:
+                    return {4: ("stray",)}
+                return {}
+
+        net = Network(path_graph(5))
+        with pytest.raises(CongestViolation) as info:
+            net.run([Lost(net.context(v)) for v in range(5)])
+        text = str(info.value)
+        assert "round 1" in text
+        assert "non-neighbor 4" in text
+        assert "('stray',)" in text
+
+    def test_mid_run_violation_reports_later_round(self):
+        class LateOffender(NodeAlgorithm):
+            """Behaves in round 1, over-sends in round 2."""
+
+            def initialize(self):
+                if self.context.node_id == 0:
+                    return {1: ("ping",)}
+                return {}
+
+            def receive(self, round_number, inbox):
+                self.finished = True
+                if inbox and self.context.node_id == 1:
+                    return {0: (9, 9, 9, 9, 9)}  # reprolint: disable=R002
+                return {}
+
+        net = Network(path_graph(3))
+        with pytest.raises(CongestViolation) as info:
+            net.run([LateOffender(net.context(v)) for v in range(3)])
+        text = str(info.value)
+        assert "round 2" in text
+        assert "node 1" in text
+        assert "(9, 9, 9, 9, 9)" in text
+
+    def test_non_tuple_payload_names_round_and_target(self):
+        class Wrong(_Silent):
+            def initialize(self):
+                self.finished = True
+                if self.context.node_id == 0:
+                    return {1: [1, 2]}
+                return {}
+
+        net = Network(path_graph(3))
+        with pytest.raises(CongestViolation) as info:
+            net.run([Wrong(net.context(v)) for v in range(3)])
+        text = str(info.value)
+        assert "round 1" in text
+        assert "[1, 2]" in text
 
 
 class TestBfs:

@@ -1,0 +1,36 @@
+"""The repo must pass its own linter — this is the CI contract.
+
+``src/repro`` must be completely clean; the test tree may only contain
+violations that are explicitly suppressed (they are deliberate fixtures,
+e.g. the over-width payloads the simulator tests reject).
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _render(findings):
+    return "\n".join(finding.render() for finding in findings)
+
+
+class TestSelfCheck:
+    def test_library_tree_is_clean(self):
+        findings = lint_paths([REPO_ROOT / "src" / "repro"])
+        assert findings == [], (
+            "reprolint findings in src/repro — fix them (or, for a "
+            "deliberate exception, add `# reprolint: disable=RULE` with "
+            "a justification):\n" + _render(findings)
+        )
+
+    def test_test_tree_is_clean(self):
+        findings = lint_paths([REPO_ROOT / "tests"])
+        assert findings == [], (
+            "reprolint findings in tests/:\n" + _render(findings)
+        )
+
+    def test_lint_package_lints_itself(self):
+        findings = lint_paths([REPO_ROOT / "src" / "repro" / "lint"])
+        assert findings == []

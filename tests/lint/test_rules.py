@@ -1,0 +1,393 @@
+"""Fixture snippets exercising every reprolint rule, hit and miss.
+
+Each rule gets at least two positive fixtures (the rule fires) and one
+negative fixture (idiomatic code the rule must not flag) — the negative
+cases are what keep the linter usable on the real tree.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_source
+
+
+def findings_for(source: str):
+    return lint_source(textwrap.dedent(source), "fixture.py")
+
+
+def rule_ids(source: str):
+    return sorted({f.rule for f in findings_for(source)})
+
+
+class TestR001GlobalRng:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # legacy stdlib global sampler
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """,
+            # unseeded numpy constructor
+            """
+            import numpy as np
+
+            def noise(n):
+                rng = np.random.default_rng()
+                return rng.random(n)
+            """,
+            # legacy numpy global sampler
+            """
+            import numpy as np
+
+            def shuffle_ids(n):
+                return np.random.permutation(n)
+            """,
+            # module-level generator instance (shared mutable state)
+            """
+            import numpy as np
+
+            RNG = np.random.default_rng(7)
+            """,
+            # aliased import still resolves
+            """
+            from random import randint as ri
+
+            def roll():
+                return ri(1, 6)
+            """,
+        ],
+    )
+    def test_fires(self, source):
+        assert "R001" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # injected seeded generator: the idiom the rule enforces
+            """
+            import numpy as np
+
+            def noise(n, rng):
+                return rng.random(n)
+            """,
+            # seeded constructor from a parameter
+            """
+            import numpy as np
+
+            def noise(n, seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(n)
+            """,
+            # a local object that merely shares the name `random`
+            """
+            def pick(random, items):
+                return random.choice(items)
+            """,
+        ],
+    )
+    def test_quiet(self, source):
+        assert "R001" not in rule_ids(source)
+
+    def test_suppression_comment_silences(self):
+        source = """
+        import random
+
+        def pick(items):
+            return random.choice(items)  # reprolint: disable=R001
+        """
+        assert findings_for(source) == []
+
+    def test_suppress_all(self):
+        source = """
+        import random
+
+        def pick(items):
+            return random.choice(items)  # reprolint: disable=all
+        """
+        assert findings_for(source) == []
+
+
+class TestR002CongestModel:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # payload tuple wider than MESSAGE_WORD_LIMIT
+            """
+            from repro.congest.network import NodeAlgorithm
+
+            class Wide(NodeAlgorithm):
+                def initialize(self):
+                    return {1: (1, 2, 3, 4, 5)}
+            """,
+            # tuple(range(k)) with constant k over the limit
+            """
+            from repro.congest.network import NodeAlgorithm
+
+            class RangeWide(NodeAlgorithm):
+                def receive(self, round_number, inbox):
+                    return {0: tuple(range(9))}
+            """,
+            # global graph knowledge inside receive
+            """
+            from repro.congest.network import NodeAlgorithm
+
+            graph = None
+
+            class Peeking(NodeAlgorithm):
+                def receive(self, round_number, inbox):
+                    return {w: (1,) for w in graph.neighbors(0)}
+            """,
+            # indirect subclassing is still a node algorithm
+            """
+            from repro.congest.network import NodeAlgorithm
+
+            class Base(NodeAlgorithm):
+                pass
+
+            class Indirect(Base):
+                def initialize(self):
+                    return {1: (1, 2, 3, 4, 5, 6)}
+            """,
+        ],
+    )
+    def test_fires(self, source):
+        assert "R002" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # payload within budget; local name `graph` is fine
+            """
+            from repro.congest.network import NodeAlgorithm
+
+            class Good(NodeAlgorithm):
+                def receive(self, round_number, inbox):
+                    graph = dict(inbox)
+                    return {w: ("id", 3) for w in graph}
+            """,
+            # wide tuples outside NodeAlgorithm methods are not payloads
+            """
+            def table():
+                return (1, 2, 3, 4, 5, 6, 7)
+            """,
+        ],
+    )
+    def test_quiet(self, source):
+        assert "R002" not in rule_ids(source)
+
+
+class TestR003Nondeterminism:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            """
+            import os
+
+            def token():
+                return os.urandom(8)
+            """,
+            # direct iteration over a set: hash-order dependent
+            """
+            def visit(edges):
+                for edge in set(edges):
+                    print(edge)
+            """,
+            # set comprehension source in a comprehension
+            """
+            def labels(xs):
+                return [x + 1 for x in {1, 2, 3}]
+            """,
+        ],
+    )
+    def test_fires(self, source):
+        assert "R003" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # sorting restores determinism
+            """
+            def visit(edges):
+                for edge in sorted(set(edges)):
+                    print(edge)
+            """,
+            # membership tests and set algebra do not iterate
+            """
+            def member(x, xs):
+                return x in set(xs)
+            """,
+        ],
+    )
+    def test_quiet(self, source):
+        assert "R003" not in rule_ids(source)
+
+
+class TestR004ExceptionHygiene:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            """
+            def run(fn):
+                try:
+                    fn()
+                except:
+                    return None
+            """,
+            """
+            from repro.congest.network import CongestViolation
+
+            def run(fn):
+                try:
+                    fn()
+                except CongestViolation:
+                    pass
+            """,
+            # swallowing silently via `except Exception: pass`
+            """
+            def run(fn):
+                try:
+                    fn()
+                except Exception:
+                    pass
+            """,
+        ],
+    )
+    def test_fires(self, source):
+        assert "R004" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # re-raising preserves the model violation
+            """
+            from repro.congest.network import CongestViolation
+
+            def run(fn):
+                try:
+                    fn()
+                except CongestViolation:
+                    raise
+            """,
+            # specific exception, handled with real logic
+            """
+            def run(fn):
+                try:
+                    fn()
+                except ValueError as error:
+                    return str(error)
+            """,
+        ],
+    )
+    def test_quiet(self, source):
+        assert "R004" not in rule_ids(source)
+
+
+class TestR005MissingSeedParam:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # hard-coded seed in a public library function
+            """
+            import numpy as np
+
+            def sample_nodes(n):
+                rng = np.random.default_rng(42)
+                return rng.integers(0, n, size=4)
+            """,
+            # method hiding a constant-seeded stream from callers
+            """
+            import numpy as np
+
+            class Builder:
+                def draw(self, n):
+                    rng = np.random.default_rng(1234)
+                    return rng.random(n)
+            """,
+        ],
+    )
+    def test_fires(self, source):
+        assert "R005" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # seed threaded from the signature
+            """
+            import numpy as np
+
+            def sample_nodes(n, seed=0):
+                rng = np.random.default_rng(seed)
+                return rng.integers(0, n, size=4)
+            """,
+            # derives its stream from self (which holds the seed)
+            """
+            import numpy as np
+
+            class Builder:
+                def draw(self, n):
+                    rng = np.random.default_rng((self.seed, 1))
+                    return rng.random(n)
+            """,
+            # private helpers inherit the caller's contract
+            """
+            import numpy as np
+
+            def _scratch(n):
+                rng = np.random.default_rng(0)
+                return rng.random(n)
+            """,
+        ],
+    )
+    def test_quiet(self, source):
+        assert "R005" not in rule_ids(source)
+
+    def test_exempt_under_tests_directory(self):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+
+            def fixture_like():
+                return np.random.default_rng(3)
+            """
+        )
+        assert any(
+            f.rule == "R005"
+            for f in lint_source(source, "src/repro/fake.py")
+        )
+        assert not any(
+            f.rule == "R005"
+            for f in lint_source(source, "tests/conftest.py")
+        )
+
+
+class TestEngineMechanics:
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert [f.rule for f in findings] == ["E000"]
+
+    def test_findings_sorted_and_located(self):
+        source = textwrap.dedent(
+            """
+            import random
+
+            def a():
+                return random.random()
+
+            def b():
+                return random.random()
+            """
+        )
+        findings = lint_source(source, "fixture.py")
+        assert [f.rule for f in findings] == ["R001", "R001"]
+        assert findings[0].line < findings[1].line
+        assert findings[0].path == "fixture.py"
