@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Record the performance baseline (``BENCH_PR2.json``).
+
+Runs the pinned kernel suite of :mod:`repro.analysis.perf` and writes one
+JSON row per ``(kernel, size)`` measurement.  The committed file is the
+reference later perf PRs diff against; refresh it only in a PR whose
+point is performance, and say so in the PR description.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_baseline.py              # full suite
+    PYTHONPATH=src python scripts/bench_baseline.py --seed 1 --out BENCH.json
+    PYTHONPATH=src python scripts/bench_baseline.py --check      # CI smoke
+
+``--check`` runs every kernel once at a small size and asserts the JSON
+schema — no thresholds, no file written.  See docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from dataclasses import asdict
+
+from repro.analysis.perf import run_bench_suite, validate_bench, write_bench
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=os.path.join(ROOT, "BENCH_PR2.json"),
+        help="output path (default: BENCH_PR2.json at the repo root)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="suite seed (default: 0)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="smoke mode: small sizes, schema assertion, nothing written",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        rows = run_bench_suite(seed=args.seed, quick=True)
+        validate_bench([asdict(row) for row in rows])
+        kernels = sorted({row.kernel for row in rows})
+        print(
+            f"bench --check OK: {len(rows)} rows, "
+            f"{len(kernels)} kernels ({', '.join(kernels)})"
+        )
+        return 0
+
+    rows = run_bench_suite(seed=args.seed)
+    write_bench(rows, args.out)
+    width = max(len(row.kernel) for row in rows)
+    for row in rows:
+        print(
+            f"{row.kernel:<{width}}  n={row.n:<5d} "
+            f"wall={row.wall_s:>9.4f}s  rounds={row.rounds}"
+        )
+    print(f"wrote {len(rows)} rows to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

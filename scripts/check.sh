@@ -22,6 +22,9 @@ fi
 echo "== reprolint (CONGEST + determinism contract)"
 python -m repro.lint src/repro tests
 
+echo "== bench harness smoke (schema only, no thresholds)"
+python scripts/bench_baseline.py --check
+
 echo "== pytest"
 python -m pytest -x -q
 

@@ -1,0 +1,344 @@
+"""Perf-baseline harness: a pinned kernel suite with a committed record.
+
+``scripts/bench_baseline.py`` runs this suite and writes ``BENCH_PR2.json``
+at the repo root — one row per ``(kernel, problem size)`` with the wall
+time and the round count of the run.  Later performance PRs re-run the
+suite and diff against the committed file, so speedups are *recorded*
+rather than asserted.  See ``docs/performance.md`` for the kernel
+inventory and the refresh procedure.
+
+Two deliberate design points:
+
+* every kernel derives all randomness from the single ``seed`` argument
+  (the committed baseline is reproducible bit-for-bit in its ``rounds``
+  columns; only ``wall_s`` is machine-dependent);
+* the scheduler kernel times the vectorized and the reference
+  implementation on the *same* workload and verifies they return equal
+  results before reporting — the baseline cannot silently record a
+  speedup obtained by changing semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.routing_baselines import schedule_paths
+from ..baselines.routing_baselines_ref import schedule_paths_ref
+from ..congest.native import build_native_g0, build_native_level1
+from ..congest.walk_protocol import run_walk_protocol
+from ..core import MstRunner, Router, build_hierarchy
+from ..graphs import (
+    Graph,
+    mixing_time,
+    random_regular,
+    with_random_weights,
+)
+from ..params import Params
+from ..walks import degree_proportional_starts, run_lazy_walks
+
+__all__ = [
+    "BENCH_KEYS",
+    "BenchRow",
+    "circulation_paths",
+    "load_bench",
+    "run_bench_suite",
+    "validate_bench",
+    "write_bench",
+]
+
+#: Exactly the keys of one serialized row, in column order.
+BENCH_KEYS = ("kernel", "n", "seed", "wall_s", "rounds")
+
+
+@dataclass
+class BenchRow:
+    """One benchmark measurement.
+
+    Attributes:
+        kernel: which kernel ran (e.g. ``"scheduler_vectorized"``).
+        n: the problem size (number of base-graph nodes).
+        seed: the suite seed the run derived its randomness from.
+        wall_s: best-of-repeats wall time in seconds (machine-dependent;
+            everything else in the row is seed-deterministic).
+        rounds: the round count the run produced — the semantic
+            fingerprint that must not drift when the kernel gets faster.
+    """
+
+    kernel: str
+    n: int
+    seed: int
+    wall_s: float
+    rounds: int
+
+    def __post_init__(self):
+        # Normalise numpy scalars so the rows serialize as plain JSON.
+        self.n = int(self.n)
+        self.seed = int(self.seed)
+        self.wall_s = float(self.wall_s)
+        self.rounds = int(self.rounds)
+
+
+def _timed(fn: Callable[[], object], repeats: int = 1):
+    """Best-of-``repeats`` wall time of ``fn`` plus its (last) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        begin = time.perf_counter()  # reprolint: disable=R003 (measurement)
+        result = fn()
+        elapsed = time.perf_counter() - begin  # reprolint: disable=R003
+        best = min(best, elapsed)
+    return round(best, 6), result
+
+
+def circulation_paths(
+    graph: Graph, num_packets: int, length: int
+) -> list[list[int]]:
+    """Contention-free packet paths along an Eulerian circulation.
+
+    Walks an Eulerian circuit of the symmetric digraph (every directed
+    arc exactly once — it exists for any connected graph) and starts
+    packet ``i`` at circuit offset ``2 i`` with ``length`` hops.  Every
+    packet then occupies a *distinct* directed edge in every round: a
+    congestion-free path system in the sense of the paper's routing
+    sections, and the scheduler's throughput-bound regime.
+    """
+    num_arcs = int(graph.indptr[-1])
+    if 2 * num_packets > num_arcs:
+        raise ValueError(
+            f"need 2*num_packets <= num_arcs, got {num_packets} packets "
+            f"for {num_arcs} arcs"
+        )
+    nxt = graph.indptr[:-1].astype(np.int64)
+    limit = graph.indptr[1:]
+    stack = [0]
+    circuit: list[int] = []
+    while stack:
+        v = stack[-1]
+        if nxt[v] < limit[v]:
+            arc = int(nxt[v])
+            nxt[v] += 1
+            stack.append(int(graph.indices[arc]))
+        else:
+            circuit.append(stack.pop())
+    circuit.reverse()
+    if len(circuit) != num_arcs + 1:
+        raise ValueError("circulation workload needs a connected graph")
+    base = circuit[:-1]
+    ext = base + base + base[: length + 1]
+    return [ext[2 * i : 2 * i + length + 1] for i in range(num_packets)]
+
+
+def _bench_walk_engine(seed: int, quick: bool) -> list[BenchRow]:
+    configs = [(256, 20)] if quick else [(1024, 100), (4096, 100)]
+    rows = []
+    for n, steps in configs:
+        graph = random_regular(n, 8, np.random.default_rng((seed, n)))
+        starts = degree_proportional_starts(graph, 2)
+        wall, __ = _timed(
+            lambda: run_lazy_walks(
+                graph, starts, steps, np.random.default_rng((seed, n, 1))
+            ),
+            repeats=1 if quick else 3,
+        )
+        rows.append(BenchRow("walk_engine", n, seed, wall, steps))
+    return rows
+
+
+def _bench_scheduler(seed: int, quick: bool) -> list[BenchRow]:
+    # (n, degree, packets, hops): 4096 packets over random_regular(1024, 8)
+    # is the pinned acceptance workload of PR 2.
+    configs = (
+        [(256, 8, 512, 16)]
+        if quick
+        else [(1024, 8, 4096, 192), (512, 8, 2048, 64)]
+    )
+    rows = []
+    for n, degree, packets, hops in configs:
+        graph = random_regular(n, degree, np.random.default_rng((seed, n)))
+        paths = circulation_paths(graph, packets, hops)
+        wall_vec, res_vec = _timed(
+            lambda: schedule_paths(
+                paths, rng=np.random.default_rng((seed, n, 2))
+            ),
+            repeats=1 if quick else 5,
+        )
+        wall_ref, res_ref = _timed(
+            lambda: schedule_paths_ref(
+                paths, rng=np.random.default_rng((seed, n, 2))
+            ),
+            repeats=1 if quick else 2,
+        )
+        if res_vec != res_ref:
+            raise AssertionError(
+                f"scheduler implementations diverged on the bench workload: "
+                f"{res_vec} != {res_ref}"
+            )
+        rows.append(
+            BenchRow("scheduler_vectorized", n, seed, wall_vec, res_vec.rounds)
+        )
+        rows.append(
+            BenchRow("scheduler_reference", n, seed, wall_ref, res_ref.rounds)
+        )
+    return rows
+
+
+def _bench_simulator(seed: int, quick: bool) -> list[BenchRow]:
+    configs = [(48, 8)] if quick else [(64, 16), (128, 16)]
+    rows = []
+    for n, length in configs:
+        graph = random_regular(n, 6, np.random.default_rng((seed, n)))
+        starts = np.repeat(np.arange(n), 2)
+        for kernel, mode in (
+            ("simulator", "full"),
+            ("simulator_novalidate", "off"),
+        ):
+            wall, outcome = _timed(
+                lambda: run_walk_protocol(
+                    graph, starts, length, seed=seed + n, validate=mode
+                ),
+                repeats=1 if quick else 3,
+            )
+            rows.append(
+                BenchRow(
+                    kernel,
+                    n,
+                    seed,
+                    wall,
+                    outcome.forward_rounds + outcome.reverse_rounds,
+                )
+            )
+    return rows
+
+
+def _bench_native_build(seed: int, quick: bool) -> list[BenchRow]:
+    configs = [(32, 6)] if quick else [(64, 6), (256, 6)]
+    rows = []
+    for n, degree in configs:
+        graph = random_regular(n, degree, np.random.default_rng((seed, n)))
+        tau = mixing_time(graph)
+
+        def build():
+            g0 = build_native_g0(
+                graph,
+                walks_per_vnode=12,
+                degree=6,
+                length=2 * tau,
+                seed=seed + n,
+            )
+            level1 = build_native_level1(
+                g0, beta=3, degree=4, length=8, seed=seed + n + 1
+            )
+            return g0, level1
+
+        wall, (g0, level1) = _timed(build, repeats=1)
+        rows.append(
+            BenchRow(
+                "native_build",
+                n,
+                seed,
+                wall,
+                g0.build_rounds + level1.build_rounds,
+            )
+        )
+    return rows
+
+
+def _bench_end_to_end(seed: int, quick: bool) -> list[BenchRow]:
+    sizes = (48,) if quick else (64, 128)
+    params = Params.default()
+    rows = []
+    for n in sizes:
+        graph = random_regular(n, 6, np.random.default_rng((seed, n)))
+
+        def route(seed=seed, n=n):
+            rng = np.random.default_rng((seed, n, 3))
+            hierarchy = build_hierarchy(graph, params, rng)
+            router = Router(hierarchy, params=params, rng=rng)
+            return router.route(np.arange(n), rng.permutation(n))
+
+        wall_route, route_result = _timed(route, repeats=1)
+        rows.append(
+            BenchRow(
+                "end_to_end_route", n, seed, wall_route, route_result.cost_rounds
+            )
+        )
+
+        def mst(seed=seed, n=n):
+            rng = np.random.default_rng((seed, n, 4))
+            weighted = with_random_weights(graph, rng)
+            hierarchy = build_hierarchy(weighted, params, rng)
+            runner = MstRunner(
+                weighted, hierarchy=hierarchy, params=params, rng=rng
+            )
+            return runner.run()
+
+        wall_mst, mst_result = _timed(mst, repeats=1)
+        rows.append(
+            BenchRow("end_to_end_mst", n, seed, wall_mst, mst_result.rounds)
+        )
+    return rows
+
+
+def run_bench_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
+    """Run the pinned kernel suite.
+
+    Args:
+        seed: single seed every kernel derives its randomness from.
+        quick: smoke mode for ``scripts/bench_baseline.py --check`` —
+            one small size per kernel, single repetition, no thresholds.
+
+    Returns one :class:`BenchRow` per kernel/size measurement.
+    """
+    rows: list[BenchRow] = []
+    rows += _bench_walk_engine(seed, quick)
+    rows += _bench_scheduler(seed, quick)
+    rows += _bench_simulator(seed, quick)
+    rows += _bench_native_build(seed, quick)
+    rows += _bench_end_to_end(seed, quick)
+    return rows
+
+
+def validate_bench(payload: object) -> None:
+    """Assert ``payload`` is a well-formed list of serialized bench rows.
+
+    Raises ``ValueError`` describing the first violation.
+    """
+    if not isinstance(payload, list) or not payload:
+        raise ValueError("bench payload must be a non-empty list of rows")
+    for index, row in enumerate(payload):
+        if not isinstance(row, dict) or tuple(row.keys()) != BENCH_KEYS:
+            raise ValueError(
+                f"row {index} must have exactly the keys {BENCH_KEYS}, "
+                f"got {row!r}"
+            )
+        if not isinstance(row["kernel"], str) or not row["kernel"]:
+            raise ValueError(f"row {index}: kernel must be a non-empty str")
+        for key in ("n", "seed", "rounds"):
+            if not isinstance(row[key], int) or isinstance(row[key], bool):
+                raise ValueError(f"row {index}: {key} must be an int")
+        if not isinstance(row["wall_s"], (int, float)) or row["wall_s"] < 0:
+            raise ValueError(f"row {index}: wall_s must be a number >= 0")
+        if row["n"] <= 0 or row["rounds"] < 0:
+            raise ValueError(f"row {index}: n must be > 0 and rounds >= 0")
+
+
+def write_bench(rows: Sequence[BenchRow], path: str) -> None:
+    """Serialize bench rows to ``path`` as validated, diffable JSON."""
+    payload = [asdict(row) for row in rows]
+    validate_bench(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def load_bench(path: str) -> list[BenchRow]:
+    """Read and validate a bench file written by :func:`write_bench`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    validate_bench(payload)
+    return [BenchRow(**row) for row in payload]

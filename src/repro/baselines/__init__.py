@@ -12,7 +12,9 @@ from .routing_baselines import (
     StoreAndForwardResult,
     bfs_store_and_forward,
     random_walk_delivery,
+    schedule_paths,
 )
+from .routing_baselines_ref import schedule_paths_ref
 
 __all__ = [
     "is_spanning_tree",
@@ -35,4 +37,6 @@ __all__ = [
     "StoreAndForwardResult",
     "bfs_store_and_forward",
     "random_walk_delivery",
+    "schedule_paths",
+    "schedule_paths_ref",
 ]

@@ -256,9 +256,16 @@ class _Relabel(NodeAlgorithm):
 
 
 def congest_ghs_mst(
-    graph: WeightedGraph, max_iterations: int | None = None
+    graph: WeightedGraph,
+    max_iterations: int | None = None,
+    validate: str = "full",
 ) -> CongestGhsResult:
-    """Run message-passing Boruvka to completion on ``graph``."""
+    """Run message-passing Boruvka to completion on ``graph``.
+
+    ``validate`` selects the outbox-validation mode of
+    :meth:`repro.congest.network.Network.run`; results are identical
+    across modes (the equivalence suite asserts this).
+    """
     if not isinstance(graph, WeightedGraph):
         raise TypeError("congest_ghs_mst needs a WeightedGraph")
     if len(set(graph.weights.tolist())) != graph.num_edges:
@@ -279,7 +286,9 @@ def congest_ghs_mst(
     def run_phase(cls) -> None:
         nonlocal rounds, messages
         algorithms = [cls(network.context(v), states[v]) for v in range(n)]
-        stats = network.run(algorithms, max_rounds=50 * n + 100)
+        stats = network.run(
+            algorithms, max_rounds=50 * n + 100, validate=validate
+        )
         rounds += stats.rounds
         messages += stats.messages
         return algorithms

@@ -10,12 +10,18 @@ Two contrast points for the hierarchical router:
   hit its destination.  Demonstrates why raw walks do not route (the
   paper's opening observation): expected hitting time ``Theta(m / d(t))``
   per packet.
+
+The scheduler here is the *vectorized* implementation (packets as CSR
+arrays, per-round winner selection with numpy); the original scalar
+dict-and-deque implementation lives on as the semantic oracle in
+:mod:`repro.baselines.routing_baselines_ref` and the equivalence suite
+proves the two produce identical results seed for seed.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
+from itertools import chain
 
 import numpy as np
 
@@ -81,47 +87,199 @@ def schedule_paths(
     round; contended packets queue FIFO in randomized arrival order.
     Used both for shortest-path routing and for delivering overlay
     messages along their embedded walk paths (``repro.congest.native``).
+
+    This is the vectorized scheduler: paths live in CSR arrays and every
+    directed-edge queue is an array-backed linked list, so one round
+    costs a handful of numpy ops over the *busy queues* (no per-packet
+    Python).  It replicates the reference discipline of
+    :func:`..routing_baselines_ref.schedule_paths_ref`
+    packet-for-packet — including the dict-insertion drain order — so
+    ``rounds``/``delivered``/``max_queue``/``total_hops`` are identical
+    on the same seed (one ``rng.permutation`` is the entire randomness
+    of both implementations).
     """
     rng = resolve_rng(rng, seed)
-    total_hops = sum(len(path) - 1 for path in paths)
-    # Queue per directed edge (u -> v), keyed by (u, v).
-    queues: dict[tuple[int, int], deque] = {}
-    position = [0] * len(paths)  # index into each packet's path
-    order = rng.permutation(len(paths))
-    pending = 0
-    for pid in order:
-        path = paths[pid]
-        if len(path) > 1:
-            queues.setdefault((path[0], path[1]), deque()).append(pid)
-            pending += 1
+    num_packets = len(paths)
+    lengths = np.fromiter(map(len, paths), dtype=np.int64, count=num_packets)
+    total_hops = int((lengths - 1).sum()) if num_packets else 0
+    order = rng.permutation(num_packets)
+    entered = lengths > 1
+    if not entered.any():
+        return StoreAndForwardResult(
+            rounds=0, delivered=True, max_queue=0, total_hops=total_hops
+        )
+    # CSR layout: all path nodes flat; per-packet node-position
+    # pointers (a packet is delivered when its pointer reaches the last
+    # node of its path).
+    offsets = np.zeros(num_packets + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    nodes = np.fromiter(
+        chain.from_iterable(paths), dtype=np.int64, count=int(offsets[-1])
+    )
+    # A hop starts at every node that is not the last of its path.
+    starts_hop = np.ones(nodes.shape[0], dtype=bool)
+    starts_hop[offsets[1:] - 1] = False
+    hop_positions = np.flatnonzero(starts_hop)
+    # Dense directed-edge ids for the (src, dst) hop keys — dense so
+    # the per-edge queue arrays stay small and cache-resident.
+    low = int(nodes.min())
+    span = int(nodes.max()) - low + 1
+    keys = (nodes[hop_positions] - low) * span + (
+        nodes[hop_positions + 1] - low
+    )
+    if span * span <= 4_194_304:
+        # Presence table + scatter: same dense ids as
+        # np.unique(return_inverse=True) without sorting every hop.
+        seen = np.zeros(span * span, dtype=bool)
+        seen[keys] = True
+        uniq = np.flatnonzero(seen)
+        num_edges = int(uniq.shape[0])
+        lut = np.empty(span * span, dtype=np.int64)
+        lut[uniq] = np.arange(num_edges, dtype=np.int64)
+        hop_edge = lut[keys]
+    else:
+        uniq_keys, hop_edge = np.unique(keys, return_inverse=True)
+        num_edges = int(uniq_keys.shape[0])
+    if num_edges * num_packets < 2**31:
+        # int32 sort keys in append() are measurably faster; safe since
+        # every combined key fits (edge * k + position < edges * packets).
+        hop_edge = hop_edge.astype(np.int32)
+
+    state = _SchedulerState(num_packets, num_edges, hop_edge.dtype)
+    # Per-packet pointer into hop_edge; a packet is delivered once its
+    # pointer reaches the start of the next packet's hop range.
+    hop_offsets = np.zeros(num_packets + 1, dtype=np.int64)
+    np.cumsum(np.maximum(lengths - 1, 0), out=hop_offsets[1:])
+    ptr = hop_offsets[:-1].copy()
+    end_ptr = hop_offsets[1:]
+    initial = order[entered[order]]  # packets entering, permutation order
+    max_queue = state.append(initial, hop_edge[ptr[initial]])
+    state.end_round()
+    pending = int(initial.shape[0])
     rounds = 0
-    max_queue = max((len(q) for q in queues.values()), default=0)
     while pending:
         rounds += 1
         if rounds > max_rounds:
             raise RuntimeError("store-and-forward exceeded the round budget")
-        moves: list[tuple[tuple[int, int], int]] = []
-        for key, queue in queues.items():
-            if queue:
-                moves.append((key, queue.popleft()))
-        for (u, v), pid in moves:
-            position[pid] += 1
-            path = paths[pid]
-            if position[pid] == len(path) - 1:
-                pending -= 1
-            else:
-                nxt = (path[position[pid]], path[position[pid] + 1])
-                queues.setdefault(nxt, deque()).append(pid)
-        max_queue = max(
-            max_queue, max((len(q) for q in queues.values()), default=0)
-        )
-        queues = {key: q for key, q in queues.items() if q}
+        movers = state.pop_heads()  # dict-insertion (drain) order
+        moved_to = ptr[movers] + 1
+        ptr[movers] = moved_to
+        alive = moved_to != end_ptr[movers]
+        cont = movers[alive]  # still in drain order
+        pending -= movers.shape[0] - cont.shape[0]
+        if cont.shape[0]:
+            peak = state.append(cont, hop_edge[moved_to[alive]])
+            if peak > max_queue:
+                max_queue = peak
+        # End-of-round cleanup: queues that emptied lose their key.
+        state.end_round()
     return StoreAndForwardResult(
         rounds=rounds,
         delivered=True,
         max_queue=max_queue,
         total_hops=total_hops,
     )
+
+
+class _SchedulerState:
+    """Array-backed FIFO queues for the vectorized scheduler.
+
+    One queue per directed edge, as a linked list over packet ids
+    (``next_packet``); ``queue_head``/``queue_tail``/``counts`` index it
+    per edge.  ``busy`` holds the nonempty queues' keys as an explicit
+    array in *dict insertion order*, replaying the reference
+    implementation's dict semantics structurally: at the end of a round
+    survivors keep their relative order and queues keyed for the first
+    time are appended in first-append order — exactly the reference's
+    ``dict.setdefault`` plus end-of-round rebuild.  ``live`` marks which
+    edges currently hold a key.
+    """
+
+    def __init__(self, num_packets: int, num_edges: int, edge_dtype):
+        self.next_packet = np.full(num_packets, -1, dtype=np.int64)
+        self._iota = np.arange(num_packets, dtype=edge_dtype)
+        self.queue_head = np.full(num_edges, -1, dtype=np.int64)
+        self.queue_tail = np.full(num_edges, -1, dtype=np.int64)
+        self.counts = np.zeros(num_edges, dtype=np.int64)
+        self.live = np.zeros(num_edges, dtype=bool)
+        self.busy = np.empty(0, dtype=np.int64)
+        self._fresh: np.ndarray | None = None
+        self._mark = np.zeros(num_packets, dtype=bool)  # scratch
+
+    def pop_heads(self) -> np.ndarray:
+        """Dequeue the FIFO head of every busy queue, in drain order."""
+        busy = self.busy
+        movers = self.queue_head[busy]
+        self.queue_head[busy] = self.next_packet[movers]
+        self.counts[busy] -= 1
+        return movers
+
+    def append(self, packets: np.ndarray, edges: np.ndarray) -> int:
+        """Enqueue ``packets`` onto ``edges`` (parallel arrays, append
+        order = drain order), returning the peak queue length touched."""
+        k = edges.shape[0]
+        # Group by edge while preserving append order within each group:
+        # the combined key (edge, position) is unique, so an *unstable*
+        # quicksort argsort yields the stable-grouped order at a
+        # fraction of a stable sort's cost.
+        grouped = np.argsort(edges * k + self._iota[:k])
+        run = packets[grouped]
+        run_edge = edges[grouped]
+        boundary = np.empty(k, dtype=bool)
+        boundary[0] = True
+        np.not_equal(run_edge[1:], run_edge[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        firsts = run[starts]
+        first_edges = run_edge[starts]
+        last_at = np.empty(starts.shape[0], dtype=np.int64)
+        last_at[:-1] = starts[1:] - 1
+        last_at[-1] = k - 1
+        # One scatter wires every link: each packet points at the next
+        # of its group, and each group's last packet gets the -1 tail.
+        link = np.empty(k, dtype=np.int64)
+        link[: k - 1] = run[1:]
+        link[last_at] = -1
+        self.next_packet[run] = link
+        lasts = run[last_at]
+        was_empty = self.counts[first_edges] == 0
+        self.queue_head[first_edges[was_empty]] = firsts[was_empty]
+        self.next_packet[self.queue_tail[first_edges[~was_empty]]] = firsts[
+            ~was_empty
+        ]
+        self.queue_tail[first_edges] = lasts
+        sizes = np.empty(starts.shape[0], dtype=np.int64)
+        sizes[:-1] = starts[1:] - starts[:-1]
+        sizes[-1] = k - starts[-1]
+        new_counts = self.counts[first_edges] + sizes
+        self.counts[first_edges] = new_counts
+        # Queues keyed for the first time, in first-append order (the
+        # dict key-insertion order): a group's first append happens at
+        # its earliest *original* position.
+        fresh = ~self.live[first_edges]
+        if fresh.any():
+            pos = grouped[starts[fresh]]
+            mark = self._mark
+            mark[pos] = True
+            new_edges = edges[np.flatnonzero(mark[:k])]
+            mark[pos] = False
+            self.live[new_edges] = True
+            self._fresh = new_edges
+        else:
+            self._fresh = None
+        return int(new_counts.max())
+
+    def end_round(self) -> None:
+        """End-of-round dict rebuild: emptied queues lose their key and
+        queues keyed during the round join at the end, in order."""
+        busy = self.busy
+        keep = self.counts[busy] > 0
+        self.live[busy] = keep
+        survivors = busy[keep]
+        if self._fresh is None:
+            self.busy = survivors
+        else:
+            self.busy = np.concatenate([survivors, self._fresh])
+            self._fresh = None
 
 
 def _shortest_paths(

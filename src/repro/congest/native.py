@@ -1,4 +1,4 @@
-"""A CONGEST-native ``G0`` at toy scale: overlay edges as embedded paths.
+"""A CONGEST-native ``G0``: overlay edges as embedded paths.
 
 The fastest paths in this library treat overlay graphs abstractly and
 charge measured emulation costs.  This module builds the level-zero
@@ -16,11 +16,17 @@ The native round cost is then compared against the vectorized
 calibration of :func:`repro.core.embedding.build_g0` (see
 ``tests/congest/test_native.py``) — closing the loop between the
 accounted and the executed pipeline.
+
+The level-1 construction batches its sampling walks over the overlay CSR
+and assembles the embedded chains with array ops, which keeps base
+graphs up to ``n ~ 256`` practical (the walk protocol itself remains the
+scalar message-passing simulation — that part *is* the artifact).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain as _chain
 
 import numpy as np
 
@@ -57,7 +63,11 @@ class NativeG0:
 
 
 def _forward_pass_with_paths(
-    graph: Graph, starts: np.ndarray, length: int, seed: int
+    graph: Graph,
+    starts: np.ndarray,
+    length: int,
+    seed: int,
+    validate: str = "full",
 ) -> tuple[np.ndarray, list[list[int]], int]:
     """Run the forward walk protocol and reconstruct each token's path.
 
@@ -81,7 +91,9 @@ def _forward_pass_with_paths(
         _ForwardNode(network.context(v), states[v], per_node[v])
         for v in range(n)
     ]
-    stats = network.run(forward, max_rounds=10000 * (length + 1))
+    stats = network.run(
+        forward, max_rounds=10000 * (length + 1), validate=validate
+    )
     endpoints = np.full(starts.shape[0], -1, dtype=np.int64)
     for v, state in enumerate(states):
         for walk_id in state.finished_here:
@@ -114,11 +126,13 @@ def build_native_g0(
     degree: int,
     length: int,
     seed: int = 0,
+    validate: str = "full",
 ) -> NativeG0:
     """Build a native ``G0`` with embedded paths and measure one round.
 
-    Intended for toy scale (``n <= ~32``): the embedded-path bookkeeping
-    is the point, not speed.
+    The construction walks run through the message-passing simulator;
+    everything downstream (path delivery, native-round measurement) goes
+    through the vectorized scheduler, which keeps ``n ~ 256`` practical.
 
     Args:
         graph: connected base graph.
@@ -126,6 +140,8 @@ def build_native_g0(
         degree: out-neighbours kept per virtual node.
         length: walk length (use ``~2 tau_mix``).
         seed: base seed for per-node randomness.
+        validate: outbox-validation mode for the simulator (see
+            :meth:`repro.congest.network.Network.run`).
     """
     if not graph.is_connected():
         raise ValueError("native G0 requires a connected graph")
@@ -134,7 +150,7 @@ def build_native_g0(
     starts = np.repeat(vnode_host, walks_per_vnode)
     owners = np.repeat(np.arange(num_vnodes), walks_per_vnode)
     endpoints, walk_paths, build_rounds = _forward_pass_with_paths(
-        graph, starts, length, seed
+        graph, starts, length, seed, validate=validate
     )
     # The reversal (to tell sources their endpoints) costs about the same
     # again; run it through schedule_paths on the reversed paths.
@@ -184,13 +200,117 @@ def build_native_g0(
     )
 
 
-def _compress(path: list[int]) -> list[int]:
-    """Drop consecutive duplicates (host-local segments cost no rounds)."""
-    out = [path[0]]
-    for node in path[1:]:
-        if node != out[-1]:
-            out.append(node)
-    return out
+def _oriented_arc_paths(g0: NativeG0) -> list[list[int]]:
+    """Per overlay arc, the embedded path oriented tail-host → head-host.
+
+    One pass over the arcs — each arc resolves its undirected edge via
+    ``arc_edge`` directly, replacing the old per-edge
+    ``np.flatnonzero(arc_edge == eid)`` scan that was
+    O(num_arcs · num_edges).
+    """
+    overlay = g0.overlay
+    num_edges = len(g0.edge_paths)
+    arc_paths: list[list[int] | None] = [None] * overlay.num_arcs
+    for arc in range(overlay.num_arcs):
+        eid = int(overlay.arc_edge[arc])
+        if eid >= num_edges:
+            continue
+        path = g0.edge_paths[eid]
+        tail_host = int(g0.vnode_host[overlay.arc_tails[arc]])
+        if tail_host == path[0]:
+            arc_paths[arc] = path
+        elif tail_host == path[-1]:
+            arc_paths[arc] = path[::-1]
+        else:
+            raise ValueError(
+                f"G0 edge path for overlay arc {arc} starts at "
+                f"{path[0]} and ends at {path[-1]}, neither of which is "
+                f"the arc's tail host {tail_host}; edge_paths is "
+                "inconsistent with the overlay"
+            )
+    missing = [arc for arc, path in enumerate(arc_paths) if path is None]
+    if missing:
+        raise ValueError(
+            f"overlay arcs {missing[:8]}{'...' if len(missing) > 8 else ''} "
+            f"have no embedded G0 path ({num_edges} edge paths for "
+            f"{overlay.num_arcs} arcs); the G0 overlay is inconsistent — "
+            "e.g. built over a disconnected graph"
+        )
+    return [path for path in arc_paths if path is not None]
+
+
+def _assemble_chains(
+    g0: NativeG0,
+    arc_paths: list[list[int]],
+    owners: np.ndarray,
+    arcs_taken: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-walk G0 segments, dropping consecutive duplicates.
+
+    ``arcs_taken`` is ``(length, num_walks)``; entry ``-1`` means the
+    walk stayed that step.  Returns CSR arrays ``(nodes, offsets)``: walk
+    ``w``'s real-node chain is ``nodes[offsets[w]:offsets[w + 1]]``,
+    starting at its owner's host.  (Host-local repeats cost no rounds,
+    hence the duplicate drop.)
+    """
+    num_walks = int(owners.shape[0])
+    # Flatten every arc segment (the path minus its first node, which is
+    # the walk's current host whenever the arc is taken).
+    seg_lists = [path[1:] for path in arc_paths]
+    seg_len = np.fromiter(
+        map(len, seg_lists), dtype=np.int64, count=len(seg_lists)
+    )
+    seg_offsets = np.zeros(seg_len.shape[0] + 1, dtype=np.int64)
+    np.cumsum(seg_len, out=seg_offsets[1:])
+    seg_flat = np.fromiter(
+        _chain.from_iterable(seg_lists),
+        dtype=np.int64,
+        count=int(seg_offsets[-1]),
+    )
+    # Crossing events, ordered walk-major then step-major — the order the
+    # scalar loop appended segments in.
+    events = arcs_taken.T
+    mask = events >= 0
+    ev_counts = mask.sum(axis=1)
+    ev_arcs = events[mask]
+    ev_walks = np.repeat(np.arange(num_walks, dtype=np.int64), ev_counts)
+    ev_len = seg_len[ev_arcs]
+    ev_cum = np.zeros(ev_len.shape[0] + 1, dtype=np.int64)
+    np.cumsum(ev_len, out=ev_cum[1:])
+    total_content = int(ev_cum[-1])
+    # Gather all segment nodes in event order (CSR expansion).
+    within = np.arange(total_content, dtype=np.int64) - np.repeat(
+        ev_cum[:-1], ev_len
+    )
+    content = seg_flat[np.repeat(seg_offsets[ev_arcs], ev_len) + within]
+    # Interleave with the per-walk start hosts: exactly one start node
+    # precedes each walk's content, so content element j lands at global
+    # position j + (its walk index) + 1.
+    ev_ptr = np.zeros(num_walks + 1, dtype=np.int64)
+    np.cumsum(ev_counts, out=ev_ptr[1:])
+    walk_extra = ev_cum[ev_ptr[1:]] - ev_cum[ev_ptr[:-1]]
+    offsets = np.zeros(num_walks + 1, dtype=np.int64)
+    np.cumsum(walk_extra + 1, out=offsets[1:])
+    nodes = np.empty(int(offsets[-1]), dtype=np.int64)
+    starts_at = offsets[:-1]
+    nodes[starts_at] = g0.vnode_host[owners]
+    if total_content:
+        rep_walks = np.repeat(ev_walks, ev_len)
+        nodes[
+            np.arange(total_content, dtype=np.int64) + rep_walks + 1
+        ] = content
+    # Compress consecutive duplicates within each walk (walk boundaries
+    # always survive).
+    keep = np.ones(nodes.shape[0], dtype=bool)
+    keep[1:] = nodes[1:] != nodes[:-1]
+    keep[starts_at] = True
+    walk_of = np.repeat(
+        np.arange(num_walks, dtype=np.int64), walk_extra + 1
+    )
+    kept_counts = np.bincount(walk_of[keep], minlength=num_walks)
+    out_offsets = np.zeros(num_walks + 1, dtype=np.int64)
+    np.cumsum(kept_counts, out=out_offsets[1:])
+    return nodes[keep], out_offsets
 
 
 @dataclass
@@ -237,50 +357,52 @@ def build_native_level1(
     rng = np.random.default_rng((seed, 0))
     num_vnodes = g0.overlay.num_nodes
     parts = rng.integers(0, beta, size=num_vnodes)
-    # Adjacency of the G0 overlay with per-arc embedded paths.
-    arc_paths: list[list[int]] = [None] * g0.overlay.num_arcs
-    for eid, path in enumerate(g0.edge_paths):
-        for arc in np.flatnonzero(g0.overlay.arc_edge == eid):
-            tail = g0.overlay.arc_tails[arc]
-            if g0.vnode_host[tail] == path[0]:
-                arc_paths[arc] = path
-            else:
-                arc_paths[arc] = list(reversed(path))
+    arc_paths = _oriented_arc_paths(g0)
     walks_per = max(degree * beta, 2 * degree)
-    edges: list[tuple[int, int]] = []
-    edge_paths: list[list[int]] = []
-    all_traversals: list[list[int]] = []
     indptr = g0.overlay.indptr
     indices = g0.overlay.indices
+    overlay_degrees = g0.overlay.degrees
+    # --- Batched lazy walk over the overlay CSR: all walks step together.
+    num_walks = num_vnodes * walks_per
+    owners = np.repeat(np.arange(num_vnodes, dtype=np.int64), walks_per)
+    positions = owners.copy()
+    # arcs_taken[step, w] is the overlay arc walk w crossed at `step`, or
+    # -1 if it stayed put (lazy step or isolated vnode).
+    arcs_taken = np.full((length, num_walks), -1, dtype=np.int64)
+    for step in range(length):
+        move = rng.random(num_walks) >= 0.5
+        move &= overlay_degrees[positions] > 0
+        if not move.any():
+            continue
+        pos = positions[move]
+        arcs = indptr[pos] + rng.integers(0, overlay_degrees[pos])
+        arcs_taken[step, move] = arcs
+        positions[move] = indices[arcs]
+    chains, chain_offsets = _assemble_chains(g0, arc_paths, owners, arcs_taken)
+    # --- Same-part endpoint selection, in vnode-major walk order.
+    edges: list[tuple[int, int]] = []
+    edge_path_walks: list[int] = []
     kept: dict[int, set[int]] = {}
-    for vnode in range(num_vnodes):
-        for _ in range(walks_per):
-            position = vnode
-            chain: list[int] = [int(g0.vnode_host[vnode])]
-            for _step in range(length):
-                if rng.random() < 0.5:
-                    continue  # lazy stay
-                d = indptr[position + 1] - indptr[position]
-                if d == 0:
-                    continue
-                arc = int(indptr[position] + rng.integers(0, d))
-                segment = arc_paths[arc]
-                chain.extend(segment[1:])
-                position = int(indices[arc])
-            chain = _compress(chain)
-            all_traversals.append(chain)
-            if (
-                position != vnode
-                and parts[position] == parts[vnode]
-                and len(kept.setdefault(vnode, set())) < degree
-                and position not in kept[vnode]
-            ):
-                kept[vnode].add(position)
-                edges.append((vnode, position))
-                edge_paths.append(chain)
+    same_part = parts[positions] == parts[owners]
+    for walk_id in np.flatnonzero(same_part & (positions != owners)):
+        vnode = int(owners[walk_id])
+        position = int(positions[walk_id])
+        bucket = kept.setdefault(vnode, set())
+        if len(bucket) < degree and position not in bucket:
+            bucket.add(position)
+            edges.append((vnode, position))
+            edge_path_walks.append(int(walk_id))
+    flat = chains.tolist()
+    edge_paths: list[list[int]] = [
+        flat[chain_offsets[w] : chain_offsets[w + 1]] for w in edge_path_walks
+    ]
+    all_traversals = [
+        flat[chain_offsets[w] : chain_offsets[w + 1]]
+        for w in range(num_walks)
+        if chain_offsets[w + 1] - chain_offsets[w] > 1
+    ]
     build = schedule_paths(
-        [path for path in all_traversals if len(path) > 1],
-        rng=np.random.default_rng((seed, 1)),
+        all_traversals, rng=np.random.default_rng((seed, 1))
     )
     both_ways = edge_paths + [list(reversed(p)) for p in edge_paths]
     native_round = schedule_paths(

@@ -160,6 +160,7 @@ def run_walk_protocol(
     starts: np.ndarray,
     length: int,
     seed: int = 0,
+    validate: str = "full",
 ) -> WalkProtocolOutcome:
     """Execute the forward+reverse walk protocol on ``graph``.
 
@@ -168,6 +169,8 @@ def run_walk_protocol(
         starts: origin node per walk token.
         length: lazy steps per walk.
         seed: base seed for the per-node randomness.
+        validate: outbox-validation mode passed to
+            :meth:`repro.congest.network.Network.run`.
 
     Returns:
         A :class:`WalkProtocolOutcome`; ``returned_to`` equals ``starts``
@@ -191,7 +194,9 @@ def run_walk_protocol(
         _ForwardNode(network.context(v), states[v], per_node_tokens[v])
         for v in range(n)
     ]
-    forward_stats = network.run(forward, max_rounds=10000 * (length + 1))
+    forward_stats = network.run(
+        forward, max_rounds=10000 * (length + 1), validate=validate
+    )
     endpoints = np.full(starts.shape[0], -1, dtype=np.int64)
     for v, state in enumerate(states):
         for walk_id in state.finished_here:
@@ -199,7 +204,9 @@ def run_walk_protocol(
     reverse = [
         _ReverseNode(network.context(v), states[v]) for v in range(n)
     ]
-    reverse_stats = network.run(reverse, max_rounds=10000 * (length + 1))
+    reverse_stats = network.run(
+        reverse, max_rounds=10000 * (length + 1), validate=validate
+    )
     returned = np.full(starts.shape[0], -1, dtype=np.int64)
     for v, algorithm in enumerate(reverse):
         for walk_id in algorithm.home_tokens:

@@ -1,0 +1,173 @@
+"""Tests for the perf-baseline harness (`repro.analysis.perf`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.perf import (
+    BENCH_KEYS,
+    BenchRow,
+    circulation_paths,
+    load_bench,
+    run_bench_suite,
+    validate_bench,
+    write_bench,
+)
+from repro.graphs import Graph, random_regular
+
+
+class TestCirculationPaths:
+    def test_paths_follow_edges(self):
+        graph = random_regular(32, 4, np.random.default_rng(420))
+        paths = circulation_paths(graph, 20, 9)
+        assert len(paths) == 20
+        for path in paths:
+            assert len(path) == 10
+            for a, b in zip(path, path[1:]):
+                assert graph.has_edge(a, b)
+
+    def test_contention_free(self):
+        """Packets occupy pairwise-distinct directed edges every round."""
+        graph = random_regular(32, 4, np.random.default_rng(421))
+        paths = circulation_paths(graph, 30, 7)
+        for step in range(7):
+            hops = [(path[step], path[step + 1]) for path in paths]
+            assert len(set(hops)) == len(hops)
+
+    def test_too_many_packets_rejected(self):
+        graph = random_regular(16, 4, np.random.default_rng(422))
+        with pytest.raises(ValueError, match="num_packets"):
+            circulation_paths(graph, 33, 4)  # 64 arcs < 2 * 33
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="connected"):
+            circulation_paths(Graph(4, [(0, 1), (2, 3)]), 1, 2)
+
+
+class TestBenchSuite:
+    @pytest.fixture(scope="class")
+    def quick_rows(self):
+        return run_bench_suite(seed=0, quick=True)
+
+    def test_quick_suite_covers_all_kernels(self, quick_rows):
+        kernels = {row.kernel for row in quick_rows}
+        assert kernels >= {
+            "walk_engine",
+            "scheduler_vectorized",
+            "scheduler_reference",
+            "simulator",
+            "native_build",
+            "end_to_end_route",
+            "end_to_end_mst",
+        }
+
+    def test_quick_rows_validate(self, quick_rows):
+        from dataclasses import asdict
+
+        validate_bench([asdict(row) for row in quick_rows])
+
+    def test_rounds_deterministic_in_seed(self, quick_rows):
+        """Re-running the suite reproduces every round count exactly."""
+        again = run_bench_suite(seed=0, quick=True)
+        assert [(r.kernel, r.n, r.rounds) for r in again] == [
+            (r.kernel, r.n, r.rounds) for r in quick_rows
+        ]
+
+    def test_roundtrip(self, quick_rows, tmp_path):
+        path = str(tmp_path / "bench.json")
+        write_bench(quick_rows, path)
+        assert load_bench(path) == quick_rows
+
+
+class TestValidateBench:
+    def _row(self, **overrides):
+        row = {"kernel": "k", "n": 8, "seed": 0, "wall_s": 0.1, "rounds": 3}
+        row.update(overrides)
+        return row
+
+    def test_accepts_well_formed(self):
+        validate_bench([self._row()])
+
+    def test_rejects_non_list_and_empty(self):
+        with pytest.raises(ValueError):
+            validate_bench({"rows": []})
+        with pytest.raises(ValueError):
+            validate_bench([])
+
+    def test_rejects_wrong_keys(self):
+        bad = self._row()
+        del bad["rounds"]
+        with pytest.raises(ValueError, match="keys"):
+            validate_bench([bad])
+        with pytest.raises(ValueError, match="keys"):
+            validate_bench([{**self._row(), "extra": 1}])
+
+    def test_rejects_wrong_types(self):
+        with pytest.raises(ValueError, match="int"):
+            validate_bench([self._row(n="8")])
+        with pytest.raises(ValueError, match="int"):
+            validate_bench([self._row(rounds=1.5)])
+        with pytest.raises(ValueError, match="kernel"):
+            validate_bench([self._row(kernel="")])
+        with pytest.raises(ValueError, match="wall_s"):
+            validate_bench([self._row(wall_s=-0.1)])
+        with pytest.raises(ValueError, match="rounds"):
+            validate_bench([self._row(rounds=-1)])
+
+    def test_key_order_is_canonical(self):
+        scrambled = {
+            "rounds": 3, "kernel": "k", "wall_s": 0.1, "seed": 0, "n": 8
+        }
+        with pytest.raises(ValueError, match="keys"):
+            validate_bench([scrambled])
+        assert tuple(self._row().keys()) == BENCH_KEYS
+
+
+class TestCommittedBaseline:
+    """The repo-root BENCH_PR2.json must stay loadable and meaningful."""
+
+    @pytest.fixture(scope="class")
+    def committed(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "BENCH_PR2.json"
+        )
+        if not os.path.exists(path):
+            pytest.skip("BENCH_PR2.json not present")
+        return load_bench(path)
+
+    def test_kernel_and_size_coverage(self, committed):
+        by_kernel = {}
+        for row in committed:
+            by_kernel.setdefault(row.kernel, set()).add(row.n)
+        assert len(by_kernel) >= 5
+        for kernel, sizes in by_kernel.items():
+            assert len(sizes) >= 2, f"{kernel} benched at only {sizes}"
+
+    def test_scheduler_speedup_recorded(self, committed):
+        """The acceptance headline: >= 10x on the n=1024 workload."""
+        vec = {
+            row.n: row.wall_s
+            for row in committed
+            if row.kernel == "scheduler_vectorized"
+        }
+        ref = {
+            row.n: row.wall_s
+            for row in committed
+            if row.kernel == "scheduler_reference"
+        }
+        assert 1024 in vec and 1024 in ref
+        assert ref[1024] / vec[1024] >= 10.0
+
+    def test_serialization_is_canonical(self, committed, tmp_path):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "BENCH_PR2.json"
+        )
+        rewritten = str(tmp_path / "rt.json")
+        write_bench(committed, rewritten)
+        with open(path) as handle:
+            assert json.load(handle) == json.load(open(rewritten))

@@ -135,3 +135,31 @@ class TestNativeLevel1:
         have = {tail for tail, __h in lvl.overlay.edges()}
         coverage = len(have) / lvl.overlay.num_nodes
         assert coverage > 0.9
+
+
+class TestArcPathConsistency:
+    """The arc-path fill detects inconsistent G0s instead of crashing."""
+
+    def test_truncated_edge_paths_rejected(self, native):
+        import dataclasses
+
+        from repro.congest.native import build_native_level1
+
+        __, __, g0 = native
+        broken = dataclasses.replace(g0, edge_paths=g0.edge_paths[:-3])
+        with pytest.raises(ValueError, match="no embedded G0 path"):
+            build_native_level1(broken, beta=2, degree=3, length=4, seed=0)
+
+    def test_mismatched_path_endpoints_rejected(self, native):
+        import dataclasses
+
+        from repro.congest.native import build_native_level1
+
+        __, __, g0 = native
+        bad_paths = [list(p) for p in g0.edge_paths]
+        # Endpoints that are no node's host id cannot match either arc
+        # orientation.
+        bad_paths[0] = [10**6, 10**6 + 1]
+        broken = dataclasses.replace(g0, edge_paths=bad_paths)
+        with pytest.raises(ValueError, match="inconsistent with the overlay"):
+            build_native_level1(broken, beta=2, degree=3, length=4, seed=0)

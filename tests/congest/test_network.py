@@ -242,3 +242,112 @@ class TestBroadcast:
         net = Network(g)
         __, rounds = broadcast_value(net, 0, 7)
         assert rounds >= 19
+
+
+class _TickThenViolate(NodeAlgorithm):
+    """Node 0 keeps one message flowing, then over-sends in `bad_round`."""
+
+    bad_round = 5
+
+    def initialize(self):
+        self.finished = self.context.node_id != 0
+        if self.context.node_id == 0:
+            return {self.context.neighbors[0]: ("tick",)}
+        return {}
+
+    def receive(self, round_number, inbox):
+        if self.context.node_id != 0 or self.finished:
+            return {}
+        target = self.context.neighbors[0]
+        if round_number + 1 == self.bad_round:
+            self.finished = True
+            return {target: tuple(range(10))}  # reprolint: disable=R002
+        return {target: ("tick",)}
+
+
+class TestValidateModes:
+    """The `validate` knob trades checking for speed, never results."""
+
+    def test_invalid_mode_rejected(self):
+        net = Network(ring_graph(4))
+        with pytest.raises(ValueError, match="validate"):
+            net.run(
+                [_Silent(net.context(v)) for v in range(4)],
+                validate="sometimes",
+            )
+
+    @staticmethod
+    def _flood_stats(validate):
+        g = hypercube(4)
+        net = Network(g)
+        algorithms = [_SendOnce(net.context(v)) for v in range(g.num_nodes)]
+        stats = net.run(algorithms, validate=validate)
+        received = [a.received for a in algorithms]
+        return stats, received
+
+    def test_modes_identical_run_stats(self):
+        """RunStats (incl. the per-round trace) match across all modes."""
+        full_stats, full_recv = self._flood_stats("full")
+        for mode in ("first_round", "off"):
+            stats, received = self._flood_stats(mode)
+            assert stats == full_stats
+            assert received == full_recv
+
+    def test_full_catches_late_violation(self):
+        g = ring_graph(6)
+        net = Network(g)
+        with pytest.raises(CongestViolation, match="word"):
+            net.run([_TickThenViolate(net.context(v)) for v in range(6)])
+
+    def test_first_round_misses_late_violation(self):
+        """`first_round` checks rounds 1-2 only: a later offender slips
+        through (that is the documented trade-off, not a bug)."""
+        g = ring_graph(6)
+        net = Network(g)
+        stats = net.run(
+            [_TickThenViolate(net.context(v)) for v in range(6)],
+            validate="first_round",
+        )
+        assert stats.rounds >= _TickThenViolate.bad_round
+
+    def test_first_round_catches_early_violation(self):
+        class EarlyOffender(_TickThenViolate):
+            bad_round = 2
+
+        g = ring_graph(6)
+        net = Network(g)
+        with pytest.raises(CongestViolation, match="word"):
+            net.run(
+                [EarlyOffender(net.context(v)) for v in range(6)],
+                validate="first_round",
+            )
+
+    def test_off_skips_all_validation(self):
+        g = ring_graph(6)
+        net = Network(g)
+        stats = net.run(
+            [_TickThenViolate(net.context(v)) for v in range(6)],
+            validate="off",
+        )
+        assert stats.rounds >= _TickThenViolate.bad_round
+
+    def test_ghs_identical_across_modes(self):
+        from repro.baselines.ghs_congest import congest_ghs_mst
+
+        graph = with_random_weights(
+            random_regular(24, 4, np.random.default_rng(60)),
+            np.random.default_rng(61),
+        )
+        full = congest_ghs_mst(graph, validate="full")
+        for mode in ("first_round", "off"):
+            other = congest_ghs_mst(graph, validate=mode)
+            assert other == full
+
+    def test_arc_of_lookup(self):
+        g = random_regular(16, 4, np.random.default_rng(62))
+        net = Network(g)
+        for v in range(g.num_nodes):
+            for a in range(int(g.indptr[v]), int(g.indptr[v + 1])):
+                assert net.arc_of(v, int(g.indices[a])) == a
+        with pytest.raises(KeyError):
+            net.arc_of(0, int(g.num_nodes))

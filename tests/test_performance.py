@@ -57,6 +57,32 @@ class TestKernelSpeed:
         elapsed = time.perf_counter() - begin  # reprolint: disable=R003
         assert elapsed < 30.0, f"hierarchy build too slow: {elapsed:.1f}s"
 
+    def test_scheduler_throughput(self, big_graph):
+        """4096 packets x 64 hops through the vectorized scheduler —
+        sub-second when vectorized, ~10x ceiling against regression."""
+        from repro.analysis.perf import circulation_paths
+        from repro.baselines import schedule_paths
+
+        paths = circulation_paths(big_graph, 4096, 64)
+        begin = time.perf_counter()  # reprolint: disable=R003 (measurement)
+        result = schedule_paths(paths, seed=316)
+        elapsed = time.perf_counter() - begin  # reprolint: disable=R003
+        assert result.rounds == 64
+        assert elapsed < 2.0, f"scheduler too slow: {elapsed:.1f}s"
+
+    def test_simulator_throughput(self):
+        """The walk protocol through Network.run at n=128: the per-round
+        delivery loop must stay O(messages), not O(n * degree)."""
+        from repro.congest.walk_protocol import run_walk_protocol
+
+        graph = random_regular(128, 6, np.random.default_rng(317))
+        starts = np.repeat(np.arange(128), 2)
+        begin = time.perf_counter()  # reprolint: disable=R003 (measurement)
+        outcome = run_walk_protocol(graph, starts, 16, seed=318)
+        elapsed = time.perf_counter() - begin  # reprolint: disable=R003
+        assert (outcome.returned_to == starts).all()
+        assert elapsed < 5.0, f"simulator too slow: {elapsed:.1f}s"
+
     def test_routing_instance_fast(self, hierarchy64, router64):
         rng = np.random.default_rng(315)
         begin = time.perf_counter()  # reprolint: disable=R003 (measurement)
