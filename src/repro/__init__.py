@@ -14,13 +14,16 @@ Public API tour:
   (Theorem 1.3).
 * :func:`repro.approximate_min_cut` — tree-packing approximate min cut
   (the Section 4 corollary).
+* :mod:`repro.runtime` — the execution layer: :class:`repro.RunContext`
+  (named RNG streams, run ledger, structured trace events) and the
+  oracle/native :class:`~repro.runtime.Backend` protocol.
 * :mod:`repro.graphs`, :mod:`repro.walks`, :mod:`repro.congest` — the
   substrates: graph families and spectra, random-walk engines with
   congestion-measured scheduling (Lemmas 2.3–2.5), and a faithful
   CONGEST simulator used by the baselines.
 """
 
-from . import baselines, congest, graphs, hashing, theory, walks
+from . import baselines, congest, graphs, hashing, runtime, theory, walks
 from .core import (
     Hierarchy,
     MstResult,
@@ -38,6 +41,7 @@ from .core import (
     minimum_spanning_tree,
 )
 from .params import Params
+from .runtime import RunContext, make_backend
 from .system import ExpanderNetwork
 
 __version__ = "1.0.0"
@@ -47,8 +51,11 @@ __all__ = [
     "congest",
     "graphs",
     "hashing",
+    "runtime",
     "theory",
     "walks",
+    "RunContext",
+    "make_backend",
     "Hierarchy",
     "MstResult",
     "MstRunner",

@@ -39,6 +39,7 @@ from ..graphs import (
     with_random_weights,
 )
 from ..params import Params
+from ..rng import derive_rng
 from ..walks import degree_proportional_starts, run_lazy_walks
 
 __all__ = [
@@ -137,11 +138,11 @@ def _bench_walk_engine(seed: int, quick: bool) -> list[BenchRow]:
     configs = [(256, 20)] if quick else [(1024, 100), (4096, 100)]
     rows = []
     for n, steps in configs:
-        graph = random_regular(n, 8, np.random.default_rng((seed, n)))
+        graph = random_regular(n, 8, derive_rng(seed, n))
         starts = degree_proportional_starts(graph, 2)
         wall, __ = _timed(
             lambda: run_lazy_walks(
-                graph, starts, steps, np.random.default_rng((seed, n, 1))
+                graph, starts, steps, derive_rng(seed, n, 1)
             ),
             repeats=1 if quick else 3,
         )
@@ -159,17 +160,17 @@ def _bench_scheduler(seed: int, quick: bool) -> list[BenchRow]:
     )
     rows = []
     for n, degree, packets, hops in configs:
-        graph = random_regular(n, degree, np.random.default_rng((seed, n)))
+        graph = random_regular(n, degree, derive_rng(seed, n))
         paths = circulation_paths(graph, packets, hops)
         wall_vec, res_vec = _timed(
             lambda: schedule_paths(
-                paths, rng=np.random.default_rng((seed, n, 2))
+                paths, rng=derive_rng(seed, n, 2)
             ),
             repeats=1 if quick else 5,
         )
         wall_ref, res_ref = _timed(
             lambda: schedule_paths_ref(
-                paths, rng=np.random.default_rng((seed, n, 2))
+                paths, rng=derive_rng(seed, n, 2)
             ),
             repeats=1 if quick else 2,
         )
@@ -191,7 +192,7 @@ def _bench_simulator(seed: int, quick: bool) -> list[BenchRow]:
     configs = [(48, 8)] if quick else [(64, 16), (128, 16)]
     rows = []
     for n, length in configs:
-        graph = random_regular(n, 6, np.random.default_rng((seed, n)))
+        graph = random_regular(n, 6, derive_rng(seed, n))
         starts = np.repeat(np.arange(n), 2)
         for kernel, mode in (
             ("simulator", "full"),
@@ -219,7 +220,7 @@ def _bench_native_build(seed: int, quick: bool) -> list[BenchRow]:
     configs = [(32, 6)] if quick else [(64, 6), (256, 6)]
     rows = []
     for n, degree in configs:
-        graph = random_regular(n, degree, np.random.default_rng((seed, n)))
+        graph = random_regular(n, degree, derive_rng(seed, n))
         tau = mixing_time(graph)
 
         def build():
@@ -253,10 +254,10 @@ def _bench_end_to_end(seed: int, quick: bool) -> list[BenchRow]:
     params = Params.default()
     rows = []
     for n in sizes:
-        graph = random_regular(n, 6, np.random.default_rng((seed, n)))
+        graph = random_regular(n, 6, derive_rng(seed, n))
 
         def route(seed=seed, n=n):
-            rng = np.random.default_rng((seed, n, 3))
+            rng = derive_rng(seed, n, 3)
             hierarchy = build_hierarchy(graph, params, rng)
             router = Router(hierarchy, params=params, rng=rng)
             return router.route(np.arange(n), rng.permutation(n))
@@ -269,7 +270,7 @@ def _bench_end_to_end(seed: int, quick: bool) -> list[BenchRow]:
         )
 
         def mst(seed=seed, n=n):
-            rng = np.random.default_rng((seed, n, 4))
+            rng = derive_rng(seed, n, 4)
             weighted = with_random_weights(graph, rng)
             hierarchy = build_hierarchy(weighted, params, rng)
             runner = MstRunner(

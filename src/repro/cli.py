@@ -7,24 +7,32 @@ Commands:
 * ``route`` — build the routing structure and route a random demand.
 * ``mst`` — run the distributed MST (random weights if none stored).
 * ``report`` — regenerate EXPERIMENTS.md from live runs.
+
+Pipeline commands (``route``/``mst``/``mincut``/``clique``) execute
+through a :class:`~repro.runtime.RunContext` and accept:
+
+* ``--backend {oracle,native}`` — vectorized engines vs. real message
+  passing (native covers build + routing; elsewhere it exits with a
+  clear error).
+* ``--trace out.jsonl`` — write the structured trace-event stream.
+* ``--validate {full,first_round,off}`` — simulator outbox validation
+  for the native backend.
+
+Every random decision draws from a *named* stream of the context, so
+e.g. ``--packets`` changes only the ``"workload"`` stream and never
+perturbs the routing structure itself.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 import numpy as np
 
 from .analysis.report import build_report
 from .baselines import kruskal
-from .core import (
-    MstRunner,
-    Router,
-    approximate_min_cut,
-    build_hierarchy,
-    emulate_clique,
-)
 from .graphs import (
     FAMILIES,
     WeightedGraph,
@@ -33,10 +41,34 @@ from .graphs import (
     spectral_gap,
     with_random_weights,
 )
-from .params import Params
+from .runtime import (
+    JsonlSink,
+    RunContext,
+    UnsupportedOnBackend,
+    make_backend,
+)
 from .walks import estimate_mixing_time
 
 __all__ = ["main"]
+
+
+def _add_runtime_flags(sub: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that executes the pipeline."""
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--backend", choices=("oracle", "native"), default="oracle",
+        help="oracle: vectorized engines (default); native: walk batches "
+        "executed as real CONGEST message passing",
+    )
+    sub.add_argument(
+        "--trace", metavar="OUT.JSONL", default=None,
+        help="write structured trace events (JSONL) to this file",
+    )
+    sub.add_argument(
+        "--validate", choices=("full", "first_round", "off"),
+        default="full",
+        help="simulator outbox-validation mode (native backend only)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,37 +96,62 @@ def _build_parser() -> argparse.ArgumentParser:
 
     route = sub.add_parser("route", help="route a random demand")
     route.add_argument("graph")
-    route.add_argument("--seed", type=int, default=0)
     route.add_argument(
         "--packets", type=int, default=0,
         help="number of packets (default: one per node, a permutation)",
     )
+    _add_runtime_flags(route)
 
     mst = sub.add_parser("mst", help="distributed MST")
     mst.add_argument("graph")
-    mst.add_argument("--seed", type=int, default=0)
+    _add_runtime_flags(mst)
 
     mincut = sub.add_parser("mincut", help="approximate minimum cut")
     mincut.add_argument("graph")
-    mincut.add_argument("--seed", type=int, default=0)
     mincut.add_argument("--trees", type=int, default=None)
     mincut.add_argument("--eps", type=float, default=0.5)
+    _add_runtime_flags(mincut)
 
     clique = sub.add_parser("clique", help="emulate a congested-clique round")
     clique.add_argument("graph")
-    clique.add_argument("--seed", type=int, default=0)
     clique.add_argument("--sample", type=float, default=1.0)
+    _add_runtime_flags(clique)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
     return parser
 
 
+@contextmanager
+def _run_context(args):
+    """A RunContext for one command, with run_start/run_end bracketing."""
+    sink = JsonlSink(args.trace) if getattr(args, "trace", None) else None
+    context = RunContext(seed=args.seed, sink=sink)
+    context.emit(
+        "run_start",
+        args.command,
+        seed=context.seed,
+        backend=getattr(args, "backend", "oracle"),
+    )
+    try:
+        yield context
+    finally:
+        context.emit(
+            "run_end",
+            args.command,
+            total_rounds=float(context.ledger.total()),
+        )
+        context.close()
+        if getattr(args, "trace", None):
+            print(f"trace        {args.trace}")
+
+
 def _cmd_generate(args) -> int:
-    rng = np.random.default_rng(args.seed)
+    context = RunContext(seed=args.seed)
+    rng = context.stream("generate")
     graph = FAMILIES[args.family](args.n, rng)
     if args.weighted:
-        graph = with_random_weights(graph, rng)
+        graph = with_random_weights(graph, context.stream("weights"))
     save_graph(graph, args.output)
     print(f"wrote {args.output}: {graph!r}")
     return 0
@@ -121,43 +178,50 @@ def _cmd_info(args) -> int:
 
 def _cmd_route(args) -> int:
     graph = load_graph(args.graph)
-    rng = np.random.default_rng(args.seed)
-    params = Params.default()
-    hierarchy = build_hierarchy(graph, params, rng)
-    router = Router(hierarchy, params=params, rng=rng)
-    n = graph.num_nodes
-    if args.packets > 0:
-        sources = rng.integers(0, n, size=args.packets)
-        destinations = rng.integers(0, n, size=args.packets)
-    else:
-        sources = np.arange(n)
-        destinations = rng.permutation(n)
-    result = router.route(sources, destinations)
-    print(f"tau_mix      {hierarchy.g0.tau_mix}")
-    print(f"beta/depth   {hierarchy.beta}/{hierarchy.depth}")
-    print(f"packets      {result.num_packets}")
-    print(f"phases       {result.num_phases}")
-    print(f"delivered    {result.delivered}")
-    print(f"rounds       {result.cost_rounds:,.0f}")
-    print(f"rounds/tau   {result.cost_rounds / hierarchy.g0.tau_mix:,.1f}")
+    with _run_context(args) as context:
+        backend = make_backend(
+            args.backend, graph, context, validate=args.validate
+        )
+        hierarchy = backend.build()
+        n = graph.num_nodes
+        # The demand comes from its own stream: changing --packets can
+        # never perturb the routing structure built above.
+        workload = context.stream("workload")
+        if args.packets > 0:
+            sources = workload.integers(0, n, size=args.packets)
+            destinations = workload.integers(0, n, size=args.packets)
+        else:
+            sources = np.arange(n)
+            destinations = workload.permutation(n)
+        result = backend.route(sources, destinations)
+        print(f"tau_mix      {hierarchy.g0.tau_mix}")
+        print(f"beta/depth   {hierarchy.beta}/{hierarchy.depth}")
+        print(f"packets      {result.num_packets}")
+        print(f"phases       {result.num_phases}")
+        print(f"delivered    {result.delivered}")
+        print(f"rounds       {result.cost_rounds:,.0f}")
+        print(
+            f"rounds/tau   {result.cost_rounds / hierarchy.g0.tau_mix:,.1f}"
+        )
     return 0 if result.delivered else 1
 
 
 def _cmd_mst(args) -> int:
     graph = load_graph(args.graph)
-    rng = np.random.default_rng(args.seed)
-    if not isinstance(graph, WeightedGraph):
-        print("graph has no weights; attaching i.i.d. uniform weights")
-        graph = with_random_weights(graph, rng)
-    params = Params.default()
-    runner = MstRunner(graph, params=params, rng=rng)
-    result = runner.run()
-    matches = result.edge_ids == kruskal(graph)
-    print(f"mst weight   {result.total_weight:.6f}")
-    print(f"iterations   {result.num_iterations}")
-    print(f"rounds       {result.rounds:,.0f}")
-    print(f"construction {result.construction_rounds:,.0f}")
-    print(f"verified     {matches} (vs centralized Kruskal)")
+    with _run_context(args) as context:
+        if not isinstance(graph, WeightedGraph):
+            print("graph has no weights; attaching i.i.d. uniform weights")
+            graph = with_random_weights(graph, context.stream("weights"))
+        backend = make_backend(
+            args.backend, graph, context, validate=args.validate
+        )
+        result = backend.mst(graph)
+        matches = result.edge_ids == kruskal(graph)
+        print(f"mst weight   {result.total_weight:.6f}")
+        print(f"iterations   {result.num_iterations}")
+        print(f"rounds       {result.rounds:,.0f}")
+        print(f"construction {result.construction_rounds:,.0f}")
+        print(f"verified     {matches} (vs centralized Kruskal)")
     return 0 if matches else 1
 
 
@@ -171,35 +235,34 @@ def _cmd_report(args) -> int:
 
 def _cmd_mincut(args) -> int:
     graph = load_graph(args.graph)
-    rng = np.random.default_rng(args.seed)
-    result = approximate_min_cut(
-        graph,
-        eps=args.eps,
-        params=Params.default(),
-        rng=rng,
-        num_trees=args.trees,
-        two_respecting=graph.num_nodes <= 256,
-    )
-    side = int(result.cut_side.sum())
-    print(f"cut value    {result.cut_value}")
-    print(f"side sizes   {side} / {graph.num_nodes - side}")
-    print(f"trees packed {result.num_trees}")
-    print(f"rounds       {result.rounds:,.0f}")
+    with _run_context(args) as context:
+        backend = make_backend(
+            args.backend, graph, context, validate=args.validate
+        )
+        result = backend.min_cut(
+            eps=args.eps,
+            num_trees=args.trees,
+            two_respecting=graph.num_nodes <= 256,
+        )
+        side = int(result.cut_side.sum())
+        print(f"cut value    {result.cut_value}")
+        print(f"side sizes   {side} / {graph.num_nodes - side}")
+        print(f"trees packed {result.num_trees}")
+        print(f"rounds       {result.rounds:,.0f}")
     return 0
 
 
 def _cmd_clique(args) -> int:
     graph = load_graph(args.graph)
-    rng = np.random.default_rng(args.seed)
-    params = Params.default()
-    hierarchy = build_hierarchy(graph, params, rng)
-    result = emulate_clique(
-        hierarchy, params, rng, sample_fraction=args.sample
-    )
-    print(f"messages     {result.num_messages}")
-    print(f"phases       {result.num_phases}")
-    print(f"delivered    {result.delivered}")
-    print(f"rounds       {result.rounds:,.0f}")
+    with _run_context(args) as context:
+        backend = make_backend(
+            args.backend, graph, context, validate=args.validate
+        )
+        result = backend.clique(sample_fraction=args.sample)
+        print(f"messages     {result.num_messages}")
+        print(f"phases       {result.num_phases}")
+        print(f"delivered    {result.delivered}")
+        print(f"rounds       {result.rounds:,.0f}")
     return 0 if result.delivered else 1
 
 
@@ -217,7 +280,11 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except UnsupportedOnBackend as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

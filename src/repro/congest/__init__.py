@@ -3,7 +3,14 @@
 from .aggregation import pipelined_min_collect
 from .forwarding import TokenForwarder, forward_demands
 from .leader import disseminate_seed, elect_leader
-from .native import NativeG0, NativeLevel, build_native_g0, build_native_level1
+from .native import (
+    NativeG0,
+    NativeLevel,
+    WalkReplay,
+    build_native_g0,
+    build_native_level1,
+    replay_walk_run,
+)
 from .network import (
     MESSAGE_WORD_LIMIT,
     CongestViolation,
@@ -25,8 +32,10 @@ __all__ = [
     "pipelined_min_collect",
     "NativeG0",
     "NativeLevel",
+    "WalkReplay",
     "build_native_level1",
     "build_native_g0",
+    "replay_walk_run",
     "TokenForwarder",
     "forward_demands",
     "disseminate_seed",

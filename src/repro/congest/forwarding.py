@@ -50,7 +50,7 @@ class TokenForwarder(NodeAlgorithm):
 
 
 def forward_demands(
-    graph: Graph, origins, targets
+    graph: Graph, origins, targets, validate: str = "full"
 ) -> tuple[int, int]:
     """Deliver one-hop demands ``origin -> target`` under edge capacity 1.
 
@@ -58,6 +58,8 @@ def forward_demands(
         graph: the network; every (origin, target) must be an edge.
         origins: demand origins.
         targets: demand targets (same length).
+        validate: outbox-validation mode passed to
+            :meth:`repro.congest.network.Network.run`.
 
     Returns:
         ``(rounds, messages)`` of the real execution; ``rounds`` equals
@@ -71,7 +73,11 @@ def forward_demands(
         TokenForwarder(network.context(v), per_node[v])
         for v in range(graph.num_nodes)
     ]
-    stats = network.run(algorithms, max_rounds=10 * len(list(origins)) + 100)
+    stats = network.run(
+        algorithms,
+        max_rounds=10 * len(list(origins)) + 100,
+        validate=validate,
+    )
     delivered = sum(algorithm.received for algorithm in algorithms)
     expected = sum(len(demands) for demands in per_node)
     if delivered != expected:

@@ -32,10 +32,19 @@ import numpy as np
 
 from ..baselines.routing_baselines import schedule_paths
 from ..graphs.graph import Graph
+from ..rng import derive_rng
+from .forwarding import forward_demands
 from .walk_protocol import _ForwardNode, _WalkState
 from .network import Network
 
-__all__ = ["NativeG0", "NativeLevel", "build_native_g0", "build_native_level1"]
+__all__ = [
+    "NativeG0",
+    "NativeLevel",
+    "WalkReplay",
+    "build_native_g0",
+    "build_native_level1",
+    "replay_walk_run",
+]
 
 
 @dataclass
@@ -78,7 +87,7 @@ def _forward_pass_with_paths(
     n = graph.num_nodes
     states = [
         _WalkState(
-            rng=np.random.default_rng((seed, v)),
+            rng=derive_rng(seed, v),
             visit_stack={},
             finished_here={},
         )
@@ -156,11 +165,11 @@ def build_native_g0(
     # again; run it through schedule_paths on the reversed paths.
     reverse = schedule_paths(
         [list(reversed(path)) for path in walk_paths],
-        rng=np.random.default_rng((seed, 98)),
+        rng=derive_rng(seed, 98),
     )
     build_rounds += reverse.rounds
 
-    rng = np.random.default_rng((seed, 99))
+    rng = derive_rng(seed, 99)
     # Map endpoints to uniform virtual nodes of the landing hosts.
     offsets = (
         rng.random(endpoints.shape[0]) * graph.degrees[endpoints]
@@ -188,7 +197,7 @@ def build_native_g0(
     both_ways = edge_paths + [list(reversed(p)) for p in edge_paths]
     native_round = schedule_paths(
         [path for path in both_ways if len(path) > 1],
-        rng=np.random.default_rng((seed, 100)),
+        rng=derive_rng(seed, 100),
     )
     return NativeG0(
         graph=graph,
@@ -314,6 +323,75 @@ def _assemble_chains(
 
 
 @dataclass
+class WalkReplay:
+    """Outcome of executing a recorded walk batch as real message passing.
+
+    Attributes:
+        rounds: executed CONGEST rounds, summed over walk steps with the
+            engine's per-step floor of one round (``sum_t max(1, r_t)``),
+            so it is directly comparable to
+            :meth:`repro.walks.engine.WalkRun.schedule_rounds`.
+        per_step: executed rounds of each walk step (no floor).
+        messages: total token messages delivered.
+    """
+
+    rounds: int
+    per_step: list[int]
+    messages: int
+
+
+def replay_walk_run(
+    graph: Graph, run, validate: str = "full"
+) -> WalkReplay:
+    """Execute a recorded walk batch through the CONGEST simulator.
+
+    Replays each walk step's token movements as real messages — every
+    node forwards at most one token per directed edge per round, with a
+    barrier between steps — under the simulator's validation.  This is
+    how a backend *executes* the exact trajectories a vectorized engine
+    sampled: the structure built from the walks is bit-identical, while
+    the rounds are measured on the wire (Lemma 2.5 guarantees they equal
+    the engine's ``schedule_rounds()`` charge; callers assert that).
+
+    Args:
+        graph: the base graph the walks ran on.
+        run: a :class:`repro.walks.engine.WalkRun` recorded with
+            ``record_trajectory=True``.
+        validate: outbox-validation mode for
+            :meth:`repro.congest.network.Network.run`.
+
+    Returns:
+        A :class:`WalkReplay` with the executed round/message counts.
+
+    Raises:
+        ValueError: if ``run`` has no recorded trajectory.
+        RuntimeError: if any step fails to deliver all its tokens.
+    """
+    trajectory = getattr(run, "trajectory", None)
+    if trajectory is None:
+        raise ValueError(
+            "replay_walk_run needs a WalkRun recorded with "
+            "record_trajectory=True"
+        )
+    per_step: list[int] = []
+    messages = 0
+    for step in range(run.steps):
+        before = trajectory[step]
+        after = trajectory[step + 1]
+        moved = before != after
+        if not moved.any():
+            per_step.append(0)
+            continue
+        rounds, sent = forward_demands(
+            graph, before[moved], after[moved], validate=validate
+        )
+        per_step.append(rounds)
+        messages += sent
+    rounds = int(sum(max(1, r) for r in per_step))
+    return WalkReplay(rounds=rounds, per_step=per_step, messages=messages)
+
+
+@dataclass
 class NativeLevel:
     """A native level-1 overlay: edges embed *chains* of G0 paths.
 
@@ -354,7 +432,7 @@ def build_native_level1(
         length: overlay walk length.
         seed: randomness seed.
     """
-    rng = np.random.default_rng((seed, 0))
+    rng = derive_rng(seed, 0)
     num_vnodes = g0.overlay.num_nodes
     parts = rng.integers(0, beta, size=num_vnodes)
     arc_paths = _oriented_arc_paths(g0)
@@ -402,12 +480,12 @@ def build_native_level1(
         if chain_offsets[w + 1] - chain_offsets[w] > 1
     ]
     build = schedule_paths(
-        all_traversals, rng=np.random.default_rng((seed, 1))
+        all_traversals, rng=derive_rng(seed, 1)
     )
     both_ways = edge_paths + [list(reversed(p)) for p in edge_paths]
     native_round = schedule_paths(
         [path for path in both_ways if len(path) > 1],
-        rng=np.random.default_rng((seed, 2)),
+        rng=derive_rng(seed, 2),
     )
     return NativeLevel(
         parts=parts,

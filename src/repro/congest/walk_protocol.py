@@ -31,6 +31,7 @@ from typing import Mapping
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..rng import derive_rng
 from .network import Network, NodeAlgorithm
 
 __all__ = ["WalkProtocolOutcome", "run_walk_protocol"]
@@ -181,7 +182,7 @@ def run_walk_protocol(
     n = graph.num_nodes
     states = [
         _WalkState(
-            rng=np.random.default_rng((seed, v)),
+            rng=derive_rng(seed, v),
             visit_stack={},
             finished_here={},
         )

@@ -61,6 +61,7 @@ def emulate_clique(
     router: Router | None = None,
     sample_fraction: float = 1.0,
     seed: int | None = None,
+    context=None,
 ) -> CliqueEmulationResult:
     """Emulate one congested-clique round on the hierarchy's base graph.
 
@@ -74,10 +75,18 @@ def emulate_clique(
             used by benchmarks at larger ``n``; the returned ``rounds``
             scales the measured per-phase cost by the full phase count.
 
+        context: optional :class:`repro.runtime.RunContext`; supplies
+            defaults (params, the ``"clique"`` stream) and receives the
+            emulation's round charge as a trace event.
+
     Returns:
         A :class:`CliqueEmulationResult` (``delivered`` verified on the
         routed subset).
     """
+    if context is not None:
+        params = params or context.params
+        if rng is None and seed is None:
+            rng = context.stream("clique")
     params = params or Params.default()
     rng = resolve_rng(rng, seed)
     router = router or Router(hierarchy, params=params, rng=rng)
@@ -102,6 +111,13 @@ def emulate_clique(
         )
         rounds = rounds * full_phases / routing.num_phases
         num_phases = full_phases
+    if context is not None:
+        context.charge(
+            "clique/emulation",
+            rounds,
+            messages=int(sources.shape[0]),
+            phases=num_phases,
+        )
     return CliqueEmulationResult(
         delivered=routing.delivered,
         num_messages=int(sources.shape[0]),

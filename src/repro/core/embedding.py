@@ -116,6 +116,7 @@ def build_g0(
     rng: np.random.Generator,
     ledger: RoundLedger | None = None,
     tau_mix: int | None = None,
+    walk_runner=None,
 ) -> G0Embedding:
     """Build the ``G0`` overlay per Section 3.1.1.
 
@@ -125,6 +126,13 @@ def build_g0(
         rng: randomness source.
         ledger: optional ledger to charge the build cost to.
         tau_mix: externally supplied mixing time (else estimated).
+        walk_runner: optional override for how the construction walk
+            batches *execute* — same signature as
+            :func:`repro.walks.run_lazy_walks`.  Backends inject this to
+            run the identical random process through a different engine
+            (e.g. real message passing); it must consume ``rng`` exactly
+            like the default runner so the built structure is
+            backend-independent.
 
     Returns:
         The :class:`G0Embedding`.
@@ -146,7 +154,7 @@ def build_g0(
     degree = min(params.g0_degree(n), walks_per_vnode)
     starts = np.repeat(virtual.host, walks_per_vnode)
     owners = np.repeat(np.arange(virtual.count), walks_per_vnode)
-    runner = (
+    runner = walk_runner or (
         run_correlated_walks if params.use_correlated_walks
         else run_lazy_walks
     )

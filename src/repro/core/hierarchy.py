@@ -140,6 +140,8 @@ def build_hierarchy(
     depth: int | None = None,
     tau_mix: int | None = None,
     seed: int | None = None,
+    context=None,
+    walk_runner=None,
 ) -> Hierarchy:
     """Construct the full hierarchical routing structure on ``graph``.
 
@@ -151,15 +153,29 @@ def build_hierarchy(
         beta: branching-factor override.
         depth: level-count override.
         tau_mix: mixing-time override (else estimated from the graph).
+        context: optional :class:`repro.runtime.RunContext`.  Supplies
+            default ``params`` and the ``"hierarchy"`` RNG stream, and
+            absorbs the construction ledger (one ``ledger_charge`` trace
+            event per charge) once the build completes.
+        walk_runner: optional walk-execution override forwarded to
+            :func:`~repro.core.embedding.build_g0` (backends inject the
+            native message-passing runner here).
 
     Returns:
         The constructed :class:`Hierarchy`, with all build costs charged
         to its ledger in base-graph rounds.
     """
+    if context is not None:
+        params = params or context.params
+        if rng is None and seed is None:
+            rng = context.stream("hierarchy")
     params = params or Params.default()
     rng = resolve_rng(rng, seed)
     ledger = RoundLedger()
-    g0 = build_g0(graph, params, rng, ledger=ledger, tau_mix=tau_mix)
+    g0 = build_g0(
+        graph, params, rng, ledger=ledger, tau_mix=tau_mix,
+        walk_runner=walk_runner,
+    )
     partition = build_partition(
         g0.virtual, params, rng, beta=beta, depth=depth
     )
@@ -220,6 +236,15 @@ def build_hierarchy(
         previous_overlay = overlay
         if is_clique:
             break
+    if context is not None:
+        context.absorb_ledger(ledger)
+        context.emit(
+            "walk_batch",
+            "hierarchy/construction",
+            depth=hierarchy.depth,
+            tau_mix=g0.tau_mix,
+            build_rounds=float(ledger.total()),
+        )
     return hierarchy
 
 

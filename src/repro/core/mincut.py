@@ -64,6 +64,7 @@ def approximate_min_cut(
     two_respecting: bool = True,
     use_weights: bool = False,
     seed: int | None = None,
+    context=None,
 ) -> MinCutResult:
     """Approximate the minimum cut of ``graph``.
 
@@ -82,10 +83,17 @@ def approximate_min_cut(
             capacities (minimum *weighted* cut).  The packing then greedily
             minimizes load/capacity, the fractional-packing rule of
             Thorup's weighted tree packing.
+        context: optional :class:`repro.runtime.RunContext`; supplies
+            defaults (params, the ``"mincut"`` stream) and receives the
+            per-tree round charges as trace events.
 
     Returns:
         A :class:`MinCutResult` (``cut_value`` is a float when weighted).
     """
+    if context is not None:
+        params = params or context.params
+        if rng is None and seed is None:
+            rng = context.stream("mincut")
     params = params or Params.default()
     rng = resolve_rng(rng, seed)
     n = graph.num_nodes
@@ -96,7 +104,11 @@ def approximate_min_cut(
         capacities = graph.weights
     if num_trees is None:
         num_trees = max(2, int(math.ceil(3.0 * math.log(max(2, n)) / eps**2)))
-    hierarchy = hierarchy or build_hierarchy(graph, params, rng)
+    if hierarchy is None:
+        if context is not None:
+            hierarchy = build_hierarchy(graph, context=context)
+        else:
+            hierarchy = build_hierarchy(graph, params, rng)
     ledger = RoundLedger()
     loads = np.zeros(graph.num_edges, dtype=np.float64)
     edge_list = list(graph.edges())
@@ -115,6 +127,11 @@ def approximate_min_cut(
         ledger.charge(
             f"mincut/tree-{tree_index}", mst.rounds, edges=len(mst.edge_ids)
         )
+        if context is not None:
+            context.charge(
+                f"mincut/tree-{tree_index}", mst.rounds,
+                edges=len(mst.edge_ids),
+            )
         loads[mst.edge_ids] += 1.0
         value, side = tree_respecting_min_cut(
             graph, mst.edge_ids, two_respecting=two_respecting,

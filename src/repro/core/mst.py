@@ -101,10 +101,16 @@ class MstRunner:
         params: Params | None = None,
         rng: np.random.Generator | None = None,
         seed: int | None = None,
+        context=None,
     ):
         if not isinstance(graph, WeightedGraph):
             raise TypeError("MST needs a WeightedGraph")
         self.graph = graph
+        self._context = context
+        if context is not None:
+            params = params or context.params
+            if rng is None and seed is None:
+                rng = context.stream("mst")
         self.params = params or Params.default()
         self.rng = resolve_rng(rng, seed)
         self.hierarchy = hierarchy or build_hierarchy(
@@ -230,6 +236,13 @@ class MstRunner:
             components=components_before,
             merged=len(self._added_this_round),
         )
+        if self._context is not None:
+            self._context.charge(
+                f"mst/iteration-{iteration}",
+                iteration_rounds,
+                components=components_before,
+                merged=len(self._added_this_round),
+            )
         return IterationStats(
             iteration=iteration,
             components_before=components_before,

@@ -116,8 +116,30 @@ class Router:
         params: Params | None = None,
         rng: np.random.Generator | None = None,
         seed: int | None = None,
+        context=None,
+        walk_runner=None,
     ):
+        """Args:
+            hierarchy: the built routing structure.
+            portals: pre-built portal table (else built here).
+            params: routing constants (default from ``context`` or
+                :meth:`Params.default`).
+            rng: randomness source (else the context's ``"router"``
+                stream, else seeded from ``seed``).
+            seed: seed for a fresh generator when ``rng`` is not given.
+            context: optional :class:`repro.runtime.RunContext`; routing
+                charges and walk-batch/scheduler events go through it.
+            walk_runner: optional walk-execution override for the
+                preparation walks (same contract as in
+                :func:`~repro.core.embedding.build_g0`).
+        """
         self.hierarchy = hierarchy
+        self._context = context
+        self._walk_runner = walk_runner
+        if context is not None:
+            params = params or context.params
+            if rng is None and seed is None:
+                rng = context.stream("router")
         self.params = params or Params.default()
         self.rng = resolve_rng(rng, seed)
         self.portals = portals or build_portals(
@@ -192,6 +214,26 @@ class Router:
                 packets=int(sources.shape[0]),
                 phases=num_phases,
             )
+        if self._context is not None:
+            self._context.charge(
+                "route/instance",
+                cost_rounds,
+                packets=int(sources.shape[0]),
+                phases=num_phases,
+            )
+            self._context.emit(
+                "scheduler",
+                "route/levels",
+                levels={
+                    str(level): {
+                        "invocations": cost.invocations,
+                        "hop_rounds": cost.hop_rounds,
+                        "packets_crossing": cost.packets_crossing,
+                    }
+                    for level, cost in sorted(self._level_costs.items())
+                },
+                delivered=delivered,
+            )
         return RoutingResult(
             delivered=delivered,
             num_packets=int(sources.shape[0]),
@@ -236,7 +278,7 @@ class Router:
         virtual = hierarchy.g0.virtual
         graph = hierarchy.g0.base_graph
         # Preparation: spread packets uniformly over virtual nodes.
-        prep_runner = (
+        prep_runner = self._walk_runner or (
             run_correlated_walks if self.params.use_correlated_walks
             else run_lazy_walks
         )
@@ -245,6 +287,14 @@ class Router:
         )
         current = virtual.random_vnode_of(prep_run.positions, self.rng)
         prep_rounds = float(prep_run.schedule_rounds())
+        if self._context is not None:
+            self._context.emit(
+                "walk_batch",
+                "route/prep",
+                walks=int(sources.shape[0]),
+                steps=hierarchy.g0.walk_length,
+                schedule_rounds=prep_rounds,
+            )
         target = virtual.canonical(destinations)
         cost_g0, final = self._route_within(0, current, target, ids)
         ok = bool(np.all(virtual.host[final] == destinations))

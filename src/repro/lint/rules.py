@@ -490,6 +490,50 @@ class SeedParamRule(Rule):
         return False
 
 
+@register
+class TupleSeedRule(Rule):
+    """R006: ad-hoc tuple-seed RNG derivation outside the runtime layer.
+
+    ``np.random.default_rng((seed, k))`` derives sub-streams with magic
+    offsets; every call site invents its own ``k``, and two sites that
+    collide silently share a stream.  Stream derivation is centralised:
+    use :func:`repro.rng.derive_rng` for integer labels or
+    :meth:`repro.runtime.RunContext.stream` for named streams.  The
+    implementation modules themselves (``repro/rng.py``,
+    ``repro/runtime/``) and scaffolding dirs are exempt.
+    """
+
+    rule_id = "R006"
+    name = "tuple-seed-derivation"
+    description = (
+        "RNG constructed from a raw tuple seed outside repro.rng/"
+        "repro.runtime — use derive_rng or RunContext.stream"
+    )
+
+    _EXEMPT_DIRS = {"tests", "benchmarks", "examples", "runtime"}
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        from pathlib import PurePath
+
+        parts = set(PurePath(module.path).parts)
+        if self._EXEMPT_DIRS & parts:
+            return
+        if PurePath(module.path).name == "rng.py" and "repro" in parts:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(module, node) not in RNG_CONSTRUCTORS:
+                continue
+            if node.args and isinstance(node.args[0], ast.Tuple):
+                yield self.finding(
+                    module, node,
+                    "raw tuple-seed RNG derivation — use "
+                    "repro.rng.derive_rng(seed, k) for integer labels or "
+                    "RunContext.stream(name) for named streams",
+                )
+
+
 def _walk_own_body(
     fn: ast.FunctionDef | ast.AsyncFunctionDef,
 ) -> Iterator[ast.AST]:

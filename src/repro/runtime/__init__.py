@@ -1,0 +1,50 @@
+"""The execution layer: run contexts, trace events, and backends.
+
+Everything the repository can run — CLI commands, the
+:class:`~repro.system.ExpanderNetwork` façade, benchmarks, tests — goes
+through a :class:`RunContext` (seed → named RNG streams, shared
+:class:`~repro.params.Params`, one :class:`~repro.core.ledger.RoundLedger`,
+structured trace events) and a :class:`Backend` (oracle = vectorized
+engines, native = real message passing).  See ``docs/architecture.md``
+for the trace-event schema.
+"""
+
+from .backends import (
+    BACKENDS,
+    Backend,
+    BackendMismatch,
+    NativeBackend,
+    OracleBackend,
+    UnsupportedOnBackend,
+    make_backend,
+)
+from .context import RunContext
+from .events import (
+    EVENT_KINDS,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TraceEvent,
+    read_jsonl_trace,
+    sum_ledger_charges,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "BackendMismatch",
+    "EVENT_KINDS",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "NativeBackend",
+    "NullSink",
+    "OracleBackend",
+    "RunContext",
+    "TraceEvent",
+    "UnsupportedOnBackend",
+    "make_backend",
+    "read_jsonl_trace",
+    "sum_ledger_charges",
+]

@@ -1,0 +1,282 @@
+"""Execution backends: one protocol, two ways to run the pipeline.
+
+A :class:`Backend` binds a graph to a :class:`~repro.runtime.RunContext`
+and exposes the paper's operations (hierarchy build, routing, MST, min
+cut, clique emulation) behind one interface:
+
+* :class:`OracleBackend` — the fast path: vectorized walk engines and
+  measured-schedule accounting (the existing ``core/`` pipeline).
+* :class:`NativeBackend` — the same *random process*, executed as real
+  message passing: every construction / preparation walk batch is
+  recorded and replayed token-by-token through
+  :meth:`repro.congest.network.Network.run` (respecting the one-message-
+  per-edge-per-direction CONGEST constraint, with the simulator's
+  ``validate`` modes), and the executed round count is asserted equal to
+  the engine's Lemma 2.5 charge.
+
+Because both backends draw from the context's named streams and consume
+them identically, a fixed seed yields the *same* G0 edge multiset,
+hierarchy, and routing decisions on either backend — the cross-backend
+equivalence contract (``tests/runtime/test_backends.py``).  Operations
+the native path does not cover raise :class:`UnsupportedOnBackend` with
+a pointer to the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..congest.native import replay_walk_run
+from ..core.clique import CliqueEmulationResult, emulate_clique
+from ..core.hierarchy import Hierarchy, build_hierarchy
+from ..core.mincut import MinCutResult, approximate_min_cut
+from ..core.mst import MstResult, MstRunner
+from ..core.router import Router, RoutingResult
+from ..graphs.graph import Graph, WeightedGraph
+from ..walks.correlated import run_correlated_walks
+from ..walks.engine import run_lazy_walks
+from .context import RunContext
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "BackendMismatch",
+    "NativeBackend",
+    "OracleBackend",
+    "UnsupportedOnBackend",
+    "make_backend",
+]
+
+
+class UnsupportedOnBackend(NotImplementedError):
+    """The operation is not implemented on this backend."""
+
+    def __init__(self, backend: "Backend", operation: str):
+        super().__init__(
+            f"{operation} is not supported on the {backend.name!r} backend; "
+            "use --backend oracle (OracleBackend) for this operation"
+        )
+        self.backend = backend.name
+        self.operation = operation
+
+
+class BackendMismatch(RuntimeError):
+    """The native execution disagreed with the accounted schedule."""
+
+
+class Backend:
+    """Base class: a graph bound to a context, with a cached hierarchy.
+
+    Subclasses set :attr:`name` and implement :meth:`_walk_runner` (how
+    walk batches execute); everything else is shared.  The hierarchy is
+    built lazily on first use and cached, so ``route`` / ``mst`` / ...
+    calls on one backend share a structure.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        graph: Graph,
+        context: RunContext,
+        beta: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.context = context
+        self._beta = beta
+        self._hierarchy: Optional[Hierarchy] = None
+        self._router: Optional[Router] = None
+
+    # -- walk execution strategy (the backend difference) --------------------
+
+    def _walk_runner(self):
+        """Walk-execution override for build/prep batches (None = engine)."""
+        return None
+
+    # -- operations ----------------------------------------------------------
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The routing structure, built on first access."""
+        if self._hierarchy is None:
+            self._hierarchy = self.build()
+        return self._hierarchy
+
+    @property
+    def router(self) -> Router:
+        """The backend's router over :attr:`hierarchy` (cached)."""
+        if self._router is None:
+            self._router = Router(
+                self.hierarchy,
+                context=self.context,
+                walk_runner=self._walk_runner(),
+            )
+        return self._router
+
+    def build(self) -> Hierarchy:
+        """Build (and cache) the hierarchical routing structure."""
+        if self._hierarchy is None:
+            ctx = self.context
+            with ctx.phase("build/hierarchy", backend=self.name):
+                self._hierarchy = build_hierarchy(
+                    self.graph,
+                    beta=self._beta,
+                    context=ctx,
+                    walk_runner=self._walk_runner(),
+                )
+        return self._hierarchy
+
+    def route(
+        self,
+        sources: np.ndarray,
+        destinations: np.ndarray,
+        trace: bool = False,
+    ) -> RoutingResult:
+        """Route one packet per (source, destination) pair."""
+        with self.context.phase("route", backend=self.name):
+            return self.router.route(sources, destinations, trace=trace)
+
+    def mst(self, weighted: WeightedGraph) -> MstResult:
+        """Distributed MST of ``weighted`` over this backend's structure."""
+        raise UnsupportedOnBackend(self, "mst")
+
+    def min_cut(self, **kwargs) -> MinCutResult:
+        """Approximate min cut of the backend's graph."""
+        raise UnsupportedOnBackend(self, "min_cut")
+
+    def clique(self, sample_fraction: float = 1.0) -> CliqueEmulationResult:
+        """Emulate one congested-clique round on the backend's graph."""
+        raise UnsupportedOnBackend(self, "clique")
+
+    def g0_edge_multiset(self) -> list[tuple[int, int]]:
+        """Sorted G0 overlay edges — the cross-backend equivalence probe."""
+        overlay = self.hierarchy.g0.overlay
+        return sorted(
+            (int(u), int(v)) for u, v in map(tuple, overlay.edge_array)
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(graph={self.graph!r})"
+
+
+class OracleBackend(Backend):
+    """The vectorized `core/` pipeline with measured-schedule accounting."""
+
+    name = "oracle"
+
+    def mst(self, weighted: WeightedGraph) -> MstResult:
+        ctx = self.context
+        with ctx.phase("mst", backend=self.name):
+            runner = MstRunner(
+                weighted, hierarchy=self.hierarchy, context=ctx
+            )
+            return runner.run()
+
+    def min_cut(self, **kwargs) -> MinCutResult:
+        ctx = self.context
+        with ctx.phase("mincut", backend=self.name):
+            return approximate_min_cut(
+                self.graph, hierarchy=self.hierarchy, context=ctx, **kwargs
+            )
+
+    def clique(self, sample_fraction: float = 1.0) -> CliqueEmulationResult:
+        ctx = self.context
+        with ctx.phase("clique", backend=self.name):
+            # A dedicated context-free router: the emulation charges one
+            # aggregate "clique/emulation" entry, not per-route charges.
+            router = Router(
+                self.hierarchy, params=ctx.params, rng=ctx.stream("clique")
+            )
+            return emulate_clique(
+                self.hierarchy,
+                router=router,
+                sample_fraction=sample_fraction,
+                context=ctx,
+            )
+
+
+class NativeBackend(Backend):
+    """Executes walk batches as real CONGEST message passing.
+
+    Covers hierarchy/G0 build and routing.  Each walk batch is sampled
+    by the same engine as the oracle (hence bit-identical structures),
+    recorded, and replayed through :func:`repro.congest.replay_walk_run`
+    under ``validate``; the executed rounds must equal the engine's
+    ``schedule_rounds()`` charge or :class:`BackendMismatch` is raised.
+    MST / min-cut / clique raise :class:`UnsupportedOnBackend`.
+    """
+
+    name = "native"
+
+    def __init__(
+        self,
+        graph: Graph,
+        context: RunContext,
+        beta: Optional[int] = None,
+        validate: str = "full",
+    ) -> None:
+        super().__init__(graph, context, beta=beta)
+        self.validate = validate
+        self.executed_rounds = 0
+        self.executed_messages = 0
+
+    def _walk_runner(self):
+        engine = (
+            run_correlated_walks
+            if self.context.params.use_correlated_walks
+            else run_lazy_walks
+        )
+
+        def native_runner(graph, starts, steps, rng, record_trajectory=False):
+            run = engine(
+                graph, starts, steps, rng, record_trajectory=True
+            )
+            replay = replay_walk_run(graph, run, validate=self.validate)
+            charged = run.schedule_rounds()
+            if replay.rounds != charged:
+                raise BackendMismatch(
+                    f"native execution took {replay.rounds} rounds but the "
+                    f"engine charged {charged} for the same walk batch"
+                )
+            self.executed_rounds += replay.rounds
+            self.executed_messages += replay.messages
+            self.context.emit(
+                "backend",
+                "native/walk-batch",
+                walks=int(np.asarray(starts).shape[0]),
+                steps=int(steps),
+                executed_rounds=int(replay.rounds),
+                messages=int(replay.messages),
+                validate=self.validate,
+            )
+            return run
+
+        return native_runner
+
+
+BACKENDS = {"oracle": OracleBackend, "native": NativeBackend}
+
+
+def make_backend(
+    name: str,
+    graph: Graph,
+    context: RunContext,
+    beta: Optional[int] = None,
+    validate: str = "full",
+) -> Backend:
+    """Instantiate a backend by name (``"oracle"`` or ``"native"``).
+
+    ``validate`` only applies to the native backend (the oracle has no
+    message passing to validate).
+    """
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    if cls is NativeBackend:
+        return cls(graph, context, beta=beta, validate=validate)
+    return cls(graph, context, beta=beta)

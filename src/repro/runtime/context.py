@@ -1,0 +1,151 @@
+"""The execution context: one object that owns a run's shared state.
+
+Before this layer existed, every entry point hand-rolled the same
+wiring: an ad-hoc ``np.random.default_rng((seed, k))`` per component
+(with magic offsets ``k``), a :class:`~repro.params.Params`, and a
+:class:`~repro.core.ledger.RoundLedger` threaded positionally through
+the pipeline.  :class:`RunContext` replaces all three:
+
+* **Named RNG streams** — ``ctx.stream("hierarchy")`` derives a
+  deterministic generator from ``(seed, sha256(name))``.  Streams are
+  independent by name, so adding a consumer (or drawing more from one
+  stream) never perturbs another — the bug class where ``--packets``
+  changed the routing *structure* because workload sampling shared the
+  construction stream.
+* **One ledger** — every operation's round charges accumulate in
+  ``ctx.ledger``; each charge is also emitted as a ``ledger_charge``
+  trace event.
+* **Structured tracing** — ``ctx.phase("route")`` brackets a pipeline
+  stage with ``phase_start``/``phase_end`` events carrying wall time;
+  ``ctx.emit(...)`` records walk-batch/scheduler/backend stats.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..core.ledger import Charge, RoundLedger
+from ..params import Params
+from ..rng import derive_rng, stream_entropy
+from .events import EventSink, NullSink, TraceEvent
+
+__all__ = ["RunContext"]
+
+
+class RunContext:
+    """Owns a run's seed, params, ledger, and trace sink.
+
+    Attributes:
+        seed: the base seed; every named stream derives from it.
+        params: construction constants shared by all operations.
+        ledger: the run-wide round ledger (charges from every operation
+            executed through this context).
+        sink: where trace events go (default: :class:`NullSink`).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        params: Optional[Params] = None,
+        sink: Optional[EventSink] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.params = params or Params.default()
+        self.ledger = RoundLedger()
+        self.sink = sink or NullSink()
+        self._seq = 0
+        self._streams: dict[str, np.random.Generator] = {}
+
+    # -- named RNG streams ---------------------------------------------------
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The named RNG stream, created on first use and then cached.
+
+        The same name always returns the *same generator object* within
+        one context, so a stream advances monotonically no matter how
+        many call sites share it; two contexts with the same seed
+        produce identical streams.  Distinct names are statistically
+        independent (the name is hashed into the seed material).
+        """
+        generator = self._streams.get(name)
+        if generator is None:
+            generator = derive_rng(self.seed, stream_entropy(name))
+            self._streams[name] = generator
+        return generator
+
+    def fresh_stream(self, name: str) -> np.random.Generator:
+        """A new generator for ``name``, independent of :meth:`stream`.
+
+        Unlike :meth:`stream` this is *not* cached: every call restarts
+        the stream at its origin.  Use it when two runs must consume
+        identical randomness regardless of what else the context did
+        (e.g. the cross-backend equivalence contract).
+        """
+        return derive_rng(self.seed, stream_entropy(name))
+
+    # -- tracing -------------------------------------------------------------
+
+    def emit(self, kind: str, name: str, **payload) -> TraceEvent:
+        """Emit one trace event to the sink; returns it."""
+        event = TraceEvent(
+            seq=self._seq, kind=kind, name=name, payload=payload
+        )
+        self._seq += 1
+        self.sink.emit(event)
+        return event
+
+    @contextmanager
+    def phase(self, name: str, **payload) -> Iterator[None]:
+        """Bracket a pipeline stage with start/end events + wall time."""
+        self.emit("phase_start", name, **payload)
+        began = time.perf_counter()  # reprolint: disable=R003 (trace metadata)
+        try:
+            yield
+        finally:
+            wall_s = time.perf_counter() - began  # reprolint: disable=R003
+            self.emit("phase_end", name, wall_s=round(wall_s, 6), **payload)
+
+    # -- round accounting ----------------------------------------------------
+
+    def charge(self, label: str, rounds: float, **detail) -> None:
+        """Charge the run ledger and emit a ``ledger_charge`` event."""
+        self.ledger.charge(label, rounds, **detail)
+        self.emit("ledger_charge", label, rounds=float(rounds), **detail)
+
+    def absorb_ledger(self, ledger: RoundLedger) -> None:
+        """Merge another ledger's charges, emitting one event per charge.
+
+        Used to fold a component-local ledger (e.g. a hierarchy's
+        construction ledger) into the run-wide accounting exactly once.
+        """
+        for charge in ledger.charges:
+            self._absorb_charge(charge)
+
+    def _absorb_charge(self, charge: Charge) -> None:
+        self.ledger.charge(charge.label, charge.rounds, **charge.detail)
+        self.emit(
+            "ledger_charge",
+            charge.label,
+            rounds=float(charge.rounds),
+            **charge.detail,
+        )
+
+    def close(self) -> None:
+        """Close the sink (flushes a JSONL trace file)."""
+        self.sink.close()
+
+    def __enter__(self) -> "RunContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"RunContext(seed={self.seed}, streams={sorted(self._streams)}, "
+            f"ledger={self.ledger!r})"
+        )

@@ -1,0 +1,201 @@
+"""Structured trace events and pluggable sinks.
+
+Every run executed through :class:`repro.runtime.RunContext` emits a
+stream of :class:`TraceEvent` records — phase boundaries with wall time,
+per-label ledger charges, walk-batch and scheduler statistics — to an
+:class:`EventSink`.  Three sinks ship with the library:
+
+* :class:`NullSink` — drops everything (the default; zero overhead).
+* :class:`MemorySink` — keeps events in a list (tests, notebooks).
+* :class:`JsonlSink` — appends one JSON object per event to a file,
+  the format ``repro <cmd> --trace out.jsonl`` writes.
+
+The JSONL schema is one object per line::
+
+    {"seq": <int>, "kind": <str>, "name": <str>, "payload": {...}}
+
+``kind`` is one of the :data:`EVENT_KINDS`; ``name`` identifies the
+phase/label/batch; ``payload`` is kind-specific.  ``seq`` is a
+per-context monotone counter, so a trace can be re-ordered and joined
+after concatenation.  All payload values are plain JSON scalars —
+numpy types are converted at emission time, so a trace file round-trips
+through ``json`` without custom decoders.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Iterator
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "EventSink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "read_jsonl_trace",
+    "sum_ledger_charges",
+]
+
+#: The trace-event vocabulary (see docs/architecture.md for the schema).
+EVENT_KINDS = (
+    "run_start",      # payload: seed, params, backend
+    "run_end",        # payload: wall_s
+    "phase_start",    # payload: free-form context
+    "phase_end",      # payload: wall_s + free-form context
+    "ledger_charge",  # payload: rounds + the Charge.detail dict
+    "walk_batch",     # payload: walks, steps, schedule_rounds, ...
+    "scheduler",      # payload: paths, rounds, ...
+    "backend",        # payload: backend-specific execution stats
+)
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays (and other oddballs) to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    # numpy scalars expose .item(); arrays expose .tolist().
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return _jsonable(value.tolist())
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    Attributes:
+        seq: per-context monotone sequence number.
+        kind: event kind, one of :data:`EVENT_KINDS`.
+        name: phase / ledger label / batch identifier.
+        payload: kind-specific details (JSON-scalar values only).
+    """
+
+    seq: int
+    kind: str
+    name: str
+    payload: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The JSONL wire form of this event."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "payload": _jsonable(self.payload),
+        }
+
+
+class EventSink:
+    """Where trace events go.  Subclasses override :meth:`emit`."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources (no-op by default)."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """Discards every event (the default sink)."""
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Collects events in :attr:`events` for inspection."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """Events with the given ``kind``, in emission order."""
+        return [event for event in self.events if event.kind == kind]
+
+
+class JsonlSink(EventSink):
+    """Writes one JSON object per event to ``path`` (or a file object)."""
+
+    def __init__(self, path_or_handle: "str | IO[str]") -> None:
+        if isinstance(path_or_handle, str):
+            self._handle: IO[str] = open(path_or_handle, "w")
+            self._owns_handle = True
+        else:
+            self._handle = path_or_handle
+            self._owns_handle = False
+
+    def emit(self, event: TraceEvent) -> None:
+        json.dump(event.to_dict(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+def read_jsonl_trace(path: str) -> Iterator[TraceEvent]:
+    """Parse a trace file written by :class:`JsonlSink`.
+
+    Yields :class:`TraceEvent` records; raises ``ValueError`` on a
+    malformed line (the file is a contract, not best-effort output).
+    """
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: not valid JSON: {error}"
+                ) from error
+            missing = {"seq", "kind", "name", "payload"} - set(record)
+            if missing:
+                raise ValueError(
+                    f"{path}:{number}: trace record is missing {sorted(missing)}"
+                )
+            yield TraceEvent(
+                seq=int(record["seq"]),
+                kind=str(record["kind"]),
+                name=str(record["name"]),
+                payload=dict(record["payload"]),
+            )
+
+
+def sum_ledger_charges(
+    events: Iterable[TraceEvent], prefix: str = ""
+) -> float:
+    """Total ``rounds`` across ``ledger_charge`` events.
+
+    Args:
+        events: any iterable of trace events.
+        prefix: only count charges whose label starts with this.
+    """
+    return float(
+        sum(
+            event.payload.get("rounds", 0.0)
+            for event in events
+            if event.kind == "ledger_charge" and event.name.startswith(prefix)
+        )
+    )

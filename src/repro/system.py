@@ -3,7 +3,10 @@
 ``ExpanderNetwork`` wraps the whole pipeline for downstream users who
 just want results: it builds (and caches) the routing structure for a
 topology, then exposes routing, MST, clique emulation, and min cut with
-one call each.  All randomness flows from one seed for reproducibility.
+one call each.  All randomness flows from one seed for reproducibility:
+every operation draws from a *named stream* of the underlying
+:class:`~repro.runtime.RunContext` (``"hierarchy"``, ``"router"``,
+``"mst"``, ...), so operations never perturb each other's randomness.
 
 Example:
 
@@ -25,16 +28,13 @@ from .core import (
     Hierarchy,
     MinCutResult,
     MstResult,
-    MstRunner,
     Router,
     RoutingResult,
-    approximate_min_cut,
-    build_hierarchy,
-    emulate_clique,
 )
 from .graphs.graph import Graph, WeightedGraph
 from .graphs.generators import with_random_weights
 from .params import Params
+from .runtime import Backend, EventSink, RunContext, make_backend
 
 __all__ = ["ExpanderNetwork"]
 
@@ -46,6 +46,9 @@ class ExpanderNetwork:
         graph: the topology.
         params: construction constants.
         seed: base seed; every operation derives its randomness from it.
+        context: the underlying :class:`~repro.runtime.RunContext`
+            (named RNG streams, run-wide ledger, trace sink).
+        backend: the :class:`~repro.runtime.Backend` operations run on.
     """
 
     def __init__(
@@ -54,40 +57,45 @@ class ExpanderNetwork:
         params: Params | None = None,
         seed: int = 0,
         beta: int | None = None,
+        backend: str = "oracle",
+        sink: EventSink | None = None,
+        validate: str = "full",
     ):
+        """Args:
+            graph: connected topology.
+            params: construction constants (default
+                :meth:`Params.default`).
+            seed: base seed for all named streams.
+            beta: partition branching-factor override.
+            backend: ``"oracle"`` (vectorized engines, the default) or
+                ``"native"`` (walk batches executed as real CONGEST
+                message passing; MST/min-cut/clique unsupported).
+            sink: optional trace-event sink (e.g.
+                :class:`~repro.runtime.JsonlSink`).
+            validate: simulator outbox-validation mode for the native
+                backend (``"full"``, ``"first_round"``, or ``"off"``).
+        """
         if not graph.is_connected():
             raise ValueError("ExpanderNetwork requires a connected graph")
         self.graph = graph
-        self.params = params or Params.default()
-        self.seed = int(seed)
-        self._beta = beta
-        self._hierarchy: Hierarchy | None = None
-        self._router: Router | None = None
+        self.context = RunContext(seed=seed, params=params, sink=sink)
+        self.params = self.context.params
+        self.seed = self.context.seed
+        self.backend: Backend = make_backend(
+            backend, graph, self.context, beta=beta, validate=validate
+        )
 
     # -- cached structure ----------------------------------------------------
 
     @property
     def hierarchy(self) -> Hierarchy:
         """The routing structure (built on first use, then cached)."""
-        if self._hierarchy is None:
-            self._hierarchy = build_hierarchy(
-                self.graph,
-                self.params,
-                np.random.default_rng((self.seed, 0)),
-                beta=self._beta,
-            )
-        return self._hierarchy
+        return self.backend.hierarchy
 
     @property
     def router(self) -> Router:
         """The router over :attr:`hierarchy` (cached)."""
-        if self._router is None:
-            self._router = Router(
-                self.hierarchy,
-                params=self.params,
-                rng=np.random.default_rng((self.seed, 1)),
-            )
-        return self._router
+        return self.backend.router
 
     @property
     def tau_mix(self) -> int:
@@ -104,7 +112,7 @@ class ExpanderNetwork:
         self, sources, destinations, trace: bool = False
     ) -> RoutingResult:
         """Permutation/point-to-point routing (Theorem 1.2)."""
-        return self.router.route(
+        return self.backend.route(
             np.asarray(sources), np.asarray(destinations), trace=trace
         )
 
@@ -115,10 +123,12 @@ class ExpanderNetwork:
 
         Args:
             weights: per-edge weights; defaults to the graph's own (if it
-                is a :class:`WeightedGraph`) else i.i.d. uniform.
-            seed_offset: derive a distinct stream per call site.
+                is a :class:`WeightedGraph`) else i.i.d. uniform drawn
+                from the ``"mst-weights-<seed_offset>"`` stream.
+            seed_offset: distinct default-weight stream per call site
+                (kept for backward compatibility with the old
+                ``(seed, offset)`` tuples).
         """
-        rng = np.random.default_rng((self.seed, seed_offset))
         if weights is not None:
             weighted = WeightedGraph(
                 self.graph.num_nodes, list(self.graph.edges()), weights
@@ -126,26 +136,17 @@ class ExpanderNetwork:
         elif isinstance(self.graph, WeightedGraph):
             weighted = self.graph
         else:
-            weighted = with_random_weights(self.graph, rng)
-        runner = MstRunner(
-            weighted,
-            hierarchy=self.hierarchy,
-            params=self.params,
-            rng=rng,
-        )
-        return runner.run()
+            weighted = with_random_weights(
+                self.graph,
+                self.context.stream(f"mst-weights-{seed_offset}"),
+            )
+        return self.backend.mst(weighted)
 
     def emulate_clique(
         self, sample_fraction: float = 1.0
     ) -> CliqueEmulationResult:
         """All-to-all message exchange (Theorem 1.3)."""
-        return emulate_clique(
-            self.hierarchy,
-            self.params,
-            np.random.default_rng((self.seed, 3)),
-            router=self.router,
-            sample_fraction=sample_fraction,
-        )
+        return self.backend.clique(sample_fraction=sample_fraction)
 
     def min_cut(
         self,
@@ -154,14 +155,8 @@ class ExpanderNetwork:
         use_weights: bool = False,
     ) -> MinCutResult:
         """Approximate minimum cut (Section 4 corollary)."""
-        return approximate_min_cut(
-            self.graph,
-            eps=eps,
-            params=self.params,
-            rng=np.random.default_rng((self.seed, 4)),
-            hierarchy=self.hierarchy,
-            num_trees=num_trees,
-            use_weights=use_weights,
+        return self.backend.min_cut(
+            eps=eps, num_trees=num_trees, use_weights=use_weights
         )
 
     def describe(self) -> str:

@@ -1,8 +1,10 @@
 """Tests for the round ledger."""
 
+import numpy as np
 import pytest
 
 from repro.core import RoundLedger
+from repro.runtime import JsonlSink, RunContext, read_jsonl_trace
 
 
 class TestLedger:
@@ -61,3 +63,45 @@ class TestLedger:
         ledger = RoundLedger()
         ledger.charge("noop", 0)
         assert ledger.total() == 0.0
+
+    def test_total_equals_sum_of_breakdown(self):
+        ledger = RoundLedger()
+        for index, label in enumerate(("g0/build", "route/a", "route/b")):
+            ledger.charge(label, 2.5 * (index + 1))
+        assert ledger.total() == pytest.approx(sum(ledger.by_label().values()))
+        assert ledger.total() == pytest.approx(
+            sum(charge.rounds for charge in ledger.charges)
+        )
+
+    def test_merge_order_stable(self):
+        """Merging preserves first-seen label order across both ledgers."""
+        a, b = RoundLedger(), RoundLedger()
+        a.charge("c", 1)
+        a.charge("a", 1)
+        b.charge("d", 1)
+        b.charge("a", 1)  # existing label must not move
+        a.merge(b)
+        assert list(a.by_label()) == ["c", "a", "d"]
+        assert a.by_label()["a"] == 2.0
+
+    def test_detail_survives_jsonl_round_trip(self, tmp_path):
+        """Charge.detail comes back intact from a JSONL event sink."""
+        path = str(tmp_path / "trace.jsonl")
+        ledger = RoundLedger()
+        ledger.charge(
+            "route/instance", 7.0,
+            packets=np.int64(12), phases=1, note="phase-split",
+        )
+        with JsonlSink(path) as sink:
+            context = RunContext(seed=0, sink=sink)
+            context.absorb_ledger(ledger)
+        events = list(read_jsonl_trace(path))
+        assert len(events) == 1
+        (event,) = events
+        assert event.kind == "ledger_charge"
+        assert event.name == "route/instance"
+        assert event.payload["rounds"] == 7.0
+        # numpy scalars serialize as plain JSON ints.
+        assert event.payload["packets"] == 12
+        assert event.payload["phases"] == 1
+        assert event.payload["note"] == "phase-split"

@@ -370,6 +370,75 @@ class TestR005MissingSeedParam:
         )
 
 
+
+class TestR006TupleSeed:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # the seed_offset idiom this PR retired from system.py/cli.py
+            """
+            import numpy as np
+
+            def walk_rng(seed, level):
+                return np.random.default_rng((seed, level))
+            """,
+            # same smell through the Generator/bit-generator spelling
+            """
+            import numpy as np
+
+            def stream(seed):
+                rng = np.random.default_rng((seed, 0, 3))
+                return rng
+            """,
+        ],
+    )
+    def test_fires(self, source):
+        assert "R006" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # the sanctioned replacement
+            """
+            from repro.rng import derive_rng
+
+            def walk_rng(seed, level):
+                return derive_rng(seed, level)
+            """,
+            # plain integer seeds are fine (R006 is about tuples)
+            """
+            import numpy as np
+
+            def fixture_rng(seed):
+                return np.random.default_rng(seed)
+            """,
+        ],
+    )
+    def test_quiet(self, source):
+        assert "R006" not in rule_ids(source)
+
+    def test_exempt_in_runtime_and_rng_module(self):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+
+            def derive(seed, k):
+                return np.random.default_rng((seed, k))
+            """
+        )
+        assert any(
+            f.rule == "R006"
+            for f in lint_source(source, "src/repro/system.py")
+        )
+        for exempt in (
+            "src/repro/rng.py",
+            "src/repro/runtime/context.py",
+            "tests/core/test_rng.py",
+        ):
+            assert not any(
+                f.rule == "R006" for f in lint_source(source, exempt)
+            )
+
 class TestEngineMechanics:
     def test_syntax_error_reported_not_raised(self):
         findings = lint_source("def broken(:\n", "bad.py")

@@ -1,0 +1,100 @@
+"""Cross-backend equivalence and backend-protocol tests.
+
+The oracle and native backends consume the shared RNG streams
+identically, so a same-seed run must produce the same embedded
+hierarchy (identical G0 edge multisets) and the same routing outcome.
+The native backend additionally replays every walk batch through the
+CONGEST ``Network``, so these tests also exercise real message passing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import random_regular
+from repro.runtime import (
+    BACKENDS,
+    NativeBackend,
+    OracleBackend,
+    RunContext,
+    UnsupportedOnBackend,
+    make_backend,
+)
+
+
+def _small_graph(n=16, degree=4, graph_seed=270):
+    return random_regular(n, degree, np.random.default_rng(graph_seed))
+
+
+@pytest.fixture(scope="module")
+def backend_pair():
+    graph = _small_graph()
+    oracle = make_backend("oracle", graph, RunContext(seed=11))
+    native = make_backend("native", graph, RunContext(seed=11))
+    oracle.build()
+    native.build()
+    return oracle, native
+
+
+class TestMakeBackend:
+    def test_registry(self):
+        assert BACKENDS == {"oracle": OracleBackend, "native": NativeBackend}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("quantum", _small_graph(), RunContext(seed=0))
+
+
+class TestCrossBackendEquivalence:
+    def test_same_seed_same_g0(self, backend_pair):
+        oracle, native = backend_pair
+        assert oracle.g0_edge_multiset() == native.g0_edge_multiset()
+
+    def test_same_seed_same_routing(self, backend_pair):
+        oracle, native = backend_pair
+        n = oracle.graph.num_nodes
+        sources = np.arange(n)
+        destinations = np.roll(sources, 5)
+        a = oracle.route(sources, destinations)
+        b = native.route(sources, destinations)
+        assert a.delivered and b.delivered
+        assert a.cost_rounds == b.cost_rounds
+
+    def test_native_executed_real_rounds(self, backend_pair):
+        _, native = backend_pair
+        assert native.executed_rounds > 0
+        assert native.executed_messages > 0
+
+
+class TestUnsupportedOnNative:
+    def test_mst_min_cut_clique_raise(self):
+        from repro.graphs import with_random_weights
+
+        native = make_backend("native", _small_graph(), RunContext(seed=3))
+        weighted = with_random_weights(
+            native.graph, native.context.stream("weights")
+        )
+        with pytest.raises(UnsupportedOnBackend, match="oracle"):
+            native.mst(weighted)
+        with pytest.raises(UnsupportedOnBackend, match="oracle"):
+            native.min_cut()
+        with pytest.raises(UnsupportedOnBackend, match="oracle"):
+            native.clique()
+
+
+class TestOracleFullSurface:
+    def test_mst_and_min_cut_and_clique_run(self):
+        from repro.graphs import with_random_weights
+
+        graph = _small_graph()
+        context = RunContext(seed=5)
+        oracle = make_backend("oracle", graph, context)
+        weighted = with_random_weights(graph, context.stream("weights"))
+        mst = oracle.mst(weighted)
+        assert len(mst.edge_ids) == graph.num_nodes - 1
+        cut = oracle.min_cut(num_trees=2)
+        assert cut.cut_value >= 1
+        clique = oracle.clique(sample_fraction=0.25)
+        assert clique.delivered
+        # every pipeline stage charged the shared context ledger
+        prefixes = {label.split("/")[0] for label in context.ledger.by_label()}
+        assert {"mst", "mincut", "clique"} <= prefixes

@@ -1,0 +1,98 @@
+"""Tests for trace events and sinks."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    EVENT_KINDS,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TraceEvent,
+    read_jsonl_trace,
+    sum_ledger_charges,
+)
+
+
+class TestTraceEvent:
+    def test_to_dict_schema(self):
+        event = TraceEvent(seq=3, kind="phase_start", name="route",
+                           payload={"backend": "oracle"})
+        assert event.to_dict() == {
+            "seq": 3,
+            "kind": "phase_start",
+            "name": "route",
+            "payload": {"backend": "oracle"},
+        }
+
+    def test_numpy_payload_coerced(self):
+        event = TraceEvent(
+            seq=0, kind="walk_batch", name="x",
+            payload={
+                "walks": np.int64(7),
+                "rounds": np.float64(2.5),
+                "positions": np.array([1, 2]),
+            },
+        )
+        payload = event.to_dict()["payload"]
+        assert payload == {"walks": 7, "rounds": 2.5, "positions": [1, 2]}
+        assert isinstance(payload["walks"], int)
+
+    def test_kind_vocabulary_covers_the_pipeline(self):
+        for kind in ("run_start", "run_end", "phase_start", "phase_end",
+                     "ledger_charge", "walk_batch", "scheduler", "backend"):
+            assert kind in EVENT_KINDS
+
+
+class TestSinks:
+    def test_null_sink_drops(self):
+        sink = NullSink()
+        sink.emit(TraceEvent(0, "run_start", "x"))
+        sink.close()
+
+    def test_memory_sink_collects_and_filters(self):
+        sink = MemorySink()
+        sink.emit(TraceEvent(0, "run_start", "x"))
+        sink.emit(TraceEvent(1, "ledger_charge", "route/instance",
+                             {"rounds": 3.0}))
+        assert len(sink.events) == 2
+        assert [e.name for e in sink.of_kind("ledger_charge")] == [
+            "route/instance"
+        ]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        events = [
+            TraceEvent(0, "run_start", "route", {"seed": 1}),
+            TraceEvent(1, "ledger_charge", "g0/build",
+                       {"rounds": 10.5, "walks": 64}),
+        ]
+        with JsonlSink(path) as sink:
+            for event in events:
+                sink.emit(event)
+        back = list(read_jsonl_trace(path))
+        assert [e.to_dict() for e in back] == [e.to_dict() for e in events]
+
+    def test_read_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            list(read_jsonl_trace(str(path)))
+
+    def test_read_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0, "kind": "run_start"}\n')
+        with pytest.raises(ValueError, match="missing"):
+            list(read_jsonl_trace(str(path)))
+
+
+class TestSumLedgerCharges:
+    def test_prefix_filter(self):
+        events = [
+            TraceEvent(0, "ledger_charge", "route/instance", {"rounds": 5.0}),
+            TraceEvent(1, "ledger_charge", "mst/iteration-0", {"rounds": 2.0}),
+            TraceEvent(2, "phase_end", "route", {"wall_s": 0.1}),
+        ]
+        assert sum_ledger_charges(events) == 7.0
+        assert sum_ledger_charges(events, prefix="route") == 5.0
+        assert sum_ledger_charges(events, prefix="nope") == 0.0

@@ -111,3 +111,61 @@ class TestCliqueCommand:
         main(["generate", "expander", "32", "-o", out])
         assert main(["clique", out, "--sample", "0.3"]) == 0
         assert "delivered    True" in capsys.readouterr().out
+
+
+class TestRuntimeFlags:
+    """The PR's runtime surface: --trace, --backend, --validate."""
+
+    def _expander(self, tmp_path, n=32):
+        out = str(tmp_path / "exp.json")
+        main(["generate", "expander", str(n), "-o", out])
+        return out
+
+    def test_route_trace_sums_to_cost(self, tmp_path, capsys):
+        """Acceptance: summed ledger charges in the JSONL trace equal the
+        routing cost printed by the command."""
+        from repro.runtime import read_jsonl_trace, sum_ledger_charges
+
+        graph = self._expander(tmp_path, 48)
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["route", graph, "--seed", "1", "--trace", trace]) == 0
+        text = capsys.readouterr().out
+        cost = int(text.split("rounds")[1].split()[0].replace(",", ""))
+        events = list(read_jsonl_trace(trace))
+        kinds = {event.kind for event in events}
+        assert {"run_start", "run_end", "ledger_charge"} <= kinds
+        assert sum_ledger_charges(events, prefix="route/instance") == cost
+
+    def test_route_trace_is_line_delimited_json(self, tmp_path, capsys):
+        import json
+
+        graph = self._expander(tmp_path)
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["route", graph, "--trace", trace]) == 0
+        with open(trace) as handle:
+            for line in handle:
+                record = json.loads(line)
+                assert {"seq", "kind", "name", "payload"} <= set(record)
+
+    def test_route_native_backend(self, tmp_path, capsys):
+        graph = self._expander(tmp_path, 16)
+        assert main(
+            ["route", graph, "--backend", "native", "--seed", "1",
+             "--validate", "first_round"]
+        ) == 0
+        assert "delivered    True" in capsys.readouterr().out
+
+    def test_backends_agree_on_route_cost(self, tmp_path, capsys):
+        graph = self._expander(tmp_path, 16)
+        main(["route", graph, "--seed", "4"])
+        oracle_out = capsys.readouterr().out
+        main(["route", graph, "--seed", "4", "--backend", "native",
+              "--validate", "first_round"])
+        native_out = capsys.readouterr().out
+        line = [l for l in oracle_out.splitlines() if "rounds" in l]
+        assert line and line[0] in native_out
+
+    def test_mst_on_native_backend_exits_2(self, tmp_path, capsys):
+        graph = self._expander(tmp_path)
+        assert main(["mst", graph, "--backend", "native"]) == 2
+        assert "oracle" in capsys.readouterr().err
