@@ -14,6 +14,12 @@ Usage::
 
 ``--check`` runs every kernel once at a small size and asserts the JSON
 schema — no thresholds, no file written.  See docs/performance.md.
+
+``--faults`` switches to the fault-injection suite
+(:func:`repro.analysis.perf.run_fault_suite`) and writes
+``BENCH_PR4.json`` instead: clean vs. drop=0.01 reliable forwarding, so
+the committed delta records the retry overhead.  Combine with
+``--check`` for the CI smoke of that suite.
 """
 
 from __future__ import annotations
@@ -28,15 +34,21 @@ if os.path.isdir(os.path.join(ROOT, "src", "repro")):
 
 from dataclasses import asdict
 
-from repro.analysis.perf import run_bench_suite, validate_bench, write_bench
+from repro.analysis.perf import (
+    run_bench_suite,
+    run_fault_suite,
+    validate_bench,
+    write_bench,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
-        default=os.path.join(ROOT, "BENCH_PR2.json"),
-        help="output path (default: BENCH_PR2.json at the repo root)",
+        default=None,
+        help="output path (default: BENCH_PR2.json at the repo root, "
+        "or BENCH_PR4.json with --faults)",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="suite seed (default: 0)"
@@ -46,10 +58,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="smoke mode: small sizes, schema assertion, nothing written",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the fault-injection suite (clean vs drop=0.01 reliable "
+        "forwarding) instead of the main kernel suite",
+    )
     args = parser.parse_args(argv)
+    suite = run_fault_suite if args.faults else run_bench_suite
+    if args.out is None:
+        args.out = os.path.join(
+            ROOT, "BENCH_PR4.json" if args.faults else "BENCH_PR2.json"
+        )
 
     if args.check:
-        rows = run_bench_suite(seed=args.seed, quick=True)
+        rows = suite(seed=args.seed, quick=True)
         validate_bench([asdict(row) for row in rows])
         kernels = sorted({row.kernel for row in rows})
         print(
@@ -58,7 +81,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    rows = run_bench_suite(seed=args.seed)
+    rows = suite(seed=args.seed)
     write_bench(rows, args.out)
     width = max(len(row.kernel) for row in rows)
     for row in rows:

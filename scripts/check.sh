@@ -24,6 +24,10 @@ python -m repro.lint src/repro tests
 
 echo "== bench harness smoke (schema only, no thresholds)"
 python scripts/bench_baseline.py --check
+python scripts/bench_baseline.py --check --faults
+
+echo "== fault-matrix smoke (reliable delivery under injected faults)"
+python scripts/fault_smoke.py
 
 echo "== pytest"
 python -m pytest -x -q

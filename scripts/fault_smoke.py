@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Fault-matrix smoke: the robustness guarantees at a small size, fast.
+
+Three fault configurations on one n=32 expander, each asserting the
+contract of docs/robustness.md end to end:
+
+1. ``drop=0.05`` — the reliable forwarder delivers everything via
+   retries, and pays for them (measured rounds > ideal rounds).
+2. ``drop=0.1,dup=0.02,delay=0.05`` — mixed wire faults; still full
+   delivery, duplicates deduplicated.
+3. ``crash=8@rounds:1-100000`` — a permanent crash window; delivery
+   fails as a diagnosable ``DeliveryTimeout`` naming the undelivered
+   demands, never a silent partial result.
+
+Plus the zero-fault identity gate: a ``drop=0.0`` plan is bit-identical
+to no plan at all, both through the raw forwarder and through
+``repro.run`` on the oracle backend.
+
+Exit code 0 = all assertions hold.  Wired into scripts/check.sh and CI.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+
+import numpy as np
+
+from repro import RunConfig, run
+from repro.congest.faults import DeliveryTimeout, FaultPlan, FaultSpec
+from repro.congest.reliable import reliable_forward_demands
+from repro.graphs import random_regular
+from repro.rng import derive_rng
+
+N = 32
+SEED = 7
+
+
+def _demands(graph):
+    """Every node sends one token to its first neighbour."""
+    origins = np.arange(graph.num_nodes)
+    return origins, graph.indices[graph.indptr[:-1]]
+
+
+def _plan(spec_text: str) -> FaultPlan:
+    return FaultPlan(FaultSpec.parse(spec_text), rng=derive_rng(SEED, 0))
+
+
+def main() -> int:
+    graph = random_regular(N, 6, derive_rng(SEED, N))
+    origins, targets = _demands(graph)
+
+    # 1. Drop-only: full delivery via retries, at a measured cost.
+    report = reliable_forward_demands(
+        graph, origins, targets, faults=_plan("drop=0.05")
+    )
+    assert report.delivered == N, report
+    assert report.rounds >= report.ideal_rounds
+    print(
+        f"drop-only      OK: {report.delivered}/{N} delivered, "
+        f"{report.rounds} rounds (ideal {report.ideal_rounds}, "
+        f"{report.retransmissions} retransmissions)"
+    )
+
+    # 2. Mixed drop + duplication + delay: still exactly-once delivery.
+    report = reliable_forward_demands(
+        graph, origins, targets, faults=_plan("drop=0.1,dup=0.02,delay=0.05")
+    )
+    assert report.delivered == N, report
+    print(
+        f"mixed faults   OK: {report.delivered}/{N} delivered, "
+        f"{report.rounds} rounds, stats={report.stats.dropped} dropped/"
+        f"{report.stats.duplicated} duplicated/{report.stats.delayed} delayed"
+    )
+
+    # 3. Permanent crashes: a diagnosable timeout, never silent loss.
+    try:
+        reliable_forward_demands(
+            graph, origins, targets, faults=_plan("crash=8@rounds:1-100000")
+        )
+    except DeliveryTimeout as error:
+        assert error.undelivered, "timeout must name undelivered demands"
+        print(f"crash window   OK: DeliveryTimeout ({error})")
+    else:
+        raise AssertionError("permanent crashes must raise DeliveryTimeout")
+
+    # 4. Zero-fault identity: rate-0 plan == no plan, bit for bit.
+    clean = reliable_forward_demands(graph, origins, targets)
+    zero = reliable_forward_demands(
+        graph, origins, targets, faults=_plan("drop=0.0")
+    )
+    assert (clean.rounds, clean.messages) == (zero.rounds, zero.messages)
+    base = run("route", graph, config=RunConfig(seed=SEED))
+    gated = run("route", graph, config=RunConfig(seed=SEED, faults="drop=0"))
+    assert base.result.cost_rounds == gated.result.cost_rounds
+    assert gated.fault_rounds() == 0.0
+    print("zero-fault     OK: drop=0.0 is bit-identical to no plan")
+
+    print("fault smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

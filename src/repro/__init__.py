@@ -4,24 +4,32 @@ Ghaffari, Kuhn, Su — PODC 2017.
 
 Public API tour:
 
-* :func:`repro.build_hierarchy` — construct the hierarchical embedding of
-  random graphs on a base graph (Section 3.1).
-* :class:`repro.Router` — permutation routing on that structure
-  (Section 3.2, Theorem 1.2).
-* :func:`repro.minimum_spanning_tree` — distributed MST in almost mixing
-  time (Section 4, Theorem 1.1).
-* :func:`repro.emulate_clique` — congested-clique emulation
-  (Theorem 1.3).
-* :func:`repro.approximate_min_cut` — tree-packing approximate min cut
-  (the Section 4 corollary).
-* :mod:`repro.runtime` — the execution layer: :class:`repro.RunContext`
-  (named RNG streams, run ledger, structured trace events) and the
-  oracle/native :class:`~repro.runtime.Backend` protocol.
+* :func:`repro.run` with a :class:`repro.RunConfig` — the front door:
+  one frozen config (seed, params, backend, validate, trace, faults)
+  executes any operation (``build`` / ``route`` / ``mst`` / ``mincut`` /
+  ``clique``) and returns a :class:`~repro.runtime.RunOutcome` carrying
+  the result, the ledger, and the trace.
+* :mod:`repro.runtime` — the execution layer behind it:
+  :class:`repro.RunContext` (named RNG streams, run ledger, structured
+  trace events) and the oracle/native :class:`~repro.runtime.Backend`
+  protocol.
+* :class:`repro.ExpanderNetwork` — an object façade over the same
+  machinery (one network, all applications).
 * :mod:`repro.graphs`, :mod:`repro.walks`, :mod:`repro.congest` — the
   substrates: graph families and spectra, random-walk engines with
   congestion-measured scheduling (Lemmas 2.3–2.5), and a faithful
-  CONGEST simulator used by the baselines.
+  CONGEST simulator with seeded fault injection
+  (:class:`~repro.congest.FaultPlan`) and reliable delivery
+  (:mod:`repro.congest.reliable`).
+
+The original per-function entry points (:func:`build_hierarchy`,
+:class:`Router`, :func:`minimum_spanning_tree`,
+:func:`emulate_clique`, :func:`approximate_min_cut`) still work but are
+deprecated in favour of :func:`repro.run`; importing them from
+:mod:`repro.core` keeps the un-deprecated originals.
 """
+
+import warnings as _warnings
 
 from . import baselines, congest, graphs, hashing, runtime, theory, walks
 from .core import (
@@ -29,22 +37,76 @@ from .core import (
     MstResult,
     MstRunner,
     RoundLedger,
-    Router,
     RoutingError,
     RoutingResult,
-    approximate_min_cut,
     build_g0,
-    build_hierarchy,
     build_partition,
     build_portals,
-    emulate_clique,
-    minimum_spanning_tree,
 )
+from .core import Router as _CoreRouter
+from .core import approximate_min_cut as _approximate_min_cut
+from .core import build_hierarchy as _build_hierarchy
+from .core import emulate_clique as _emulate_clique
+from .core import minimum_spanning_tree as _minimum_spanning_tree
 from .params import Params
-from .runtime import RunContext, make_backend
+from .runtime import RunConfig, RunContext, RunOutcome, make_backend, run
 from .system import ExpanderNetwork
 
 __version__ = "1.0.0"
+
+
+def _deprecated(name: str, hint: str) -> None:
+    _warnings.warn(
+        f"repro.{name} is deprecated; use repro.run({hint}) with a "
+        "RunConfig instead (repro.core keeps the un-deprecated "
+        "original)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def build_hierarchy(*args, **kwargs):
+    """Deprecated shim over :func:`repro.core.build_hierarchy`."""
+    _deprecated("build_hierarchy", "'build', graph")
+    return _build_hierarchy(*args, **kwargs)
+
+
+def minimum_spanning_tree(*args, **kwargs):
+    """Deprecated shim over :func:`repro.core.minimum_spanning_tree`."""
+    _deprecated("minimum_spanning_tree", "'mst', graph")
+    return _minimum_spanning_tree(*args, **kwargs)
+
+
+def emulate_clique(*args, **kwargs):
+    """Deprecated shim over :func:`repro.core.emulate_clique`."""
+    _deprecated("emulate_clique", "'clique', graph")
+    return _emulate_clique(*args, **kwargs)
+
+
+def approximate_min_cut(*args, **kwargs):
+    """Deprecated shim over :func:`repro.core.approximate_min_cut`."""
+    _deprecated("approximate_min_cut", "'mincut', graph")
+    return _approximate_min_cut(*args, **kwargs)
+
+
+class Router(_CoreRouter):
+    """Deprecated alias of :class:`repro.core.router.Router`.
+
+    Constructing it warns; behaviour is identical (it *is* the core
+    router).  New code routes via ``repro.run("route", graph,
+    config=RunConfig(...))``.
+    """
+
+    def __init__(self, *args, **kwargs):
+        _deprecated("Router", "'route', graph")
+        super().__init__(*args, **kwargs)
+
+
+# Keep docstrings/introspection close to the originals.
+build_hierarchy.__wrapped__ = _build_hierarchy
+minimum_spanning_tree.__wrapped__ = _minimum_spanning_tree
+emulate_clique.__wrapped__ = _emulate_clique
+approximate_min_cut.__wrapped__ = _approximate_min_cut
 
 __all__ = [
     "baselines",
@@ -54,7 +116,10 @@ __all__ = [
     "runtime",
     "theory",
     "walks",
+    "RunConfig",
     "RunContext",
+    "RunOutcome",
+    "run",
     "make_backend",
     "Hierarchy",
     "MstResult",

@@ -29,7 +29,9 @@ import numpy as np
 
 from ..baselines.routing_baselines import schedule_paths
 from ..baselines.routing_baselines_ref import schedule_paths_ref
+from ..congest.faults import FaultPlan, FaultSpec
 from ..congest.native import build_native_g0, build_native_level1
+from ..congest.reliable import reliable_forward_demands
 from ..congest.walk_protocol import run_walk_protocol
 from ..core import MstRunner, Router, build_hierarchy
 from ..graphs import (
@@ -46,8 +48,10 @@ __all__ = [
     "BENCH_KEYS",
     "BenchRow",
     "circulation_paths",
+    "delivery_curve",
     "load_bench",
     "run_bench_suite",
+    "run_fault_suite",
     "validate_bench",
     "write_bench",
 ]
@@ -282,6 +286,88 @@ def _bench_end_to_end(seed: int, quick: bool) -> list[BenchRow]:
         rows.append(
             BenchRow("end_to_end_mst", n, seed, wall_mst, mst_result.rounds)
         )
+    return rows
+
+
+def _fault_plan(rate: float, seed: int, n: int) -> FaultPlan | None:
+    spec = FaultSpec(drop=float(rate))
+    if spec.is_null:
+        return None
+    return FaultPlan(spec, rng=derive_rng(seed, n, 7))
+
+
+def delivery_curve(
+    n: int,
+    rates: Sequence[float],
+    seed: int = 0,
+    degree: int = 6,
+) -> list[dict]:
+    """Delivery vs. fault rate for the reliable forwarder.
+
+    Runs the same all-nodes demand (each node sends one token to its
+    first neighbour — forwarding is single-hop, along edges) under each
+    per-link drop probability in ``rates`` and reports the measured
+    retry overhead.  The topology and the fault draws both derive from
+    ``seed`` alone, so a curve is reproducible bit-for-bit in
+    everything but wall time.
+
+    Returns one dict per rate with keys ``rate``, ``delivered``,
+    ``expected``, ``rounds``, ``ideal_rounds``, ``retry_rounds``,
+    ``retransmissions``, and ``overhead`` (``rounds / ideal_rounds``).
+    """
+    graph = random_regular(n, degree, derive_rng(seed, n))
+    origins = np.arange(n)
+    targets = graph.indices[graph.indptr[:-1]]
+    curve = []
+    for rate in rates:
+        report = reliable_forward_demands(
+            graph, origins, targets, faults=_fault_plan(rate, seed, n)
+        )
+        curve.append(
+            {
+                "rate": float(rate),
+                "delivered": report.delivered,
+                "expected": report.expected,
+                "rounds": report.rounds,
+                "ideal_rounds": report.ideal_rounds,
+                "retry_rounds": report.retry_rounds,
+                "retransmissions": report.retransmissions,
+                "overhead": report.rounds / max(1, report.ideal_rounds),
+            }
+        )
+    return curve
+
+
+def run_fault_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
+    """The fault-injection kernel suite behind ``BENCH_PR4.json``.
+
+    Times the reliable forwarder on a random regular expander with the
+    per-link drop rate off (``reliable_forward_clean``) and at the
+    pinned 1% (``reliable_forward_drop1pct``) — the committed delta
+    between the two rows *is* the recorded retry overhead.  ``rounds``
+    is seed-deterministic either way.
+    """
+    configs = [(32,)] if quick else [(64,), (128,)]
+    rows = []
+    for (n,) in configs:
+        graph = random_regular(n, 6, derive_rng(seed, n))
+        # Single-hop demands: every node sends to its first neighbour.
+        origins = np.arange(n)
+        targets = graph.indices[graph.indptr[:-1]]
+        for kernel, rate in (
+            ("reliable_forward_clean", 0.0),
+            ("reliable_forward_drop1pct", 0.01),
+        ):
+            wall, report = _timed(
+                lambda rate=rate: reliable_forward_demands(
+                    graph,
+                    origins,
+                    targets,
+                    faults=_fault_plan(rate, seed, n),
+                ),
+                repeats=1 if quick else 3,
+            )
+            rows.append(BenchRow(kernel, n, seed, wall, report.rounds))
     return rows
 
 

@@ -8,8 +8,9 @@ Commands:
 * ``mst`` — run the distributed MST (random weights if none stored).
 * ``report`` — regenerate EXPERIMENTS.md from live runs.
 
-Pipeline commands (``route``/``mst``/``mincut``/``clique``) execute
-through a :class:`~repro.runtime.RunContext` and accept:
+Pipeline commands (``route``/``mst``/``mincut``/``clique``) construct
+one :class:`~repro.runtime.RunConfig` from their flags and execute
+through :func:`repro.run`:
 
 * ``--backend {oracle,native}`` — vectorized engines vs. real message
   passing (native covers build + routing; elsewhere it exits with a
@@ -17,22 +18,26 @@ through a :class:`~repro.runtime.RunContext` and accept:
 * ``--trace out.jsonl`` — write the structured trace-event stream.
 * ``--validate {full,first_round,off}`` — simulator outbox validation
   for the native backend.
+* ``--faults SPEC`` — seeded fault injection, e.g.
+  ``drop=0.01,dup=0.001,crash=3@rounds:10-20`` (see
+  ``docs/robustness.md`` for the grammar).  Delivery is still
+  all-or-nothing: retries are paid and charged under ``faults/``, or a
+  ``DeliveryTimeout`` diagnoses what was lost.
 
 Every random decision draws from a *named* stream of the context, so
 e.g. ``--packets`` changes only the ``"workload"`` stream and never
-perturbs the routing structure itself.
+perturbs the routing structure itself — and ``--faults`` draws only
+from the ``"faults"`` stream.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from contextlib import contextmanager
-
-import numpy as np
 
 from .analysis.report import build_report
 from .baselines import kruskal
+from .congest.faults import DeliveryTimeout
 from .graphs import (
     FAMILIES,
     WeightedGraph,
@@ -42,10 +47,11 @@ from .graphs import (
     with_random_weights,
 )
 from .runtime import (
-    JsonlSink,
+    RunConfig,
     RunContext,
+    RunOutcome,
     UnsupportedOnBackend,
-    make_backend,
+    run,
 )
 from .walks import estimate_mixing_time
 
@@ -69,6 +75,31 @@ def _add_runtime_flags(sub: argparse.ArgumentParser) -> None:
         default="full",
         help="simulator outbox-validation mode (native backend only)",
     )
+    sub.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject seeded faults, e.g. "
+        "'drop=0.01,dup=0.001,crash=3@rounds:10-20'; retry overhead is "
+        "charged under the faults/ ledger category",
+    )
+
+
+def _make_config(args) -> RunConfig:
+    """One RunConfig per command invocation, built from the flags."""
+    return RunConfig(
+        seed=args.seed,
+        backend=args.backend,
+        validate=args.validate,
+        trace=getattr(args, "trace", None),
+        faults=getattr(args, "faults", None),
+    )
+
+
+def _finish(outcome: RunOutcome, args) -> None:
+    """Shared epilogue: fault accounting and trace-file notice."""
+    if outcome.config.faults is not None:
+        print(f"fault rounds {outcome.fault_rounds():,.0f}")
+    if getattr(args, "trace", None):
+        print(f"trace        {args.trace}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -122,30 +153,6 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-@contextmanager
-def _run_context(args):
-    """A RunContext for one command, with run_start/run_end bracketing."""
-    sink = JsonlSink(args.trace) if getattr(args, "trace", None) else None
-    context = RunContext(seed=args.seed, sink=sink)
-    context.emit(
-        "run_start",
-        args.command,
-        seed=context.seed,
-        backend=getattr(args, "backend", "oracle"),
-    )
-    try:
-        yield context
-    finally:
-        context.emit(
-            "run_end",
-            args.command,
-            total_rounds=float(context.ledger.total()),
-        )
-        context.close()
-        if getattr(args, "trace", None):
-            print(f"trace        {args.trace}")
-
-
 def _cmd_generate(args) -> int:
     context = RunContext(seed=args.seed)
     rng = context.stream("generate")
@@ -178,50 +185,45 @@ def _cmd_info(args) -> int:
 
 def _cmd_route(args) -> int:
     graph = load_graph(args.graph)
-    with _run_context(args) as context:
-        backend = make_backend(
-            args.backend, graph, context, validate=args.validate
-        )
-        hierarchy = backend.build()
-        n = graph.num_nodes
-        # The demand comes from its own stream: changing --packets can
-        # never perturb the routing structure built above.
-        workload = context.stream("workload")
-        if args.packets > 0:
-            sources = workload.integers(0, n, size=args.packets)
-            destinations = workload.integers(0, n, size=args.packets)
-        else:
-            sources = np.arange(n)
-            destinations = workload.permutation(n)
-        result = backend.route(sources, destinations)
-        print(f"tau_mix      {hierarchy.g0.tau_mix}")
-        print(f"beta/depth   {hierarchy.beta}/{hierarchy.depth}")
-        print(f"packets      {result.num_packets}")
-        print(f"phases       {result.num_phases}")
-        print(f"delivered    {result.delivered}")
-        print(f"rounds       {result.cost_rounds:,.0f}")
-        print(
-            f"rounds/tau   {result.cost_rounds / hierarchy.g0.tau_mix:,.1f}"
-        )
+    outcome = run(
+        "route",
+        graph,
+        config=_make_config(args),
+        packets=args.packets if args.packets > 0 else None,
+    )
+    result = outcome.result
+    hierarchy = outcome.backend.hierarchy
+    print(f"tau_mix      {hierarchy.g0.tau_mix}")
+    print(f"beta/depth   {hierarchy.beta}/{hierarchy.depth}")
+    print(f"packets      {result.num_packets}")
+    print(f"phases       {result.num_phases}")
+    print(f"delivered    {result.delivered}")
+    print(f"rounds       {result.cost_rounds:,.0f}")
+    print(
+        f"rounds/tau   {result.cost_rounds / hierarchy.g0.tau_mix:,.1f}"
+    )
+    _finish(outcome, args)
     return 0 if result.delivered else 1
 
 
 def _cmd_mst(args) -> int:
     graph = load_graph(args.graph)
-    with _run_context(args) as context:
-        if not isinstance(graph, WeightedGraph):
-            print("graph has no weights; attaching i.i.d. uniform weights")
-            graph = with_random_weights(graph, context.stream("weights"))
-        backend = make_backend(
-            args.backend, graph, context, validate=args.validate
+    if not isinstance(graph, WeightedGraph):
+        print("graph has no weights; attaching i.i.d. uniform weights")
+        # Same "weights" stream run("mst") would use, materialized here
+        # so the Kruskal cross-check below sees the same weights.
+        graph = with_random_weights(
+            graph, RunContext(seed=args.seed).stream("weights")
         )
-        result = backend.mst(graph)
-        matches = result.edge_ids == kruskal(graph)
-        print(f"mst weight   {result.total_weight:.6f}")
-        print(f"iterations   {result.num_iterations}")
-        print(f"rounds       {result.rounds:,.0f}")
-        print(f"construction {result.construction_rounds:,.0f}")
-        print(f"verified     {matches} (vs centralized Kruskal)")
+    outcome = run("mst", graph, config=_make_config(args))
+    result = outcome.result
+    matches = result.edge_ids == kruskal(graph)
+    print(f"mst weight   {result.total_weight:.6f}")
+    print(f"iterations   {result.num_iterations}")
+    print(f"rounds       {result.rounds:,.0f}")
+    print(f"construction {result.construction_rounds:,.0f}")
+    print(f"verified     {matches} (vs centralized Kruskal)")
+    _finish(outcome, args)
     return 0 if matches else 1
 
 
@@ -235,34 +237,38 @@ def _cmd_report(args) -> int:
 
 def _cmd_mincut(args) -> int:
     graph = load_graph(args.graph)
-    with _run_context(args) as context:
-        backend = make_backend(
-            args.backend, graph, context, validate=args.validate
-        )
-        result = backend.min_cut(
-            eps=args.eps,
-            num_trees=args.trees,
-            two_respecting=graph.num_nodes <= 256,
-        )
-        side = int(result.cut_side.sum())
-        print(f"cut value    {result.cut_value}")
-        print(f"side sizes   {side} / {graph.num_nodes - side}")
-        print(f"trees packed {result.num_trees}")
-        print(f"rounds       {result.rounds:,.0f}")
+    outcome = run(
+        "mincut",
+        graph,
+        config=_make_config(args),
+        eps=args.eps,
+        num_trees=args.trees,
+        two_respecting=graph.num_nodes <= 256,
+    )
+    result = outcome.result
+    side = int(result.cut_side.sum())
+    print(f"cut value    {result.cut_value}")
+    print(f"side sizes   {side} / {graph.num_nodes - side}")
+    print(f"trees packed {result.num_trees}")
+    print(f"rounds       {result.rounds:,.0f}")
+    _finish(outcome, args)
     return 0
 
 
 def _cmd_clique(args) -> int:
     graph = load_graph(args.graph)
-    with _run_context(args) as context:
-        backend = make_backend(
-            args.backend, graph, context, validate=args.validate
-        )
-        result = backend.clique(sample_fraction=args.sample)
-        print(f"messages     {result.num_messages}")
-        print(f"phases       {result.num_phases}")
-        print(f"delivered    {result.delivered}")
-        print(f"rounds       {result.rounds:,.0f}")
+    outcome = run(
+        "clique",
+        graph,
+        config=_make_config(args),
+        sample_fraction=args.sample,
+    )
+    result = outcome.result
+    print(f"messages     {result.num_messages}")
+    print(f"phases       {result.num_phases}")
+    print(f"delivered    {result.delivered}")
+    print(f"rounds       {result.rounds:,.0f}")
+    _finish(outcome, args)
     return 0 if result.delivered else 1
 
 
@@ -282,9 +288,12 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except UnsupportedOnBackend as error:
+    except (UnsupportedOnBackend, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except DeliveryTimeout as error:
+        print(f"delivery failed: {error}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

@@ -1,6 +1,13 @@
 """Synchronous CONGEST-model simulator and standard primitives."""
 
 from .aggregation import pipelined_min_collect
+from .faults import (
+    CrashWindow,
+    DeliveryTimeout,
+    FaultPlan,
+    FaultRecord,
+    FaultSpec,
+)
 from .forwarding import TokenForwarder, forward_demands
 from .leader import disseminate_seed, elect_leader
 from .native import (
@@ -20,11 +27,24 @@ from .network import (
     RunStats,
 )
 from .primitives import BfsNode, broadcast_value, build_bfs_tree
+from .reliable import (
+    DeliveryReport,
+    ReliableForwarder,
+    reliable_forward_demands,
+)
 from .walk_protocol import WalkProtocolOutcome, run_walk_protocol
 
 __all__ = [
     "MESSAGE_WORD_LIMIT",
     "CongestViolation",
+    "CrashWindow",
+    "DeliveryReport",
+    "DeliveryTimeout",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+    "ReliableForwarder",
+    "reliable_forward_demands",
     "Network",
     "NodeAlgorithm",
     "NodeContext",

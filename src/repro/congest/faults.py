@@ -1,0 +1,458 @@
+"""Seeded fault injection for the CONGEST layer.
+
+Real overlays lose, duplicate, and delay messages, and nodes crash and
+come back.  This module models exactly those four fault classes on top
+of the synchronous simulator, *deterministically*: a :class:`FaultPlan`
+binds an immutable :class:`FaultSpec` (the rates and crash windows) to a
+seeded RNG stream, so the same seed injects the same faults in the same
+rounds — a faulty run is as replayable as a clean one.
+
+Contracts the rest of the library relies on:
+
+* **Isolation.**  Fault sampling draws only from the plan's own RNG
+  (the context's ``"faults"`` named stream, or a ``derive_rng`` stream
+  in standalone use), so enabling faults never perturbs hierarchy
+  construction, workload sampling, or any other seeded decision.
+  ``reprolint`` rule R007 enforces the construction discipline.
+* **Null transparency.**  A plan whose spec :attr:`~FaultSpec.is_null`
+  injects nothing and consumes nothing; callers treat it exactly like
+  ``faults=None``, so a rate-0 plan is byte-identical to no plan.
+* **Observability.**  Every injected fault produces a
+  :class:`FaultRecord`; when the plan is attached to a
+  :class:`~repro.runtime.RunContext` each record is mirrored as a
+  ``"fault"`` trace event, and retry/timeout costs are charged to the
+  ledger under the ``faults/`` category.
+
+The spec grammar (the CLI's ``--faults``) is comma-separated
+``key=value`` items::
+
+    drop=0.01,dup=0.001,delay=0.05,max_delay=3,attempts=12,
+    crash=3@rounds:10-20
+
+``crash`` may repeat; each occurrence crashes ``count`` uniformly
+sampled nodes for the (1-based, inclusive) round window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..rng import derive_rng
+
+__all__ = [
+    "CrashWindow",
+    "DeliveryTimeout",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+]
+
+#: Retry budget used when a spec does not override ``attempts``.
+DEFAULT_MAX_ATTEMPTS = 12
+
+#: Exponential-backoff ceiling (rounds) for the reliable layer.
+BACKOFF_CAP = 64
+
+
+class DeliveryTimeout(RuntimeError):
+    """Reliable delivery gave up on one or more packets.
+
+    Raised instead of silently returning partial results: the message
+    names the stage and the undelivered ``(origin, target)`` demands, so
+    a faulty run is diagnosable from the exception alone.
+
+    Attributes:
+        undelivered: the ``(origin, target)`` pairs that were never
+            acknowledged.
+        stage: pipeline stage that timed out (e.g. ``"forward"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        undelivered: tuple = (),
+        stage: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.undelivered = tuple(undelivered)
+        self.stage = stage
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """``count`` nodes are down for rounds ``start..end`` (inclusive)."""
+
+    count: int
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError(f"crash count must be >= 1, got {self.count}")
+        if self.start < 1 or self.end < self.start:
+            raise ValueError(
+                f"crash window must satisfy 1 <= start <= end, got "
+                f"rounds:{self.start}-{self.end}"
+            )
+
+    def covers(self, round_number: int) -> bool:
+        """Whether ``round_number`` falls inside the window."""
+        return self.start <= round_number <= self.end
+
+
+def _parse_rate(key: str, value: str) -> float:
+    try:
+        rate = float(value)
+    except ValueError:
+        raise ValueError(f"--faults: {key}={value!r} is not a number") from None
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"--faults: {key} must be in [0, 1), got {rate}")
+    return rate
+
+
+def _parse_crash(value: str) -> CrashWindow:
+    # crash=<count>@rounds:<start>-<end>
+    head, sep, window = value.partition("@")
+    if not sep or not window.startswith("rounds:"):
+        raise ValueError(
+            f"--faults: crash={value!r} must look like "
+            "crash=<count>@rounds:<start>-<end>"
+        )
+    lo, sep, hi = window[len("rounds:"):].partition("-")
+    if not sep:
+        raise ValueError(
+            f"--faults: crash window {window!r} needs rounds:<start>-<end>"
+        )
+    try:
+        return CrashWindow(count=int(head), start=int(lo), end=int(hi))
+    except ValueError as error:
+        raise ValueError(f"--faults: bad crash spec {value!r}: {error}") from None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Immutable description of what to inject (no randomness here).
+
+    Attributes:
+        drop: per-message probability the message is lost on the wire.
+        duplicate: per-message probability a second copy arrives one
+            round later.
+        delay: per-message probability delivery is postponed by
+            ``1..max_delay`` rounds.
+        max_delay: largest injected delay, in rounds.
+        crashes: scheduled node-down windows.
+        max_attempts: transmissions the reliable layer spends per packet
+            before raising :class:`DeliveryTimeout`.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    max_delay: int = 3
+    crashes: tuple[CrashWindow, ...] = ()
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+
+    def __post_init__(self):
+        for key in ("drop", "duplicate", "delay"):
+            rate = getattr(self, key)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{key} must be in [0, 1), got {rate}")
+        if self.max_delay < 1:
+            raise ValueError(f"max_delay must be >= 1, got {self.max_delay}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the spec injects nothing at all."""
+        return (
+            self.drop == 0.0
+            and self.duplicate == 0.0
+            and self.delay == 0.0
+            and not self.crashes
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the ``--faults`` grammar (see the module docstring)."""
+        drop = duplicate = delay = 0.0
+        max_delay = 3
+        max_attempts = DEFAULT_MAX_ATTEMPTS
+        crashes: list[CrashWindow] = []
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"--faults: {item!r} is not a key=value item"
+                )
+            key = key.strip()
+            value = value.strip()
+            if key == "drop":
+                drop = _parse_rate(key, value)
+            elif key in ("dup", "duplicate"):
+                duplicate = _parse_rate(key, value)
+            elif key == "delay":
+                delay = _parse_rate(key, value)
+            elif key == "max_delay":
+                max_delay = int(value)
+            elif key == "attempts":
+                max_attempts = int(value)
+            elif key == "crash":
+                crashes.append(_parse_crash(value))
+            else:
+                raise ValueError(
+                    f"--faults: unknown key {key!r} (use drop, dup, delay, "
+                    "max_delay, attempts, crash)"
+                )
+        return cls(
+            drop=drop,
+            duplicate=duplicate,
+            delay=delay,
+            max_delay=max_delay,
+            crashes=tuple(crashes),
+            max_attempts=max_attempts,
+        )
+
+    def describe(self) -> str:
+        """Round-trippable summary in the ``--faults`` grammar."""
+        parts = []
+        if self.drop:
+            parts.append(f"drop={self.drop:g}")
+        if self.duplicate:
+            parts.append(f"dup={self.duplicate:g}")
+        if self.delay:
+            parts.append(f"delay={self.delay:g},max_delay={self.max_delay}")
+        for window in self.crashes:
+            parts.append(
+                f"crash={window.count}@rounds:{window.start}-{window.end}"
+            )
+        parts.append(f"attempts={self.max_attempts}")
+        return ",".join(parts) if not self.is_null else "none"
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault / retry / timeout observation.
+
+    Attributes:
+        kind: ``"drop"``, ``"duplicate"``, ``"delay"``, ``"crash"``,
+            ``"crash_drop"``, ``"retry"``, ``"timeout"``, or
+            ``"model-skip"`` (a fault class the vectorized model does
+            not simulate; see :class:`repro.core.router.Router`).
+        round: simulator round the fault applied to (``-1`` for modeled
+            faults that have no wire round).
+        sender / target: endpoints of the affected message (``-1`` when
+            not message-scoped, e.g. a crash window opening).
+        detail: kind-specific extras (delay length, retry counts, ...).
+    """
+
+    kind: str
+    round: int = -1
+    sender: int = -1
+    target: int = -1
+    detail: dict = field(default_factory=dict)
+
+
+_NO_NODES: frozenset[int] = frozenset()
+
+
+class FaultPlan:
+    """A :class:`FaultSpec` bound to a seeded RNG: concrete decisions.
+
+    Construction is disciplined (reprolint R007): the ``rng`` argument
+    must come *directly* from :func:`repro.rng.derive_rng` or a
+    ``RunContext.stream(...)``/``fresh_stream(...)`` call, so fault
+    randomness always lives in its own named stream and can never bleed
+    into (or starve) another component's stream.
+
+    The plan exposes two independent fault surfaces:
+
+    * **wire-level** (used by :meth:`repro.congest.network.Network.run`):
+      :meth:`crashed` and :meth:`link_copies` decide, per round and per
+      message, who is down and which copies of a message arrive when;
+    * **modeled** (used by :class:`repro.core.router.Router` on the
+      vectorized oracle path, which has no wire): :meth:`retry_cost`
+      samples per-message geometric retransmission counts under the
+      drop rate and converts them into extra rounds.
+
+    Both surfaces draw from generators derived once at construction, so
+    their consumption never interleaves: wire decisions are identical
+    whether or not the modeled path also ran, and vice versa.
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        rng: np.random.Generator,
+        on_fault: Optional[Callable[[FaultRecord], None]] = None,
+    ):
+        self.spec = spec
+        # Split the stream once: link decisions, crash-set sampling, and
+        # the modeled retry path each get an independent substream so
+        # their draw orders cannot perturb each other.
+        entropy = rng.integers(0, 2**62, size=3)
+        self._link_rng = derive_rng(int(entropy[0]))
+        self._crash_entropy = int(entropy[1])
+        self._model_rng = derive_rng(int(entropy[2]))
+        self._on_fault = on_fault
+        self._crash_sets: dict[tuple[int, int], frozenset[int]] = {}
+        self.stats: dict[str, int] = {}
+        self.records: list[FaultRecord] = []
+
+    # -- observation ---------------------------------------------------------
+
+    def record(self, record: FaultRecord) -> None:
+        """Log one fault observation (and mirror it to ``on_fault``)."""
+        self.stats[record.kind] = self.stats.get(record.kind, 0) + 1
+        self.records.append(record)
+        if self._on_fault is not None:
+            self._on_fault(record)
+
+    def count(self, kind: str) -> int:
+        """How many faults of ``kind`` were injected/observed so far."""
+        return self.stats.get(kind, 0)
+
+    # -- wire-level faults (Network.run) -------------------------------------
+
+    def crashed(self, round_number: int, num_nodes: int) -> frozenset[int]:
+        """Nodes that are down during ``round_number``.
+
+        The node set of each crash window is sampled lazily, once per
+        ``(window, num_nodes)``, from a substream derived at
+        construction — so *when* the first faulty round happens does not
+        change *who* crashes.
+        """
+        if not self.spec.crashes:
+            return _NO_NODES
+        down: set[int] = set()
+        for index, window in enumerate(self.spec.crashes):
+            if not window.covers(round_number):
+                continue
+            key = (index, num_nodes)
+            nodes = self._crash_sets.get(key)
+            if nodes is None:
+                rng = derive_rng(self._crash_entropy, index, num_nodes)
+                count = min(window.count, num_nodes)
+                nodes = frozenset(
+                    int(v)
+                    for v in rng.choice(num_nodes, size=count, replace=False)
+                )
+                self._crash_sets[key] = nodes
+                for v in sorted(nodes):
+                    self.record(
+                        FaultRecord(
+                            kind="crash",
+                            round=window.start,
+                            target=v,
+                            detail={"until_round": window.end},
+                        )
+                    )
+            down.update(nodes)
+        return frozenset(down) if down else _NO_NODES
+
+    def link_copies(
+        self, round_number: int, sender: int, target: int
+    ) -> tuple[int, ...]:
+        """Delivery-round offsets for each surviving copy of a message.
+
+        ``()`` means the message was dropped; ``(0,)`` is a clean
+        delivery; a duplicate adds a second copy one round later; a
+        delay shifts every copy by ``1..max_delay`` rounds.
+        """
+        spec = self.spec
+        offsets = [0]
+        if spec.drop and self._link_rng.random() < spec.drop:
+            self.record(
+                FaultRecord("drop", round_number, sender, target)
+            )
+            return ()
+        if spec.duplicate and self._link_rng.random() < spec.duplicate:
+            self.record(
+                FaultRecord("duplicate", round_number, sender, target)
+            )
+            offsets.append(1)
+        if spec.delay and self._link_rng.random() < spec.delay:
+            shift = int(self._link_rng.integers(1, spec.max_delay + 1))
+            self.record(
+                FaultRecord(
+                    "delay", round_number, sender, target,
+                    detail={"rounds": shift},
+                )
+            )
+            offsets = [offset + shift for offset in offsets]
+        return tuple(offsets)
+
+    # -- modeled faults (the vectorized oracle path) --------------------------
+
+    def retry_cost(
+        self, num_messages: int, base_rounds: float, stage: str
+    ) -> float:
+        """Extra rounds a delivery stage pays for retransmissions.
+
+        Models the reliable layer on a stage that delivered
+        ``num_messages`` messages in ``base_rounds`` rounds: each
+        message independently needs ``Geometric(1 - drop)``
+        transmissions; retransmission wave ``k`` resends the ``m_k``
+        still-unacked messages at a pro-rated cost of
+        ``ceil(base_rounds * m_k / num_messages)`` rounds (acks ride
+        the reverse edge direction in parallel and are free).  Raises
+        :class:`DeliveryTimeout` if any message would exceed the spec's
+        ``max_attempts`` budget.
+        """
+        drop = self.spec.drop
+        if drop <= 0.0 or num_messages == 0 or base_rounds <= 0.0:
+            return 0.0
+        attempts = self._model_rng.geometric(1.0 - drop, size=num_messages)
+        over = attempts > self.spec.max_attempts
+        if over.any():
+            failed = int(over.sum())
+            self.record(
+                FaultRecord(
+                    "timeout",
+                    detail={"stage": stage, "messages": failed},
+                )
+            )
+            raise DeliveryTimeout(
+                f"{stage}: {failed}/{num_messages} messages exceeded the "
+                f"{self.spec.max_attempts}-attempt retry budget at "
+                f"drop={drop:g}",
+                stage=stage,
+            )
+        retries = int(attempts.sum()) - num_messages
+        if retries == 0:
+            return 0.0
+        extra = 0.0
+        wave = 1
+        while True:
+            resent = int((attempts > wave).sum())
+            if resent == 0:
+                break
+            extra += max(1.0, ceil(base_rounds * resent / num_messages))
+            wave += 1
+        self.record(
+            FaultRecord(
+                "retry",
+                detail={
+                    "stage": stage,
+                    "retransmissions": retries,
+                    "extra_rounds": extra,
+                    "messages": num_messages,
+                },
+            )
+        )
+        return extra
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan({self.spec.describe()}, "
+            f"observed={dict(sorted(self.stats.items()))})"
+        )

@@ -11,9 +11,10 @@ can compare the two (see ``tests/congest/test_walk_crosscheck.py`` and
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Optional
 
 from ..graphs.graph import Graph
+from .faults import FaultPlan
 from .network import Network, NodeAlgorithm
 
 __all__ = ["TokenForwarder", "forward_demands"]
@@ -50,7 +51,12 @@ class TokenForwarder(NodeAlgorithm):
 
 
 def forward_demands(
-    graph: Graph, origins, targets, validate: str = "full"
+    graph: Graph,
+    origins,
+    targets,
+    validate: str = "full",
+    faults: Optional[FaultPlan] = None,
+    context=None,
 ) -> tuple[int, int]:
     """Deliver one-hop demands ``origin -> target`` under edge capacity 1.
 
@@ -60,11 +66,33 @@ def forward_demands(
         targets: demand targets (same length).
         validate: outbox-validation mode passed to
             :meth:`repro.congest.network.Network.run`.
+        faults: optional :class:`~repro.congest.faults.FaultPlan`.  With
+            an active (non-null) plan the unreliable queue protocol
+            would lose tokens, so delivery is delegated to the ARQ path
+            in :func:`repro.congest.reliable.reliable_forward_demands`
+            — everything still arrives, at measured extra round cost, or
+            a :class:`~repro.congest.faults.DeliveryTimeout` is raised.
+        context: optional :class:`repro.runtime.RunContext`; with active
+            faults the retry overhead is charged to it under
+            ``faults/retry-rounds``.
 
     Returns:
-        ``(rounds, messages)`` of the real execution; ``rounds`` equals
-        the max number of demands sharing one directed edge.
+        ``(rounds, messages)`` of the real execution; on a clean wire
+        ``rounds`` equals the max number of demands sharing one directed
+        edge.
     """
+    if faults is not None and not faults.spec.is_null:
+        from .reliable import reliable_forward_demands
+
+        report = reliable_forward_demands(
+            graph,
+            origins,
+            targets,
+            faults=faults,
+            validate=validate,
+            context=context,
+        )
+        return report.rounds, report.messages
     network = Network(graph)
     per_node: list[list[int]] = [[] for _ in range(graph.num_nodes)]
     for origin, target in zip(origins, targets):

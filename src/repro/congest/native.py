@@ -341,7 +341,7 @@ class WalkReplay:
 
 
 def replay_walk_run(
-    graph: Graph, run, validate: str = "full"
+    graph: Graph, run, validate: str = "full", faults=None, context=None
 ) -> WalkReplay:
     """Execute a recorded walk batch through the CONGEST simulator.
 
@@ -359,13 +359,22 @@ def replay_walk_run(
             ``record_trajectory=True``.
         validate: outbox-validation mode for
             :meth:`repro.congest.network.Network.run`.
+        faults: optional :class:`~repro.congest.faults.FaultPlan`; with
+            an active plan each step's tokens travel the reliable ARQ
+            path instead — the structure stays identical (retries, not
+            resampling) while the executed rounds grow past the engine's
+            clean charge; the surplus is the measured fault overhead.
+        context: optional :class:`repro.runtime.RunContext` that the
+            reliable path charges ``faults/retry-rounds`` to.
 
     Returns:
         A :class:`WalkReplay` with the executed round/message counts.
 
     Raises:
         ValueError: if ``run`` has no recorded trajectory.
-        RuntimeError: if any step fails to deliver all its tokens.
+        RuntimeError: if any step fails to deliver all its tokens on the
+            clean wire.
+        DeliveryTimeout: if faults defeat the retry budget of any step.
     """
     trajectory = getattr(run, "trajectory", None)
     if trajectory is None:
@@ -383,7 +392,12 @@ def replay_walk_run(
             per_step.append(0)
             continue
         rounds, sent = forward_demands(
-            graph, before[moved], after[moved], validate=validate
+            graph,
+            before[moved],
+            after[moved],
+            validate=validate,
+            faults=faults,
+            context=context,
         )
         per_step.append(rounds)
         messages += sent

@@ -1,0 +1,320 @@
+"""Reliable one-hop delivery over a faulty CONGEST wire.
+
+:mod:`repro.congest.forwarding` assumes a lossless wire; this module is
+its fault-tolerant twin.  Each directed link runs stop-and-wait ARQ:
+tokens carry per-link sequence numbers, receivers acknowledge (and
+re-acknowledge duplicates), senders retransmit on timeout with
+exponential backoff.  The outcome is all-or-nothing by construction —
+either every demand is delivered and counted, or a diagnosable
+:class:`~repro.congest.faults.DeliveryTimeout` names what was lost.
+Silent partial delivery is impossible.
+
+Cost accounting: a fault-free stop-and-wait run of demand multiset ``D``
+takes exactly ``2 * max_mult(D)`` rounds (token + ack per token, links
+in parallel), so everything beyond that is fault overhead and is charged
+to the run ledger as ``faults/retry-rounds``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from ..graphs.graph import Graph
+from .faults import (
+    BACKOFF_CAP,
+    DEFAULT_MAX_ATTEMPTS,
+    DeliveryTimeout,
+    FaultPlan,
+)
+from .network import CongestViolation, Network, NodeAlgorithm, RunStats
+
+__all__ = ["DeliveryReport", "ReliableForwarder", "reliable_forward_demands"]
+
+
+class ReliableForwarder(NodeAlgorithm):
+    """Stop-and-wait ARQ sender/receiver for one-hop demands.
+
+    Per target neighbour, at most one token is un-acknowledged at a
+    time.  Payloads are ``("rel", token_seq, ack_seq)`` — 3 words, under
+    the :data:`~repro.congest.network.MESSAGE_WORD_LIMIT` — so a token
+    and an acknowledgement for the opposite direction piggyback on the
+    same edge slot and acks never contend with data.
+
+    Receivers deduplicate on ``(sender, seq)`` and re-ack duplicates
+    (the first ack may have been the casualty).  A token that exhausts
+    ``max_attempts`` transmissions is abandoned and listed in
+    :attr:`failed`; the driver turns a non-empty failed list into a
+    :class:`DeliveryTimeout`.
+    """
+
+    def __init__(
+        self,
+        context,
+        targets: Iterable[int],
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        super().__init__(context)
+        self.max_attempts = max_attempts
+        self.remaining: dict[int, int] = {}
+        for target in targets:
+            target = int(target)
+            self.remaining[target] = self.remaining.get(target, 0) + 1
+        self.next_seq: dict[int, int] = {}
+        # target -> [seq, attempts, earliest retransmit round]
+        self.in_flight: dict[int, list[int]] = {}
+        self.acks_owed: dict[int, list[int]] = {}
+        self.seen: set[tuple[int, int]] = set()
+        self.received = 0
+        self.sent = 0
+        self.retries = 0
+        self.failed: list[tuple[int, int]] = []
+        self._update_finished()
+
+    def _update_finished(self) -> None:
+        self.finished = not (
+            self.remaining or self.in_flight or self.acks_owed
+        )
+
+    def _emit(self, round_number: int) -> Mapping[int, tuple]:
+        # Launch the next queued token on every idle link.
+        for target in list(self.remaining):
+            if target in self.in_flight:
+                continue
+            seq = self.next_seq.get(target, 0)
+            self.next_seq[target] = seq + 1
+            count = self.remaining[target]
+            if count == 1:
+                del self.remaining[target]
+            else:
+                self.remaining[target] = count - 1
+            self.in_flight[target] = [seq, 0, 0]
+        # (Re)transmit whatever is due, with exponential backoff.
+        tokens: dict[int, int] = {}
+        for target, flight in list(self.in_flight.items()):
+            seq, attempts, resend_round = flight
+            if round_number < resend_round:
+                continue
+            if attempts >= self.max_attempts:
+                self.failed.append((target, seq))
+                del self.in_flight[target]
+                continue
+            flight[1] = attempts + 1
+            flight[2] = round_number + 1 + min(
+                2 ** flight[1], BACKOFF_CAP
+            )
+            tokens[target] = seq
+            self.sent += 1
+            if attempts:
+                self.retries += 1
+        outbox: dict[int, tuple] = {}
+        for neighbor in set(tokens) | set(self.acks_owed):
+            acks = self.acks_owed.get(neighbor)
+            ack_seq = -1
+            if acks:
+                ack_seq = acks.pop(0)
+                if not acks:
+                    del self.acks_owed[neighbor]
+            outbox[neighbor] = ("rel", tokens.get(neighbor, -1), ack_seq)
+        self._update_finished()
+        return outbox
+
+    def initialize(self) -> Mapping[int, tuple]:
+        return self._emit(0)
+
+    def receive(self, round_number, inbox) -> Mapping[int, tuple]:
+        for sender, payload in inbox.items():
+            _, token_seq, ack_seq = payload
+            if token_seq >= 0:
+                key = (sender, token_seq)
+                if key not in self.seen:
+                    self.seen.add(key)
+                    self.received += 1
+                # Ack unconditionally: a duplicate token means our
+                # previous ack may have been lost.
+                self.acks_owed.setdefault(sender, []).append(token_seq)
+            if ack_seq >= 0:
+                flight = self.in_flight.get(sender)
+                if flight is not None and flight[0] == ack_seq:
+                    del self.in_flight[sender]
+        return self._emit(round_number)
+
+    def undelivered(self) -> list[tuple[int, int]]:
+        """``(target, seq)`` tokens this node never got acknowledged."""
+        pending = [
+            (target, flight[0])
+            for target, flight in sorted(self.in_flight.items())
+        ]
+        queued = [
+            (target, -1)
+            for target, count in sorted(self.remaining.items())
+            for _ in range(count)
+        ]
+        return list(self.failed) + pending + queued
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Outcome of a completed (fully delivered) reliable forwarding run.
+
+    Attributes:
+        delivered: unique tokens accepted by receivers (== expected).
+        expected: demand count.
+        rounds: real rounds the run took.
+        messages: wire transmissions, including retries and fault
+            copies.
+        ideal_rounds: what a fault-free stop-and-wait run of the same
+            demands costs (``2 * max link multiplicity``).
+        retry_rounds: ``max(0, rounds - ideal_rounds)`` — the fault
+            overhead charged to the ledger.
+        retransmissions: token re-sends across all senders.
+        stats: the underlying :class:`RunStats` (fault counters
+            included).
+    """
+
+    delivered: int
+    expected: int
+    rounds: int
+    messages: int
+    ideal_rounds: int
+    retry_rounds: int
+    retransmissions: int
+    stats: RunStats
+
+
+def reliable_forward_demands(
+    graph: Graph,
+    origins,
+    targets,
+    *,
+    faults: Optional[FaultPlan] = None,
+    validate: str = "full",
+    max_attempts: Optional[int] = None,
+    context=None,
+    label: str = "forward",
+) -> DeliveryReport:
+    """Deliver one-hop demands reliably, or raise :class:`DeliveryTimeout`.
+
+    The fault-tolerant counterpart of
+    :func:`repro.congest.forwarding.forward_demands`: same demand
+    semantics (every ``(origin, target)`` must be an edge; contended
+    demands queue), but delivery survives a faulty wire via per-link
+    ARQ.
+
+    Args:
+        graph: the network.
+        origins / targets: demand endpoints (same length).
+        faults: :class:`FaultPlan` to run under; ``None`` or a null plan
+            runs the clean wire (and then ``retry_rounds`` is 0).
+        validate: outbox-validation mode for :meth:`Network.run`.
+        max_attempts: per-token transmission budget; defaults to the
+            plan's spec (or :data:`DEFAULT_MAX_ATTEMPTS`).
+        context: optional :class:`repro.runtime.RunContext`; when given
+            and faults are active, the overhead is charged as
+            ``faults/retry-rounds``.
+        label: stage name used in charges and timeout diagnostics.
+
+    Returns:
+        a :class:`DeliveryReport`; ``delivered == expected`` always
+        holds on return.
+
+    Raises:
+        DeliveryTimeout: if any token exhausted its retry budget or the
+            network's round budget ran out (e.g. a crash window outlived
+            every retry) — with the undelivered ``(node, target)`` pairs
+            attached.
+    """
+    origins = [int(origin) for origin in origins]
+    targets = [int(target) for target in targets]
+    if len(origins) != len(targets):
+        raise ValueError("origins and targets must have the same length")
+    if faults is not None and faults.spec.is_null:
+        faults = None
+    if max_attempts is None:
+        max_attempts = (
+            faults.spec.max_attempts if faults is not None
+            else DEFAULT_MAX_ATTEMPTS
+        )
+    network = Network(graph)
+    per_node: list[list[int]] = [[] for _ in range(graph.num_nodes)]
+    link_load: dict[tuple[int, int], int] = {}
+    for origin, target in zip(origins, targets):
+        per_node[origin].append(target)
+        link_load[(origin, target)] = link_load.get((origin, target), 0) + 1
+    max_mult = max(link_load.values(), default=0)
+    ideal_rounds = 2 * max_mult
+    algorithms = [
+        ReliableForwarder(
+            network.context(v), per_node[v], max_attempts=max_attempts
+        )
+        for v in range(graph.num_nodes)
+    ]
+    # Bounded budget: a token retires (delivered or abandoned) within
+    # max_attempts backoff periods, links run in parallel, so the run
+    # either terminates within this budget or something is wedged
+    # (e.g. a crash window outliving every retry) — which must surface
+    # as a diagnosable timeout, never as an unbounded spin.
+    budget = 100 + max(1, max_mult) * max_attempts * (BACKOFF_CAP + 2)
+    try:
+        stats = network.run(
+            algorithms,
+            max_rounds=budget,
+            validate=validate,
+            faults=faults,
+        )
+    except CongestViolation:
+        raise
+    except RuntimeError as error:
+        undelivered = [
+            (v, target)
+            for v, algorithm in enumerate(algorithms)
+            for target, _seq in algorithm.undelivered()
+        ]
+        raise DeliveryTimeout(
+            f"{label}: network round budget ({budget}) exhausted with "
+            f"{len(undelivered)} demand(s) undelivered: "
+            f"{undelivered[:8]}{'...' if len(undelivered) > 8 else ''}",
+            undelivered=undelivered,
+            stage=label,
+        ) from error
+    failed = [
+        (v, target)
+        for v, algorithm in enumerate(algorithms)
+        for target, _seq in algorithm.failed
+    ]
+    delivered = sum(algorithm.received for algorithm in algorithms)
+    expected = len(origins)
+    if failed or delivered != expected:
+        raise DeliveryTimeout(
+            f"{label}: delivered {delivered}/{expected} demands; "
+            f"{len(failed)} token(s) exhausted the {max_attempts}-attempt "
+            f"retry budget: {failed[:8]}"
+            f"{'...' if len(failed) > 8 else ''}",
+            undelivered=failed,
+            stage=label,
+        )
+    retry_rounds = max(0, stats.rounds - ideal_rounds)
+    retransmissions = sum(algorithm.retries for algorithm in algorithms)
+    if context is not None and faults is not None:
+        context.charge(
+            "faults/retry-rounds",
+            float(retry_rounds),
+            stage=label,
+            rounds_total=stats.rounds,
+            ideal_rounds=ideal_rounds,
+            retransmissions=retransmissions,
+            dropped=stats.dropped,
+            duplicated=stats.duplicated,
+            delayed=stats.delayed,
+            crash_dropped=stats.crash_dropped,
+        )
+    return DeliveryReport(
+        delivered=delivered,
+        expected=expected,
+        rounds=stats.rounds,
+        messages=stats.messages,
+        ideal_rounds=ideal_rounds,
+        retry_rounds=retry_rounds,
+        retransmissions=retransmissions,
+        stats=stats,
+    )

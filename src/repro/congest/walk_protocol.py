@@ -26,13 +26,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Optional
 
 import numpy as np
 
 from ..graphs.graph import Graph
 from ..rng import derive_rng
-from .network import Network, NodeAlgorithm
+from .faults import DeliveryTimeout, FaultPlan
+from .network import CongestViolation, Network, NodeAlgorithm
 
 __all__ = ["WalkProtocolOutcome", "run_walk_protocol"]
 
@@ -156,12 +157,45 @@ class _ReverseNode(NodeAlgorithm):
         return self._outbox()
 
 
+def _run_pass(
+    network: Network,
+    algorithms,
+    length: int,
+    validate: str,
+    faults: Optional[FaultPlan],
+    stage: str,
+):
+    """One protocol pass; round-budget exhaustion under faults becomes a
+    diagnosable :class:`DeliveryTimeout` (a crash window can wedge an
+    unfinished node forever, which must not surface as a bare
+    ``RuntimeError``)."""
+    max_rounds = 10000 * (length + 1)
+    try:
+        return network.run(
+            algorithms,
+            max_rounds=max_rounds,
+            validate=validate,
+            faults=faults,
+        )
+    except CongestViolation:
+        raise
+    except RuntimeError as error:
+        if faults is None:
+            raise
+        raise DeliveryTimeout(
+            f"{stage}: round budget ({max_rounds}) exhausted under "
+            f"faults — a crash window likely outlived the protocol",
+            stage=stage,
+        ) from error
+
+
 def run_walk_protocol(
     graph: Graph,
     starts: np.ndarray,
     length: int,
     seed: int = 0,
     validate: str = "full",
+    faults: Optional[FaultPlan] = None,
 ) -> WalkProtocolOutcome:
     """Execute the forward+reverse walk protocol on ``graph``.
 
@@ -172,12 +206,20 @@ def run_walk_protocol(
         seed: base seed for the per-node randomness.
         validate: outbox-validation mode passed to
             :meth:`repro.congest.network.Network.run`.
+        faults: optional :class:`~repro.congest.faults.FaultPlan`.  The
+            walk tokens themselves are *not* retransmitted (the protocol
+            is the paper's, verbatim); instead any walk the faulty wire
+            loses or misdelivers is detected after each pass and raised
+            as a :class:`~repro.congest.faults.DeliveryTimeout` — the
+            outcome is never silently partial.
 
     Returns:
         A :class:`WalkProtocolOutcome`; ``returned_to`` equals ``starts``
         by construction of the reversal (asserted by tests, not here).
     """
     starts = np.asarray(starts, dtype=np.int64)
+    if faults is not None and faults.spec.is_null:
+        faults = None
     network = Network(graph)
     n = graph.num_nodes
     states = [
@@ -195,23 +237,48 @@ def run_walk_protocol(
         _ForwardNode(network.context(v), states[v], per_node_tokens[v])
         for v in range(n)
     ]
-    forward_stats = network.run(
-        forward, max_rounds=10000 * (length + 1), validate=validate
+    forward_stats = _run_pass(
+        network, forward, length, validate, faults, stage="walk-forward"
     )
     endpoints = np.full(starts.shape[0], -1, dtype=np.int64)
     for v, state in enumerate(states):
         for walk_id in state.finished_here:
             endpoints[walk_id] = v
+    if faults is not None:
+        lost = np.flatnonzero(endpoints < 0)
+        if lost.size:
+            raise DeliveryTimeout(
+                f"walk-forward: the faulty wire lost {lost.size}/"
+                f"{starts.shape[0]} walk token(s): walks "
+                f"{lost[:8].tolist()}{'...' if lost.size > 8 else ''}",
+                undelivered=[
+                    (int(starts[w]), -1) for w in lost[:64]
+                ],
+                stage="walk-forward",
+            )
     reverse = [
         _ReverseNode(network.context(v), states[v]) for v in range(n)
     ]
-    reverse_stats = network.run(
-        reverse, max_rounds=10000 * (length + 1), validate=validate
+    reverse_stats = _run_pass(
+        network, reverse, length, validate, faults, stage="walk-reverse"
     )
     returned = np.full(starts.shape[0], -1, dtype=np.int64)
     for v, algorithm in enumerate(reverse):
         for walk_id in algorithm.home_tokens:
             returned[walk_id] = v
+    if faults is not None:
+        astray = np.flatnonzero(returned != starts)
+        if astray.size:
+            raise DeliveryTimeout(
+                f"walk-reverse: {astray.size}/{starts.shape[0]} walk "
+                f"token(s) failed to return to their origin under "
+                f"faults: walks {astray[:8].tolist()}"
+                f"{'...' if astray.size > 8 else ''}",
+                undelivered=[
+                    (int(returned[w]), int(starts[w])) for w in astray[:64]
+                ],
+                stage="walk-reverse",
+            )
     return WalkProtocolOutcome(
         starts=starts,
         endpoints=endpoints,

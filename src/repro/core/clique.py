@@ -89,7 +89,13 @@ def emulate_clique(
             rng = context.stream("clique")
     params = params or Params.default()
     rng = resolve_rng(rng, seed)
-    router = router or Router(hierarchy, params=params, rng=rng)
+    if router is None:
+        router = Router(
+            hierarchy,
+            params=params,
+            rng=rng,
+            faults=context.fault_plan if context is not None else None,
+        )
     graph = hierarchy.g0.base_graph
     n = graph.num_nodes
     sources, destinations = all_pairs_demand(n)
@@ -111,13 +117,25 @@ def emulate_clique(
         )
         rounds = rounds * full_phases / routing.num_phases
         num_phases = full_phases
+    # The emulation's fault surcharge scales with the same extrapolation
+    # factor as the rounds it is part of.
+    fault_rounds = routing.fault_rounds
+    if routing.cost_rounds > 0:
+        fault_rounds *= rounds / routing.cost_rounds
     if context is not None:
         context.charge(
             "clique/emulation",
-            rounds,
+            rounds - fault_rounds,
             messages=int(sources.shape[0]),
             phases=num_phases,
         )
+        if fault_rounds > 0:
+            context.charge(
+                "faults/retry-rounds",
+                fault_rounds,
+                stage="clique/emulation",
+                messages=int(sources.shape[0]),
+            )
     return CliqueEmulationResult(
         delivered=routing.delivered,
         num_messages=int(sources.shape[0]),

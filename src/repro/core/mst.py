@@ -116,7 +116,12 @@ class MstRunner:
         self.hierarchy = hierarchy or build_hierarchy(
             graph, self.params, self.rng
         )
-        self.router = Router(self.hierarchy, params=self.params, rng=self.rng)
+        self.router = Router(
+            self.hierarchy,
+            params=self.params,
+            rng=self.rng,
+            faults=context.fault_plan if context is not None else None,
+        )
 
     def run(self) -> MstResult:
         """Compute the MST; verified-unique via (weight, id) tie-breaks."""
@@ -183,12 +188,14 @@ class MstRunner:
             pair for tree in trees.values() for pair in tree.pairs_to_parent()
         ]
         routing_rounds = 0.0
+        fault_per_route = 0.0
         if pairs and max_depth > 0:
             arr = np.array(pairs, dtype=np.int64)
             sample = self.router.route(arr[:, 0], arr[:, 1])
             if not sample.delivered:
                 raise RuntimeError("upcast routing failed to deliver")
             routing_rounds = sample.cost_rounds
+            fault_per_route = sample.fault_rounds
         upcast_steps = 2 * max(1, max_depth)
         iteration_rounds = routing_rounds * upcast_steps
         # 3. Coins and star merges.
@@ -237,12 +244,21 @@ class MstRunner:
             merged=len(self._added_this_round),
         )
         if self._context is not None:
+            # The upcast repeats the routing instance, so its fault
+            # surcharge repeats with it; split it out under faults/.
+            fault_rounds = fault_per_route * (upcast_steps + rebalance_steps)
             self._context.charge(
                 f"mst/iteration-{iteration}",
-                iteration_rounds,
+                iteration_rounds - fault_rounds,
                 components=components_before,
                 merged=len(self._added_this_round),
             )
+            if fault_rounds > 0:
+                self._context.charge(
+                    "faults/retry-rounds",
+                    fault_rounds,
+                    stage=f"mst/iteration-{iteration}",
+                )
         return IterationStats(
             iteration=iteration,
             components_before=components_before,

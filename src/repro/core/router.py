@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..congest.faults import FaultPlan, FaultRecord
 from ..params import Params
 from ..rng import resolve_rng
 from ..walks.correlated import run_correlated_walks
@@ -81,7 +82,11 @@ class RoutingResult:
         prep_rounds: base-graph rounds of the preparation walks.
         cost_g0_rounds: recursion cost in ``G0`` rounds.
         cost_rounds: total base-graph rounds
-            (``prep + cost_g0 * g0.round_cost``).
+            (``prep + cost_g0 * g0.round_cost``, plus ``fault_rounds``
+            when routing under a fault plan).
+        fault_rounds: extra base-graph rounds spent on modeled
+            retransmissions under an active
+            :class:`~repro.congest.faults.FaultPlan` (0.0 otherwise).
         level_costs: per-level decomposition (index 0 = level 0).
         final_vnodes: final virtual-node position of every packet.
         packet_hops: per-packet overlay-edge hop counts (portal hops +
@@ -98,6 +103,7 @@ class RoutingResult:
     level_costs: dict[int, LevelCost] = field(default_factory=dict)
     final_vnodes: np.ndarray | None = None
     packet_hops: np.ndarray | None = None
+    fault_rounds: float = 0.0
 
     @property
     def stretch_vs_tau_mix(self) -> float:
@@ -118,6 +124,7 @@ class Router:
         seed: int | None = None,
         context=None,
         walk_runner=None,
+        faults: FaultPlan | None = None,
     ):
         """Args:
             hierarchy: the built routing structure.
@@ -132,6 +139,17 @@ class Router:
             walk_runner: optional walk-execution override for the
                 preparation walks (same contract as in
                 :func:`~repro.core.embedding.build_g0`).
+            faults: optional :class:`~repro.congest.faults.FaultPlan`
+                (default: the context's plan).  On this vectorized path
+                there is no wire to drop messages from; instead each
+                delivery stage *models* the reliable layer — per-message
+                geometric retransmission counts under the drop rate,
+                converted to extra rounds and reported as
+                ``RoutingResult.fault_rounds`` / charged as
+                ``faults/retry-rounds``.  Exhausting the retry budget
+                raises :class:`~repro.congest.faults.DeliveryTimeout`.
+                Duplication/delay cost nothing here (acks dedup and
+                absorb them); crash windows only act on the native wire.
         """
         self.hierarchy = hierarchy
         self._context = context
@@ -140,6 +158,12 @@ class Router:
             params = params or context.params
             if rng is None and seed is None:
                 rng = context.stream("router")
+            if faults is None:
+                faults = context.fault_plan
+        if faults is not None and faults.spec.is_null:
+            faults = None
+        self._faults = faults
+        self._warned_unmodeled = False
         self.params = params or Params.default()
         self.rng = resolve_rng(rng, seed)
         self.portals = portals or build_portals(
@@ -192,21 +216,32 @@ class Router:
         )
         total_prep = 0.0
         total_g0 = 0.0
+        total_fault = 0.0
         final_vnodes = np.full(sources.shape[0], -1, dtype=np.int64)
         delivered = True
         for phase in range(num_phases):
             mask = phase_of == phase
             if not mask.any():
                 continue
-            prep, cost_g0, vnodes, ok = self._route_phase(
+            prep, cost_g0, fault_g, fault_g0, vnodes, ok = self._route_phase(
                 sources[mask], destinations[mask],
                 ids=np.flatnonzero(mask) if trace else None,
             )
             total_prep += prep
             total_g0 += cost_g0
+            total_fault += fault_g + fault_g0 * self.hierarchy.g0.round_cost
             final_vnodes[mask] = vnodes
             delivered &= ok
         cost_rounds = total_prep + total_g0 * self.hierarchy.g0.round_cost
+        if self._faults is not None:
+            cost_rounds += total_fault
+            if self._context is not None:
+                self._context.charge(
+                    "faults/retry-rounds",
+                    total_fault,
+                    stage="route/model",
+                    packets=int(sources.shape[0]),
+                )
         if ledger is not None:
             ledger.charge(
                 "route/instance",
@@ -244,6 +279,7 @@ class Router:
             level_costs=self._level_costs,
             final_vnodes=final_vnodes,
             packet_hops=self._packet_hops,
+            fault_rounds=total_fault if self._faults is not None else 0.0,
         )
 
     # -- internals -----------------------------------------------------------
@@ -267,13 +303,45 @@ class Router:
             ratio = load / np.maximum(allowed, 1)
         return max(1, int(np.ceil(ratio.max()))) if load.size else 1
 
+    def _model_fault_cost(
+        self, num_messages: int, base_rounds: float, stage: str
+    ) -> float:
+        """Modeled retransmission rounds for one delivery stage (0 when
+        no plan is active)."""
+        plan = self._faults
+        if plan is None:
+            return 0.0
+        if (
+            not self._warned_unmodeled
+            and (plan.spec.crashes or plan.spec.duplicate or plan.spec.delay)
+        ):
+            self._warned_unmodeled = True
+            plan.record(
+                FaultRecord(
+                    "model-skip",
+                    detail={
+                        "stage": "route/model",
+                        "reason": (
+                            "crash/duplicate/delay faults act only on the "
+                            "native wire; the oracle models drop retries"
+                        ),
+                    },
+                )
+            )
+        return plan.retry_cost(num_messages, base_rounds, stage)
+
     def _route_phase(
         self,
         sources: np.ndarray,
         destinations: np.ndarray,
         ids: np.ndarray | None = None,
-    ) -> tuple[float, float, np.ndarray, bool]:
-        """Route one phase; returns (prep G-rounds, G0 rounds, vnodes, ok)."""
+    ) -> tuple[float, float, float, float, np.ndarray, bool]:
+        """Route one phase.
+
+        Returns ``(prep G-rounds, G0 rounds, fault G-rounds, fault G0
+        rounds, vnodes, ok)``; the two fault terms stay 0.0 without an
+        active plan.
+        """
         hierarchy = self.hierarchy
         virtual = hierarchy.g0.virtual
         graph = hierarchy.g0.base_graph
@@ -295,10 +363,13 @@ class Router:
                 steps=hierarchy.g0.walk_length,
                 schedule_rounds=prep_rounds,
             )
+        fault_g = self._model_fault_cost(
+            int(sources.shape[0]), prep_rounds, "route/prep"
+        )
         target = virtual.canonical(destinations)
-        cost_g0, final = self._route_within(0, current, target, ids)
+        cost_g0, fault_g0, final = self._route_within(0, current, target, ids)
         ok = bool(np.all(virtual.host[final] == destinations))
-        return prep_rounds, cost_g0, final, ok
+        return prep_rounds, cost_g0, fault_g, fault_g0, final, ok
 
     def _route_within(
         self,
@@ -306,23 +377,28 @@ class Router:
         current: np.ndarray,
         target: np.ndarray,
         ids: np.ndarray | None = None,
-    ) -> tuple[float, np.ndarray]:
+    ) -> tuple[float, float, np.ndarray]:
         """Route packets whose position and target share a level part.
 
-        Returns the cost in level-``level`` overlay rounds and the final
-        positions (== targets on success).
+        Returns the cost in level-``level`` overlay rounds, the modeled
+        fault overhead in the same unit (0.0 without an active plan),
+        and the final positions (== targets on success).
         """
         stats = self._level_costs.setdefault(level, LevelCost())
         stats.invocations += 1
         if current.size == 0:
-            return 0.0, target.copy()
+            return 0.0, 0.0, target.copy()
         if level == self.hierarchy.depth:
             rounds = self._bottom_deliver(current, target)
             stats.bottom_rounds += rounds
+            moving_count = int((current != target).sum())
+            fault = self._model_fault_cost(
+                moving_count, rounds, f"route/bottom-L{level}"
+            )
             if ids is not None and self._packet_hops is not None:
                 moving = current != target
                 self._packet_hops[ids[moving]] += 1
-            return rounds, target.copy()
+            return rounds, fault, target.copy()
         hierarchy = self.hierarchy
         next_level = level + 1
         parts_next = hierarchy.parts_at(next_level)
@@ -343,25 +419,34 @@ class Router:
                 )
             stage_a_target[crossing] = portals
         emulation = hierarchy.levels[next_level - 1].emulation_cost
-        cost_a, positions = self._route_within(
+        cost_a, fault_a, positions = self._route_within(
             next_level, current, stage_a_target, ids
         )
         hop_rounds = 0.0
+        hop_fault = 0.0
         cost_b = 0.0
+        fault_b = 0.0
         if crossing.any():
             hopped, hop_rounds = self._hop(
                 level, positions[crossing], part_target[crossing]
             )
             stats.hop_rounds += hop_rounds
+            hop_fault = self._model_fault_cost(
+                int(crossing.sum()), hop_rounds, f"route/hop-L{level}"
+            )
             if ids is not None and self._packet_hops is not None:
                 self._packet_hops[ids[crossing]] += 1
-            cost_b, landed = self._route_within(
+            cost_b, fault_b, landed = self._route_within(
                 next_level, hopped, target[crossing],
                 ids[crossing] if ids is not None else None,
             )
             positions = positions.copy()
             positions[crossing] = landed
-        return (cost_a + cost_b) * emulation + hop_rounds, positions
+        return (
+            (cost_a + cost_b) * emulation + hop_rounds,
+            (fault_a + fault_b) * emulation + hop_fault,
+            positions,
+        )
 
     def _hop(
         self, level: int, portals: np.ndarray, target_parts: np.ndarray

@@ -534,6 +534,74 @@ class TupleSeedRule(Rule):
                 )
 
 
+@register
+class FaultStreamRule(Rule):
+    """R007: a FaultPlan built from an unmanaged RNG.
+
+    Fault sampling must draw from its own named stream, or enabling
+    ``--faults`` would shift the draw sequence of every other stream and
+    change the structure under test.  A ``FaultPlan`` may therefore only
+    be constructed from :func:`repro.rng.derive_rng` or a
+    ``RunContext.stream(...)``/``fresh_stream(...)`` call — never from a
+    generator whose provenance the runtime does not manage.
+    """
+
+    rule_id = "R007"
+    name = "fault-stream-hygiene"
+    description = (
+        "FaultPlan constructed from an RNG that is not derive_rng(...) "
+        "or a context .stream(...)/.fresh_stream(...) call"
+    )
+
+    _STREAM_METHODS = {"stream", "fresh_stream"}
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = qualified_name(node.func)
+            if callee is None or callee.split(".")[-1] != "FaultPlan":
+                continue
+            rng_arg = self._rng_argument(node)
+            if rng_arg is None:
+                yield self.finding(
+                    module, node,
+                    "FaultPlan constructed without an explicit rng — pass "
+                    "derive_rng(...) or context.stream('faults')",
+                )
+            elif not self._is_managed_stream(rng_arg):
+                yield self.finding(
+                    module, node,
+                    "FaultPlan rng must come straight from "
+                    "repro.rng.derive_rng(...) or a context "
+                    ".stream(...)/.fresh_stream(...) call, so --faults "
+                    "never perturbs any other stream",
+                )
+
+    @staticmethod
+    def _rng_argument(call: ast.Call) -> Optional[ast.AST]:
+        for keyword in call.keywords:
+            if keyword.arg == "rng":
+                return keyword.value
+        if len(call.args) >= 2:
+            return call.args[1]
+        return None
+
+    @classmethod
+    def _is_managed_stream(cls, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "derive_rng"
+        if isinstance(func, ast.Attribute):
+            return (
+                func.attr == "derive_rng"
+                or func.attr in cls._STREAM_METHODS
+            )
+        return False
+
+
 def _walk_own_body(
     fn: ast.FunctionDef | ast.AsyncFunctionDef,
 ) -> Iterator[ast.AST]:

@@ -18,6 +18,7 @@ from .backends import (
     UnsupportedOnBackend,
     make_backend,
 )
+from .config import OPS, RunConfig, RunOutcome, run
 from .context import RunContext
 from .events import (
     EVENT_KINDS,
@@ -40,11 +41,15 @@ __all__ = [
     "MemorySink",
     "NativeBackend",
     "NullSink",
+    "OPS",
     "OracleBackend",
+    "RunConfig",
     "RunContext",
+    "RunOutcome",
     "TraceEvent",
     "UnsupportedOnBackend",
     "make_backend",
     "read_jsonl_trace",
+    "run",
     "sum_ledger_charges",
 ]

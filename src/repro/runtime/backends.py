@@ -187,7 +187,10 @@ class OracleBackend(Backend):
             # A dedicated context-free router: the emulation charges one
             # aggregate "clique/emulation" entry, not per-route charges.
             router = Router(
-                self.hierarchy, params=ctx.params, rng=ctx.stream("clique")
+                self.hierarchy,
+                params=ctx.params,
+                rng=ctx.stream("clique"),
+                faults=ctx.fault_plan,
             )
             return emulate_clique(
                 self.hierarchy,
@@ -233,12 +236,31 @@ class NativeBackend(Backend):
             run = engine(
                 graph, starts, steps, rng, record_trajectory=True
             )
-            replay = replay_walk_run(graph, run, validate=self.validate)
+            # With faults on, the replay runs each step over the
+            # reliable ARQ path: same trajectories (retries resend, they
+            # never resample), more rounds.  The surplus over the
+            # engine's clean Lemma 2.5 charge *is* the fault overhead,
+            # charged under faults/ — so the clean equality assertion is
+            # replaced by surplus accounting, not silently skipped.
+            plan = self.context.fault_plan
+            replay = replay_walk_run(
+                graph, run, validate=self.validate, faults=plan
+            )
             charged = run.schedule_rounds()
-            if replay.rounds != charged:
-                raise BackendMismatch(
-                    f"native execution took {replay.rounds} rounds but the "
-                    f"engine charged {charged} for the same walk batch"
+            if plan is None:
+                if replay.rounds != charged:
+                    raise BackendMismatch(
+                        f"native execution took {replay.rounds} rounds but "
+                        f"the engine charged {charged} for the same walk "
+                        "batch"
+                    )
+            else:
+                self.context.charge(
+                    "faults/retry-rounds",
+                    float(max(0, replay.rounds - charged)),
+                    stage="native/walk-batch",
+                    rounds_total=int(replay.rounds),
+                    ideal_rounds=int(charged),
                 )
             self.executed_rounds += replay.rounds
             self.executed_messages += replay.messages

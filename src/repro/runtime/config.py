@@ -1,0 +1,320 @@
+"""One front door for the pipeline: ``repro.run(op, graph, config=...)``.
+
+Before this module, every entry point threaded the same knobs by hand —
+``params=``, ``rng=``, ``seed=``, ``validate=``, ``backend=`` sprinkled
+across :func:`~repro.core.hierarchy.build_hierarchy`,
+:class:`~repro.core.router.Router`,
+:func:`~repro.core.mst.minimum_spanning_tree`, and friends.
+:class:`RunConfig` freezes those decisions into one immutable value, and
+:func:`run` executes any of the paper's operations under it:
+
+    >>> from repro import run, RunConfig
+    >>> outcome = run("route", graph, config=RunConfig(seed=7))
+    >>> outcome.result.delivered
+    True
+
+One config = one reproducible run: the seed feeds the context's named
+RNG streams, ``faults`` (a spec string or
+:class:`~repro.congest.faults.FaultSpec`) binds a fault plan to the
+dedicated ``"faults"`` stream, ``trace`` captures the structured event
+stream, and ``backend``/``validate`` choose how walk batches execute.
+The legacy call signatures keep working as thin shims (see
+:mod:`repro.__init__`) but new code should come through here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from ..congest.faults import FaultSpec
+from ..graphs.generators import with_random_weights
+from ..graphs.graph import Graph, WeightedGraph
+from ..params import Params
+from .backends import BACKENDS, Backend, make_backend
+from .context import RunContext
+from .events import EventSink, JsonlSink, MemorySink, TraceEvent
+
+__all__ = ["OPS", "RunConfig", "RunOutcome", "run"]
+
+_VALIDATE_MODES = ("full", "first_round", "off")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything one run needs, decided once and immutable.
+
+    Attributes:
+        seed: base seed; every named RNG stream derives from it.
+        params: construction constants (``None`` =
+            :meth:`Params.default`).
+        backend: ``"oracle"`` (vectorized) or ``"native"`` (real message
+            passing).
+        validate: simulator outbox-validation mode, native backend only.
+        trace: where structured events go — ``None`` (discard), a path
+            string (JSONL file), or any
+            :class:`~repro.runtime.EventSink`.
+        faults: fault injection — ``None`` (clean), a spec string in the
+            ``--faults`` grammar (``"drop=0.01,crash=3@rounds:10-20"``),
+            or a :class:`FaultSpec`.  Normalized to a ``FaultSpec``.
+        beta: partition branching-factor override.
+    """
+
+    seed: int = 0
+    params: Optional[Params] = None
+    backend: str = "oracle"
+    validate: str = "full"
+    trace: Union[None, str, EventSink] = None
+    faults: Union[None, str, FaultSpec] = None
+    beta: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {sorted(BACKENDS)}, "
+                f"got {self.backend!r}"
+            )
+        if self.validate not in _VALIDATE_MODES:
+            raise ValueError(
+                f"validate must be one of {_VALIDATE_MODES}, "
+                f"got {self.validate!r}"
+            )
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", FaultSpec.parse(self.faults))
+        elif self.faults is not None and not isinstance(
+            self.faults, FaultSpec
+        ):
+            raise TypeError(
+                "faults must be None, a spec string, or a FaultSpec, "
+                f"got {type(self.faults).__name__}"
+            )
+
+    def make_context(self) -> RunContext:
+        """A fresh :class:`RunContext` configured by this value.
+
+        A path-string ``trace`` opens a new :class:`JsonlSink` per call;
+        a sink *instance* is shared (the caller owns its lifetime).
+        """
+        sink: Optional[EventSink]
+        if isinstance(self.trace, str):
+            sink = JsonlSink(self.trace)
+        else:
+            sink = self.trace
+        return RunContext(
+            seed=self.seed,
+            params=self.params,
+            sink=sink,
+            faults=self.faults,
+        )
+
+    def make_backend(
+        self, graph: Graph, context: Optional[RunContext] = None
+    ) -> Backend:
+        """The configured backend over ``graph`` (fresh context unless
+        one is supplied)."""
+        return make_backend(
+            self.backend,
+            graph,
+            context if context is not None else self.make_context(),
+            beta=self.beta,
+            validate=self.validate,
+        )
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What :func:`run` hands back: the result plus the run's machinery.
+
+    Attributes:
+        op: the operation that ran (one of :data:`OPS`).
+        config: the :class:`RunConfig` it ran under.
+        result: the operation's native result object
+            (:class:`~repro.core.hierarchy.Hierarchy`,
+            :class:`~repro.core.router.RoutingResult`, ...).
+        context: the run's :class:`RunContext` — ledger, streams, sink.
+        backend: the backend the run executed on (its cached hierarchy
+            is reusable).
+    """
+
+    op: str
+    config: RunConfig
+    result: Any
+    context: RunContext
+    backend: Backend
+
+    @property
+    def ledger(self):
+        """The run-wide :class:`~repro.core.ledger.RoundLedger`."""
+        return self.context.ledger
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Captured trace events (empty unless ``trace`` was a
+        :class:`MemorySink`)."""
+        sink = self.context.sink
+        if isinstance(sink, MemorySink):
+            return sink.events
+        return []
+
+    def fault_rounds(self) -> float:
+        """Total rounds charged under the ``faults/`` ledger category."""
+        return float(
+            sum(
+                charge.rounds
+                for charge in self.ledger.charges
+                if charge.label.startswith("faults/")
+            )
+        )
+
+
+def _op_build(backend: Backend, context: RunContext, graph: Graph, args):
+    _expect_no_args("build", args)
+    return backend.build()
+
+
+def _op_route(backend: Backend, context: RunContext, graph: Graph, args):
+    sources = args.pop("sources", None)
+    destinations = args.pop("destinations", None)
+    packets = args.pop("packets", None)
+    trace_hops = bool(args.pop("trace_hops", False))
+    _expect_no_args("route", args)
+    if (sources is None) != (destinations is None):
+        raise ValueError(
+            "route: provide both sources and destinations, or neither"
+        )
+    if sources is None:
+        # The demand comes from its own stream: changing the workload
+        # can never perturb the structure built from other streams.
+        n = graph.num_nodes
+        workload = context.stream("workload")
+        if packets:
+            sources = workload.integers(0, n, size=int(packets))
+            destinations = workload.integers(0, n, size=int(packets))
+        else:
+            sources = np.arange(n)
+            destinations = workload.permutation(n)
+    elif packets is not None:
+        raise ValueError("route: packets= conflicts with explicit demands")
+    backend.build()
+    return backend.route(
+        np.asarray(sources), np.asarray(destinations), trace=trace_hops
+    )
+
+
+def _op_mst(backend: Backend, context: RunContext, graph: Graph, args):
+    weights = args.pop("weights", None)
+    _expect_no_args("mst", args)
+    if weights is not None:
+        weighted = WeightedGraph(
+            graph.num_nodes, list(graph.edges()), weights
+        )
+    elif isinstance(graph, WeightedGraph):
+        weighted = graph
+    else:
+        weighted = with_random_weights(graph, context.stream("weights"))
+    return backend.mst(weighted)
+
+
+def _op_mincut(backend: Backend, context: RunContext, graph: Graph, args):
+    return backend.min_cut(**args)
+
+
+def _op_clique(backend: Backend, context: RunContext, graph: Graph, args):
+    sample_fraction = float(args.pop("sample_fraction", 1.0))
+    _expect_no_args("clique", args)
+    return backend.clique(sample_fraction=sample_fraction)
+
+
+def _expect_no_args(op: str, args: dict) -> None:
+    if args:
+        raise TypeError(
+            f"run({op!r}, ...) got unexpected arguments {sorted(args)}"
+        )
+
+
+_OP_RUNNERS = {
+    "build": _op_build,
+    "route": _op_route,
+    "mst": _op_mst,
+    "mincut": _op_mincut,
+    "clique": _op_clique,
+}
+
+#: The operations :func:`run` understands.
+OPS = tuple(sorted(_OP_RUNNERS))
+
+
+def run(
+    op: str,
+    graph: Graph,
+    *,
+    config: Optional[RunConfig] = None,
+    **op_args,
+) -> RunOutcome:
+    """Execute one of the paper's operations under a :class:`RunConfig`.
+
+    Args:
+        op: ``"build"``, ``"route"``, ``"mst"``, ``"mincut"``, or
+            ``"clique"``.
+        graph: the topology (a :class:`WeightedGraph` for ``mst`` unless
+            ``weights=`` is passed; unweighted graphs get i.i.d. uniform
+            weights from the ``"weights"`` stream).
+        config: the run configuration (default: ``RunConfig()``).
+        **op_args: operation-specific inputs — ``route``:
+            ``sources``/``destinations`` arrays, or ``packets=k`` for a
+            random demand, or nothing for a full permutation;
+            ``trace_hops=True`` records per-packet hop counts.  ``mst``:
+            optional ``weights``.  ``mincut``: ``eps``, ``num_trees``,
+            ``two_respecting``, ``use_weights``.  ``clique``:
+            ``sample_fraction``.
+
+    Returns:
+        A :class:`RunOutcome`; ``outcome.result`` is the operation's
+        native result object, ``outcome.ledger`` the round accounting,
+        ``outcome.backend.hierarchy`` the (cached) structure.
+
+    Raises:
+        ValueError: unknown ``op`` or malformed demand arguments.
+        DeliveryTimeout: if an active fault plan defeats reliable
+            delivery (never a silent partial result).
+    """
+    if config is None:
+        config = RunConfig()
+    try:
+        runner = _OP_RUNNERS[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown operation {op!r}; choose from {OPS}"
+        ) from None
+    context = config.make_context()
+    spec = context.fault_spec
+    context.emit(
+        "run_start",
+        op,
+        seed=context.seed,
+        backend=config.backend,
+        faults=spec.describe() if spec is not None else None,
+    )
+    backend = config.make_backend(graph, context)
+    try:
+        result = runner(backend, context, graph, dict(op_args))
+    finally:
+        context.emit(
+            "run_end",
+            op,
+            total_rounds=float(context.ledger.total()),
+        )
+        if isinstance(config.trace, str):
+            # We opened the JSONL sink; we close it.  Caller-supplied
+            # sink instances stay open (their owner decides).
+            context.close()
+    return RunOutcome(
+        op=op,
+        config=config,
+        result=result,
+        context=context,
+        backend=backend,
+    )

@@ -28,6 +28,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from ..congest.faults import FaultPlan, FaultRecord, FaultSpec
 from ..core.ledger import Charge, RoundLedger
 from ..params import Params
 from ..rng import derive_rng, stream_entropy
@@ -45,6 +46,9 @@ class RunContext:
         ledger: the run-wide round ledger (charges from every operation
             executed through this context).
         sink: where trace events go (default: :class:`NullSink`).
+        fault_spec: the run's :class:`~repro.congest.faults.FaultSpec`,
+            or ``None``; :attr:`fault_plan` binds it to the context's
+            dedicated ``"faults"`` RNG stream.
     """
 
     def __init__(
@@ -52,11 +56,16 @@ class RunContext:
         seed: int = 0,
         params: Optional[Params] = None,
         sink: Optional[EventSink] = None,
+        faults: "Optional[FaultSpec | str]" = None,
     ) -> None:
         self.seed = int(seed)
         self.params = params or Params.default()
         self.ledger = RoundLedger()
         self.sink = sink or NullSink()
+        if isinstance(faults, str):
+            faults = FaultSpec.parse(faults)
+        self.fault_spec = faults
+        self._fault_plan: Optional[FaultPlan] = None
         self._seq = 0
         self._streams: dict[str, np.random.Generator] = {}
 
@@ -86,6 +95,38 @@ class RunContext:
         (e.g. the cross-backend equivalence contract).
         """
         return derive_rng(self.seed, stream_entropy(name))
+
+    # -- faults --------------------------------------------------------------
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The run's :class:`FaultPlan`, or ``None`` without faults.
+
+        Built lazily — and only once, so all consumers (network runs,
+        the router's modeled retries) share one plan and its fault log.
+        The plan draws exclusively from the context's ``"faults"``
+        stream, so enabling faults cannot perturb any other stream, and
+        every injected fault is mirrored as a ``"fault"`` trace event.
+        """
+        if self.fault_spec is None or self.fault_spec.is_null:
+            return None
+        if self._fault_plan is None:
+            self._fault_plan = FaultPlan(
+                self.fault_spec,
+                rng=self.stream("faults"),
+                on_fault=self._emit_fault,
+            )
+        return self._fault_plan
+
+    def _emit_fault(self, record: FaultRecord) -> None:
+        self.emit(
+            "fault",
+            f"faults/{record.kind}",
+            round=record.round,
+            sender=record.sender,
+            target=record.target,
+            **record.detail,
+        )
 
     # -- tracing -------------------------------------------------------------
 

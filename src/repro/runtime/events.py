@@ -49,6 +49,7 @@ EVENT_KINDS = (
     "walk_batch",     # payload: walks, steps, schedule_rounds, ...
     "scheduler",      # payload: paths, rounds, ...
     "backend",        # payload: backend-specific execution stats
+    "fault",          # payload: round, sender, target + fault detail
 )
 
 

@@ -31,10 +31,11 @@ from .core import (
     Router,
     RoutingResult,
 )
+from .congest.faults import FaultSpec
 from .graphs.graph import Graph, WeightedGraph
 from .graphs.generators import with_random_weights
 from .params import Params
-from .runtime import Backend, EventSink, RunContext, make_backend
+from .runtime import Backend, EventSink, RunConfig
 
 __all__ = ["ExpanderNetwork"]
 
@@ -44,6 +45,8 @@ class ExpanderNetwork:
 
     Attributes:
         graph: the topology.
+        config: the :class:`~repro.runtime.RunConfig` every operation
+            runs under (built once from the constructor arguments).
         params: construction constants.
         seed: base seed; every operation derives its randomness from it.
         context: the underlying :class:`~repro.runtime.RunContext`
@@ -60,6 +63,8 @@ class ExpanderNetwork:
         backend: str = "oracle",
         sink: EventSink | None = None,
         validate: str = "full",
+        faults: "FaultSpec | str | None" = None,
+        config: RunConfig | None = None,
     ):
         """Args:
             graph: connected topology.
@@ -74,16 +79,33 @@ class ExpanderNetwork:
                 :class:`~repro.runtime.JsonlSink`).
             validate: simulator outbox-validation mode for the native
                 backend (``"full"``, ``"first_round"``, or ``"off"``).
+            faults: optional fault injection — a spec string
+                (``"drop=0.01,crash=3@rounds:10-20"``) or a
+                :class:`~repro.congest.faults.FaultSpec`; routing then
+                pays measured retry rounds (charged under ``faults/``)
+                or raises a diagnosable ``DeliveryTimeout``.
+            config: a pre-built :class:`~repro.runtime.RunConfig`; when
+                given it IS the configuration and the individual
+                keyword arguments above are ignored.
         """
         if not graph.is_connected():
             raise ValueError("ExpanderNetwork requires a connected graph")
+        if config is None:
+            config = RunConfig(
+                seed=seed,
+                params=params,
+                backend=backend,
+                validate=validate,
+                trace=sink,
+                faults=faults,
+                beta=beta,
+            )
         self.graph = graph
-        self.context = RunContext(seed=seed, params=params, sink=sink)
+        self.config = config
+        self.context = config.make_context()
         self.params = self.context.params
         self.seed = self.context.seed
-        self.backend: Backend = make_backend(
-            backend, graph, self.context, beta=beta, validate=validate
-        )
+        self.backend: Backend = config.make_backend(graph, self.context)
 
     # -- cached structure ----------------------------------------------------
 

@@ -9,8 +9,10 @@ from repro.analysis.perf import (
     BENCH_KEYS,
     BenchRow,
     circulation_paths,
+    delivery_curve,
     load_bench,
     run_bench_suite,
+    run_fault_suite,
     validate_bench,
     write_bench,
 )
@@ -122,6 +124,84 @@ class TestValidateBench:
         with pytest.raises(ValueError, match="keys"):
             validate_bench([scrambled])
         assert tuple(self._row().keys()) == BENCH_KEYS
+
+
+class TestFaultSuite:
+    @pytest.fixture(scope="class")
+    def fault_rows(self):
+        return run_fault_suite(seed=0, quick=True)
+
+    def test_covers_clean_and_faulty_kernels(self, fault_rows):
+        assert {row.kernel for row in fault_rows} == {
+            "reliable_forward_clean",
+            "reliable_forward_drop1pct",
+        }
+
+    def test_rows_validate(self, fault_rows):
+        from dataclasses import asdict
+
+        validate_bench([asdict(row) for row in fault_rows])
+
+    def test_drop_rounds_never_below_clean(self, fault_rows):
+        """Retries can only add rounds, never remove them."""
+        by_n = {}
+        for row in fault_rows:
+            by_n.setdefault(row.n, {})[row.kernel] = row.rounds
+        for n, rounds in by_n.items():
+            assert (
+                rounds["reliable_forward_drop1pct"]
+                >= rounds["reliable_forward_clean"]
+            ), n
+
+    def test_rounds_deterministic_in_seed(self, fault_rows):
+        again = run_fault_suite(seed=0, quick=True)
+        assert [(r.kernel, r.n, r.rounds) for r in again] == [
+            (r.kernel, r.n, r.rounds) for r in fault_rows
+        ]
+
+
+class TestDeliveryCurve:
+    def test_full_delivery_and_monotone_overhead(self):
+        curve = delivery_curve(32, [0.0, 0.05, 0.2], seed=1)
+        assert [row["delivered"] for row in curve] == [32, 32, 32]
+        assert curve[0]["retry_rounds"] == 0
+        assert curve[0]["overhead"] == 1.0
+        rounds = [row["rounds"] for row in curve]
+        assert rounds == sorted(rounds)
+        assert curve[-1]["retransmissions"] > 0
+
+    def test_curve_reproducible(self):
+        assert delivery_curve(32, [0.1], seed=3) == delivery_curve(
+            32, [0.1], seed=3
+        )
+
+
+class TestCommittedFaultBaseline:
+    """The repo-root BENCH_PR4.json must stay loadable and meaningful."""
+
+    @pytest.fixture(scope="class")
+    def committed(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "BENCH_PR4.json"
+        )
+        if not os.path.exists(path):
+            pytest.skip("BENCH_PR4.json not present")
+        return load_bench(path)
+
+    def test_records_retry_overhead_at_two_sizes(self, committed):
+        by_kernel = {}
+        for row in committed:
+            by_kernel.setdefault(row.kernel, {})[row.n] = row.rounds
+        assert set(by_kernel) == {
+            "reliable_forward_clean",
+            "reliable_forward_drop1pct",
+        }
+        for kernel, sizes in by_kernel.items():
+            assert len(sizes) >= 2, f"{kernel} benched at only {sizes}"
+        for n, clean in by_kernel["reliable_forward_clean"].items():
+            assert by_kernel["reliable_forward_drop1pct"][n] >= clean
 
 
 class TestCommittedBaseline:

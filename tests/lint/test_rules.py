@@ -439,6 +439,81 @@ class TestR006TupleSeed:
                 f.rule == "R006" for f in lint_source(source, exempt)
             )
 
+class TestR007FaultStream:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # raw constructor-made generator
+            """
+            import numpy as np
+            from repro.congest.faults import FaultPlan, FaultSpec
+
+            def plan(spec):
+                return FaultPlan(spec, rng=np.random.default_rng(0))
+            """,
+            # positional rng, still unmanaged
+            """
+            import numpy as np
+            from repro.congest.faults import FaultPlan
+
+            def plan(spec, seed):
+                return FaultPlan(spec, np.random.default_rng(seed))
+            """,
+            # a generator variable: provenance unknown at the call site
+            """
+            from repro.congest.faults import FaultPlan
+
+            def plan(spec, rng):
+                return FaultPlan(spec, rng=rng)
+            """,
+            # no rng at all
+            """
+            from repro.congest.faults import FaultPlan
+
+            def plan(spec):
+                return FaultPlan(spec)
+            """,
+        ],
+    )
+    def test_fires(self, source):
+        assert "R007" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # the sanctioned derivation
+            """
+            from repro.congest.faults import FaultPlan
+            from repro.rng import derive_rng
+
+            def plan(spec, seed):
+                return FaultPlan(spec, rng=derive_rng(seed, 99))
+            """,
+            # the context's named stream (how RunContext builds it)
+            """
+            from repro.congest.faults import FaultPlan
+
+            def plan(spec, context):
+                return FaultPlan(spec, rng=context.stream("faults"))
+            """,
+            # fresh_stream is a managed stream too
+            """
+            from repro.congest.faults import FaultPlan
+
+            def plan(spec, context):
+                return FaultPlan(spec, context.fresh_stream("faults"))
+            """,
+            # unrelated call named similarly must not trigger
+            """
+            def make_fault_plan_description(spec):
+                return str(spec)
+            """,
+        ],
+    )
+    def test_quiet(self, source):
+        assert "R007" not in rule_ids(source)
+
+
 class TestEngineMechanics:
     def test_syntax_error_reported_not_raised(self):
         findings = lint_source("def broken(:\n", "bad.py")

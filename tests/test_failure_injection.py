@@ -1,25 +1,45 @@
-"""Robustness: pathological topologies and adversarial inputs.
+"""Robustness: pathological topologies, adversarial inputs, and faults.
 
-The paper's guarantees assume good expansion; these tests push the
-implementation onto graphs with terrible expansion, trivial degrees, or
-degenerate sizes and require it to either work correctly (at whatever
-cost) or fail loudly with a diagnosable error — never deliver wrong
-results silently.
+The paper's guarantees assume good expansion *and* a perfect network;
+these tests push the implementation onto graphs with terrible
+expansion, trivial degrees, or degenerate sizes — and onto networks
+that drop, duplicate, delay, and crash — and require it to either work
+correctly (at whatever measured cost) or fail loudly with a diagnosable
+error — never deliver wrong results silently.
+
+The fault matrix at the bottom is the contract of docs/robustness.md:
+zero-fault plans are bit-identical to no plan on both backends, drop
+faults are beaten by retries whose every round is accounted, and crash
+windows produce ``DeliveryTimeout``, not partial results.
 """
 
 import numpy as np
 import pytest
 
-from repro import Params, Router, build_hierarchy, minimum_spanning_tree
+from repro import Params, RunConfig, run
 from repro.baselines import kruskal
+from repro.congest import Network
+from repro.congest.faults import (
+    CrashWindow,
+    DeliveryTimeout,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.congest.forwarding import forward_demands
+from repro.congest.reliable import reliable_forward_demands
+from repro.congest.walk_protocol import run_walk_protocol
+from repro.core import Router, build_hierarchy, minimum_spanning_tree
 from repro.graphs import (
     Graph,
     WeightedGraph,
     binary_tree,
     path_graph,
+    random_regular,
     star_graph,
     with_random_weights,
 )
+from repro.rng import derive_rng
+from repro.runtime import MemorySink, RunContext, sum_ledger_charges
 
 
 class TestDegenerateSizes:
@@ -132,3 +152,246 @@ class TestAdversarialDemand:
         )
         assert result.edge_ids == kruskal(graph)
         assert result.total_weight < 0
+
+
+# --------------------------------------------------------------------------
+# The fault matrix (docs/robustness.md)
+# --------------------------------------------------------------------------
+
+
+def _plan(text: str, label: int = 0) -> FaultPlan:
+    return FaultPlan(FaultSpec.parse(text), rng=derive_rng(1234, label))
+
+
+def _neighbor_demands(graph):
+    """Single-hop demands: every node sends to its first neighbour."""
+    origins = np.arange(graph.num_nodes)
+    return origins, graph.indices[graph.indptr[:-1]]
+
+
+class TestFaultSpecParsing:
+    def test_full_grammar_round_trip(self):
+        spec = FaultSpec.parse(
+            "drop=0.01,dup=0.001,delay=0.05,max_delay=4,attempts=16,"
+            "crash=3@rounds:10-20,crash=1@rounds:40-45"
+        )
+        assert spec.drop == pytest.approx(0.01)
+        assert spec.duplicate == pytest.approx(0.001)
+        assert spec.delay == pytest.approx(0.05)
+        assert spec.max_delay == 4
+        assert spec.max_attempts == 16
+        assert spec.crashes == (
+            CrashWindow(3, 10, 20),
+            CrashWindow(1, 40, 45),
+        )
+        assert FaultSpec.parse(spec.describe()) == spec
+
+    def test_duplicate_key_alias(self):
+        assert FaultSpec.parse("duplicate=0.5") == FaultSpec.parse("dup=0.5")
+
+    def test_null_detection(self):
+        assert FaultSpec.parse("drop=0.0").is_null
+        assert FaultSpec().is_null
+        assert not FaultSpec.parse("crash=1@rounds:1-2").is_null
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "bogus=1",
+            "drop=2.0",
+            "drop=-0.1",
+            "crash=3@rounds:0-5",
+            "crash=3@rounds:9-5",
+            "crash=x@rounds:1-2",
+            "drop",
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(bad)
+
+
+class TestZeroFaultIdentity:
+    """Guarantee 1: a rate-0 plan is bit-identical to no plan at all."""
+
+    def test_oracle_route_bit_identical(self, expander64):
+        clean = run("route", expander64, config=RunConfig(seed=11))
+        gated = run(
+            "route", expander64,
+            config=RunConfig(seed=11, faults="drop=0.0,dup=0,delay=0"),
+        )
+        assert (
+            gated.backend.g0_edge_multiset()
+            == clean.backend.g0_edge_multiset()
+        )
+        assert gated.result.cost_rounds == clean.result.cost_rounds
+        assert np.array_equal(
+            gated.result.final_vnodes, clean.result.final_vnodes
+        )
+        assert gated.result.fault_rounds == 0.0
+        assert gated.fault_rounds() == 0.0
+
+    def test_native_route_bit_identical(self):
+        graph = random_regular(24, 6, np.random.default_rng(5))
+        results = {}
+        for faults in (None, "drop=0.0"):
+            outcome = run(
+                "route", graph,
+                config=RunConfig(
+                    seed=11, backend="native",
+                    validate="first_round", faults=faults,
+                ),
+            )
+            results[faults] = (
+                outcome.backend.g0_edge_multiset(),
+                outcome.result.cost_rounds,
+                outcome.result.final_vnodes.tolist(),
+            )
+        assert results[None] == results["drop=0.0"]
+
+    def test_forwarding_null_plan_short_circuits(self, expander64):
+        origins, targets = _neighbor_demands(expander64)
+        assert forward_demands(
+            expander64, origins, targets, faults=_plan("drop=0")
+        ) == forward_demands(expander64, origins, targets)
+
+
+class TestNetworkFaultInjection:
+    """The simulator's wire faults are sampled, counted, and visible."""
+
+    def test_drops_counted_and_beaten(self, expander64):
+        origins, targets = _neighbor_demands(expander64)
+        report = reliable_forward_demands(
+            expander64, origins, targets, faults=_plan("drop=0.3", label=1)
+        )
+        assert report.delivered == expander64.num_nodes
+        assert report.stats.dropped > 0
+        assert report.retransmissions > 0
+
+    def test_duplicates_and_delays_exactly_once(self, expander64):
+        origins, targets = _neighbor_demands(expander64)
+        report = reliable_forward_demands(
+            expander64, origins, targets,
+            faults=_plan("dup=0.3,delay=0.3", label=2),
+        )
+        assert report.delivered == report.expected
+        assert report.stats.duplicated + report.stats.delayed > 0
+
+    def test_fault_events_mirrored_to_trace(self, expander64):
+        origins, targets = _neighbor_demands(expander64)
+        context = RunContext(seed=9, sink=MemorySink(), faults="drop=0.2")
+        report = reliable_forward_demands(
+            expander64, origins, targets,
+            faults=context.fault_plan, context=context,
+        )
+        fault_events = context.sink.of_kind("fault")
+        assert {e.name for e in fault_events} >= {"faults/drop"}
+        assert len([e for e in fault_events if e.name == "faults/drop"]) == (
+            report.stats.dropped
+        )
+
+
+class TestReliableDeliveryUnderFaults:
+    """Guarantees 2+3 on the acceptance workload: n=128, drop=0.05."""
+
+    def test_drop5pct_expander128_all_delivered_and_accounted(
+        self, expander128
+    ):
+        origins, targets = _neighbor_demands(expander128)
+        context = RunContext(seed=3, sink=MemorySink(), faults="drop=0.05")
+        report = reliable_forward_demands(
+            expander128, origins, targets,
+            faults=context.fault_plan, context=context,
+        )
+        assert report.delivered == 128
+        assert report.retry_rounds == report.rounds - report.ideal_rounds
+        # Every retry round lands in the ledger under faults/ — both the
+        # ledger object and the mirrored trace events agree exactly.
+        ledger_faults = sum(
+            charge.rounds
+            for charge in context.ledger.charges
+            if charge.label.startswith("faults/")
+        )
+        assert ledger_faults == report.retry_rounds
+        assert sum_ledger_charges(
+            context.sink.events, prefix="faults/"
+        ) == pytest.approx(report.retry_rounds)
+
+    def test_routed_demand_cost_decomposition(self, expander128):
+        clean = run("route", expander128, config=RunConfig(seed=3))
+        faulty = run(
+            "route", expander128,
+            config=RunConfig(seed=3, faults="drop=0.05"),
+        )
+        assert faulty.result.delivered
+        assert faulty.result.fault_rounds > 0
+        assert faulty.result.cost_rounds == (
+            clean.result.cost_rounds + faulty.result.fault_rounds
+        )
+        assert faulty.fault_rounds() == faulty.result.fault_rounds
+
+
+class TestCrashWindows:
+    """Crash windows recover — or time out loudly.  Never silence."""
+
+    def test_temporary_crash_recovers(self, expander64):
+        origins, targets = _neighbor_demands(expander64)
+        report = reliable_forward_demands(
+            expander64, origins, targets,
+            faults=_plan("crash=6@rounds:2-8", label=3),
+        )
+        assert report.delivered == expander64.num_nodes
+        assert report.stats.crash_dropped > 0
+
+    def test_permanent_crash_times_out_diagnosably(self, expander64):
+        origins, targets = _neighbor_demands(expander64)
+        with pytest.raises(DeliveryTimeout) as excinfo:
+            reliable_forward_demands(
+                expander64, origins, targets,
+                faults=_plan("crash=8@rounds:1-1000000", label=4),
+            )
+        assert excinfo.value.undelivered
+
+    def test_walk_protocol_never_silently_partial(self):
+        graph = random_regular(32, 6, np.random.default_rng(6))
+        starts = np.arange(32)
+        with pytest.raises(DeliveryTimeout):
+            run_walk_protocol(
+                graph, starts, 4, seed=2,
+                faults=_plan("crash=10@rounds:1-1000000", label=5),
+            )
+
+    def test_model_timeout_on_unbeatable_drop(self, expander64):
+        """The oracle's modeled retries hit max_attempts and raise too."""
+        with pytest.raises(DeliveryTimeout):
+            run(
+                "route", expander64,
+                config=RunConfig(
+                    seed=3, faults="drop=0.999,attempts=3"
+                ),
+            )
+
+
+class TestNativeFaultReplay:
+    def test_native_drop_charges_faults_and_keeps_structure(self):
+        graph = random_regular(24, 6, np.random.default_rng(5))
+        clean = run(
+            "route", graph,
+            config=RunConfig(
+                seed=11, backend="native", validate="first_round"
+            ),
+        )
+        faulty = run(
+            "route", graph,
+            config=RunConfig(
+                seed=11, backend="native", validate="first_round",
+                faults="drop=0.02",
+            ),
+        )
+        # Retries resend recorded tokens, never resample them: the
+        # structure is bit-identical, only the round bill grows.
+        assert (
+            faulty.backend.g0_edge_multiset()
+            == clean.backend.g0_edge_multiset()
+        )
+        assert faulty.fault_rounds() > 0

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import (
-    Params,
+from repro import Params
+from repro.core import (
     Router,
     approximate_min_cut,
     build_hierarchy,
