@@ -20,6 +20,12 @@ schema — no thresholds, no file written.  See docs/performance.md.
 ``BENCH_PR4.json`` instead: clean vs. drop=0.01 reliable forwarding, so
 the committed delta records the retry overhead.  Combine with
 ``--check`` for the CI smoke of that suite.
+
+``--recovery`` switches to the self-healing suite
+(:func:`repro.analysis.perf.run_recovery_suite`) and writes
+``BENCH_PR5.json``: heartbeat detection, token parking, re-homing,
+live-subgraph walks, and end-to-end portal failover, so the committed
+rows record what each recovery mechanism costs.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from dataclasses import asdict
 from repro.analysis.perf import (
     run_bench_suite,
     run_fault_suite,
+    run_recovery_suite,
     validate_bench,
     write_bench,
 )
@@ -48,7 +55,7 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         default=None,
         help="output path (default: BENCH_PR2.json at the repo root, "
-        "or BENCH_PR4.json with --faults)",
+        "BENCH_PR4.json with --faults, BENCH_PR5.json with --recovery)",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="suite seed (default: 0)"
@@ -64,12 +71,23 @@ def main(argv: list[str] | None = None) -> int:
         help="run the fault-injection suite (clean vs drop=0.01 reliable "
         "forwarding) instead of the main kernel suite",
     )
+    parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="run the self-healing suite (detection, parking, re-homing, "
+        "portal failover) instead of the main kernel suite",
+    )
     args = parser.parse_args(argv)
-    suite = run_fault_suite if args.faults else run_bench_suite
+    if args.faults and args.recovery:
+        parser.error("--faults and --recovery are mutually exclusive")
+    if args.recovery:
+        suite, default_out = run_recovery_suite, "BENCH_PR5.json"
+    elif args.faults:
+        suite, default_out = run_fault_suite, "BENCH_PR4.json"
+    else:
+        suite, default_out = run_bench_suite, "BENCH_PR2.json"
     if args.out is None:
-        args.out = os.path.join(
-            ROOT, "BENCH_PR4.json" if args.faults else "BENCH_PR2.json"
-        )
+        args.out = os.path.join(ROOT, default_out)
 
     if args.check:
         rows = suite(seed=args.seed, quick=True)

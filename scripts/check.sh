@@ -25,6 +25,7 @@ python -m repro.lint src/repro tests
 echo "== bench harness smoke (schema only, no thresholds)"
 python scripts/bench_baseline.py --check
 python scripts/bench_baseline.py --check --faults
+python scripts/bench_baseline.py --check --recovery
 
 echo "== fault-matrix smoke (reliable delivery under injected faults)"
 python scripts/fault_smoke.py

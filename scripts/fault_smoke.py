@@ -16,6 +16,19 @@ Plus the zero-fault identity gate: a ``drop=0.0`` plan is bit-identical
 to no plan at all, both through the raw forwarder and through
 ``repro.run`` on the oracle backend.
 
+Then the **chaos tier** (``recovery="self-heal"``):
+
+5. The same permanent crash window now *completes* — dead targets are
+   re-homed, dead origins orphaned, and the cost lands in the
+   ``recovery/`` ledger category, not ``faults/``.
+6. A temporary window (``crash=6@rounds:2-520``) is waited out by
+   parking tokens: zero retry rounds, full delivery.
+7. Per hierarchy level, a primary portal's host is killed via a
+   synthetic ``CrashView``; the self-healing router fails over (or
+   re-elects) and still delivers, with bounded recovery overhead.
+8. End-to-end ``repro.run`` under the crash plan that raises in
+   fail-fast mode delivers under self-heal.
+
 Exit code 0 = all assertions hold.  Wired into scripts/check.sh and CI.
 """
 
@@ -31,8 +44,10 @@ if os.path.isdir(os.path.join(ROOT, "src", "repro")):
 import numpy as np
 
 from repro import RunConfig, run
+from repro.congest.detector import CrashView, detection_rounds
 from repro.congest.faults import DeliveryTimeout, FaultPlan, FaultSpec
 from repro.congest.reliable import reliable_forward_demands
+from repro.core import Router
 from repro.graphs import random_regular
 from repro.rng import derive_rng
 
@@ -99,6 +114,113 @@ def main() -> int:
     assert base.result.cost_rounds == gated.result.cost_rounds
     assert gated.fault_rounds() == 0.0
     print("zero-fault     OK: drop=0.0 is bit-identical to no plan")
+
+    # -- chaos tier: the same failures, healed ---------------------------
+
+    # 5. Self-heal turns the permanent-crash timeout into completion.
+    report = reliable_forward_demands(
+        graph,
+        origins,
+        targets,
+        faults=_plan("crash=8@rounds:1-100000"),
+        recovery="self-heal",
+    )
+    assert report.delivered == report.expected, report
+    assert report.rehomed or report.orphaned, (
+        "permanent crashes must trigger re-homing or orphaning"
+    )
+    assert report.recovery_rounds >= 0
+    print(
+        f"self-heal perm OK: {report.delivered}/{report.expected} "
+        f"delivered, {report.rehomed} re-homed, "
+        f"{report.orphaned} orphaned"
+    )
+
+    # 6. A waitable window is parked out, not retried.
+    report = reliable_forward_demands(
+        graph,
+        origins,
+        targets,
+        faults=_plan("crash=6@rounds:2-520"),
+        recovery="self-heal",
+    )
+    assert report.delivered == report.expected, report
+    assert report.parked > 0, "waitable window must park tokens"
+    assert report.retry_rounds == 0, (
+        "self-heal charges waits under recovery/, not retries"
+    )
+    print(
+        f"self-heal wait OK: {report.delivered}/{report.expected} "
+        f"delivered, {report.parked} tokens parked, 0 retry rounds"
+    )
+
+    # 7. Kill primary portal hosts at every level of a depth>=2
+    # hierarchy; the router must fail over to a redundant portal (or
+    # re-elect) and still deliver, at bounded extra cost.
+    big_n = 96
+    big = random_regular(big_n, 6, derive_rng(SEED, big_n))
+    # beta=4 forces a two-level tower at this size.
+    chaos_base = run("route", big, config=RunConfig(seed=SEED, beta=4))
+    hierarchy = chaos_base.backend.hierarchy
+    assert hierarchy.depth >= 2, "portal chaos needs a multi-level tower"
+    host = hierarchy.g0.virtual.host
+    portals = chaos_base.backend.router.portals
+    total_recovery = 0.0
+    for level in range(1, hierarchy.depth + 1):
+        table = portals.tables[level - 1]
+        portal_vnodes = np.unique(table[table >= 0])
+        assert portal_vnodes.size, f"level {level} has no portals"
+        victims = frozenset(
+            int(host[v]) for v in portal_vnodes[:4].tolist()
+        )
+        view = CrashView(
+            big_n,
+            ((1, 10**6, victims),),
+            detection_rounds(1, big_n),
+        )
+        live = np.array([v for v in range(big_n) if v not in victims])
+        router = Router(
+            hierarchy,
+            params=chaos_base.backend.context.params,
+            rng=derive_rng(SEED, 100 + level),
+            recovery="self-heal",
+            crash_view=view,
+        )
+        result = router.route(live, np.roll(live, 3))
+        assert result.delivered, f"level {level} failover must deliver"
+        assert result.recovery_rounds <= chaos_base.result.cost_rounds, (
+            "recovery overhead must stay below one clean route"
+        )
+        total_recovery += result.recovery_rounds
+        print(
+            f"portal chaos   OK: level {level}, hosts "
+            f"{sorted(victims)} killed, delivered with "
+            f"{result.recovery_rounds:,.0f} recovery rounds"
+        )
+    assert total_recovery > 0, (
+        "killing portal hosts at every level must trigger at least one "
+        "failover/re-election charge"
+    )
+
+    # 8. End-to-end: the run that raises in fail-fast completes healed.
+    healed = run(
+        "route",
+        graph,
+        config=RunConfig(
+            seed=SEED,
+            faults="crash=8@rounds:1-1000000",
+            recovery="self-heal",
+        ),
+    )
+    assert healed.result.delivered
+    assert healed.recovery_rounds() > 0, (
+        "self-heal under permanent crashes must charge recovery/"
+    )
+    print(
+        f"self-heal e2e  OK: delivered, "
+        f"{healed.recovery_rounds():,.0f} recovery rounds "
+        f"(of {healed.result.cost_rounds:,.0f} total)"
+    )
 
     print("fault smoke passed")
     return 0

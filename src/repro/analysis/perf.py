@@ -29,6 +29,7 @@ import numpy as np
 
 from ..baselines.routing_baselines import schedule_paths
 from ..baselines.routing_baselines_ref import schedule_paths_ref
+from ..congest.detector import run_heartbeat_detector
 from ..congest.faults import FaultPlan, FaultSpec
 from ..congest.native import build_native_g0, build_native_level1
 from ..congest.reliable import reliable_forward_demands
@@ -52,6 +53,7 @@ __all__ = [
     "load_bench",
     "run_bench_suite",
     "run_fault_suite",
+    "run_recovery_suite",
     "validate_bench",
     "write_bench",
 ]
@@ -368,6 +370,121 @@ def run_fault_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
                 repeats=1 if quick else 3,
             )
             rows.append(BenchRow(kernel, n, seed, wall, report.rounds))
+    return rows
+
+
+def _crash_plan(text: str, seed: int, n: int, label: int) -> FaultPlan:
+    return FaultPlan(
+        FaultSpec.parse(text), rng=derive_rng(seed, n, label)
+    )
+
+
+def run_recovery_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
+    """The self-healing kernel suite behind ``BENCH_PR5.json``.
+
+    One row per recovery mechanism, at each pinned size:
+
+    * ``heartbeat_detect`` — the wire heartbeat protocol under a
+      temporary crash window (what failure detection itself costs);
+    * ``selfheal_forward_park`` — reliable forwarding waits out a
+      temporary window by parking tokens instead of burning retries;
+    * ``selfheal_forward_rehome`` — reliable forwarding re-homes
+      demands whose targets are permanently dead;
+    * ``selfheal_walk_avoid`` — the walk protocol confines walks to
+      the live subgraph and orphans walks with dead origins;
+    * ``selfheal_route_failover`` — an end-to-end route over dead
+      portal hosts (failover to redundant portals plus re-election).
+
+    ``rounds`` is seed-deterministic in every row: crash membership
+    derives from split-off entropy and self-heal draws only from its
+    own streams.
+    """
+    sizes = [32] if quick else [64, 128]
+    crashes = 3 if quick else 6
+    rows: list[BenchRow] = []
+    for n in sizes:
+        graph = random_regular(n, 6, derive_rng(seed, n))
+        origins = np.arange(n)
+        targets = graph.indices[graph.indptr[:-1]]
+        temp = f"crash={crashes}@rounds:2-40"
+        perm = f"crash={crashes}@rounds:1-1000000"
+
+        wall, report = _timed(
+            lambda: run_heartbeat_detector(
+                graph,
+                duration=16,
+                faults=_crash_plan(temp, seed, n, 10),
+            ),
+            repeats=1 if quick else 3,
+        )
+        rows.append(
+            BenchRow("heartbeat_detect", n, seed, wall, report.stats.rounds)
+        )
+
+        for kernel, spec in (
+            ("selfheal_forward_park", temp),
+            ("selfheal_forward_rehome", perm),
+        ):
+            wall, delivery = _timed(
+                lambda spec=spec: reliable_forward_demands(
+                    graph,
+                    origins,
+                    targets,
+                    faults=_crash_plan(spec, seed, n, 11),
+                    recovery="self-heal",
+                ),
+                repeats=1 if quick else 3,
+            )
+            rows.append(BenchRow(kernel, n, seed, wall, delivery.rounds))
+
+        starts = np.repeat(np.arange(n), 2)
+        wall, outcome = _timed(
+            lambda: run_walk_protocol(
+                graph,
+                starts,
+                8,
+                seed=seed + n,
+                faults=_crash_plan(perm, seed, n, 12),
+                recovery="self-heal",
+            ),
+            repeats=1 if quick else 3,
+        )
+        rows.append(
+            BenchRow(
+                "selfheal_walk_avoid",
+                n,
+                seed,
+                wall,
+                outcome.forward_rounds + outcome.reverse_rounds,
+            )
+        )
+
+    # End-to-end failover: full pipeline, one pinned size.
+    from ..runtime import RunConfig, run as run_op
+
+    n = 32 if quick else 64
+    graph = random_regular(n, 6, derive_rng(seed, n))
+    wall, outcome = _timed(
+        lambda: run_op(
+            "route",
+            graph,
+            config=RunConfig(
+                seed=seed + n,
+                faults=f"crash={crashes}@rounds:1-1000000",
+                recovery="self-heal",
+            ),
+        ),
+        repeats=1,
+    )
+    rows.append(
+        BenchRow(
+            "selfheal_route_failover",
+            n,
+            seed,
+            wall,
+            int(outcome.result.cost_rounds),
+        )
+    )
     return rows
 
 

@@ -6,6 +6,7 @@ Commands:
 * ``info`` — print a graph's size, expansion, and mixing statistics.
 * ``route`` — build the routing structure and route a random demand.
 * ``mst`` — run the distributed MST (random weights if none stored).
+* ``run`` — continue a run snapshotted with ``--checkpoint``.
 * ``report`` — regenerate EXPERIMENTS.md from live runs.
 
 Pipeline commands (``route``/``mst``/``mincut``/``clique``) construct
@@ -23,6 +24,12 @@ through :func:`repro.run`:
   ``docs/robustness.md`` for the grammar).  Delivery is still
   all-or-nothing: retries are paid and charged under ``faults/``, or a
   ``DeliveryTimeout`` diagnoses what was lost.
+* ``--recovery {fail-fast,self-heal}`` — with ``self-heal``, crash
+  windows are detected and survived (waited out, failed over, or
+  re-homed) with the cost charged under ``recovery/``; the default
+  ``fail-fast`` reproduces pre-recovery runs bit-identically.
+* ``--checkpoint PATH`` — snapshot the run after the build phase;
+  ``repro run --resume PATH`` continues it deterministically.
 
 Every random decision draws from a *named* stream of the context, so
 e.g. ``--packets`` changes only the ``"workload"`` stream and never
@@ -47,6 +54,7 @@ from .graphs import (
     with_random_weights,
 )
 from .runtime import (
+    CheckpointError,
     RunConfig,
     RunContext,
     RunOutcome,
@@ -81,6 +89,18 @@ def _add_runtime_flags(sub: argparse.ArgumentParser) -> None:
         "'drop=0.01,dup=0.001,crash=3@rounds:10-20'; retry overhead is "
         "charged under the faults/ ledger category",
     )
+    sub.add_argument(
+        "--recovery", choices=("fail-fast", "self-heal"),
+        default="fail-fast",
+        help="fail-fast: crash windows that defeat delivery raise "
+        "(default); self-heal: detect crashes, wait out / route around "
+        "them, charging the recovery/ ledger category",
+    )
+    sub.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="snapshot the run's full state here after the build phase; "
+        "continue it later with 'repro run --resume PATH'",
+    )
 
 
 def _make_config(args) -> RunConfig:
@@ -91,6 +111,8 @@ def _make_config(args) -> RunConfig:
         validate=args.validate,
         trace=getattr(args, "trace", None),
         faults=getattr(args, "faults", None),
+        recovery=getattr(args, "recovery", "fail-fast"),
+        checkpoint=getattr(args, "checkpoint", None),
     )
 
 
@@ -98,8 +120,12 @@ def _finish(outcome: RunOutcome, args) -> None:
     """Shared epilogue: fault accounting and trace-file notice."""
     if outcome.config.faults is not None:
         print(f"fault rounds {outcome.fault_rounds():,.0f}")
+    if outcome.config.recovery == "self-heal":
+        print(f"recovery     {outcome.recovery_rounds():,.0f} rounds")
     if getattr(args, "trace", None):
         print(f"trace        {args.trace}")
+    if getattr(args, "checkpoint", None):
+        print(f"checkpoint   {args.checkpoint}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -147,6 +173,19 @@ def _build_parser() -> argparse.ArgumentParser:
     clique.add_argument("graph")
     clique.add_argument("--sample", type=float, default=1.0)
     _add_runtime_flags(clique)
+
+    run_cmd = sub.add_parser(
+        "run", help="continue a checkpointed run to completion"
+    )
+    run_cmd.add_argument(
+        "--resume", metavar="PATH", required=True,
+        help="checkpoint file written by a --checkpoint run",
+    )
+    run_cmd.add_argument(
+        "--trace", metavar="OUT.JSONL", default=None,
+        help="write the resumed run's full trace (pre-snapshot events "
+        "are replayed into it first) to this file",
+    )
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
@@ -227,6 +266,25 @@ def _cmd_mst(args) -> int:
     return 0 if matches else 1
 
 
+def _cmd_run(args) -> int:
+    from .runtime.checkpoint import resume
+
+    outcome = resume(args.resume, sink=args.trace)
+    print(f"resumed      {args.resume}")
+    print(f"op           {outcome.op}")
+    print(f"seed         {outcome.config.seed}")
+    print(f"backend      {outcome.config.backend}")
+    print(f"rounds       {outcome.ledger.total():,.0f}")
+    if outcome.config.faults is not None:
+        print(f"fault rounds {outcome.fault_rounds():,.0f}")
+    if outcome.config.recovery == "self-heal":
+        print(f"recovery     {outcome.recovery_rounds():,.0f} rounds")
+    if args.trace:
+        print(f"trace        {args.trace}")
+    delivered = getattr(outcome.result, "delivered", True)
+    return 0 if delivered else 1
+
+
 def _cmd_report(args) -> int:
     report = build_report()
     with open(args.output, "w") as handle:
@@ -279,6 +337,7 @@ _COMMANDS = {
     "mst": _cmd_mst,
     "mincut": _cmd_mincut,
     "clique": _cmd_clique,
+    "run": _cmd_run,
     "report": _cmd_report,
 }
 
@@ -288,11 +347,17 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (UnsupportedOnBackend, ValueError) as error:
+    except (UnsupportedOnBackend, ValueError, CheckpointError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except DeliveryTimeout as error:
         print(f"delivery failed: {error}", file=sys.stderr)
+        for node, target, attempts in error.culprits[:8]:
+            print(
+                f"  exhausted: {node}->{target} after "
+                f"{attempts} attempt(s)",
+                file=sys.stderr,
+            )
         return 3
 
 

@@ -1,6 +1,14 @@
 """Synchronous CONGEST-model simulator and standard primitives."""
 
 from .aggregation import pipelined_min_collect
+from .detector import (
+    MAX_WAIT_ROUNDS,
+    CrashView,
+    DetectionReport,
+    HeartbeatNode,
+    crash_view,
+    run_heartbeat_detector,
+)
 from .faults import (
     CrashWindow,
     DeliveryTimeout,
@@ -35,9 +43,15 @@ from .reliable import (
 from .walk_protocol import WalkProtocolOutcome, run_walk_protocol
 
 __all__ = [
+    "MAX_WAIT_ROUNDS",
     "MESSAGE_WORD_LIMIT",
     "CongestViolation",
+    "CrashView",
     "CrashWindow",
+    "DetectionReport",
+    "HeartbeatNode",
+    "crash_view",
+    "run_heartbeat_detector",
     "DeliveryReport",
     "DeliveryTimeout",
     "FaultPlan",

@@ -69,6 +69,10 @@ class DeliveryTimeout(RuntimeError):
         undelivered: the ``(origin, target)`` pairs that were never
             acknowledged.
         stage: pipeline stage that timed out (e.g. ``"forward"``).
+        culprits: ``(node, target, attempts)`` triples naming which
+            sender/link exhausted its retransmission budget (node or
+            target is ``-1`` when the failure is not link-scoped, e.g.
+            the oracle's modeled retry path).
     """
 
     def __init__(
@@ -76,10 +80,12 @@ class DeliveryTimeout(RuntimeError):
         message: str,
         undelivered: tuple = (),
         stage: Optional[str] = None,
+        culprits: tuple = (),
     ):
         super().__init__(message)
         self.undelivered = tuple(undelivered)
         self.stage = stage
+        self.culprits = tuple(culprits)
 
 
 @dataclass(frozen=True)
@@ -104,11 +110,32 @@ class CrashWindow:
         return self.start <= round_number <= self.end
 
 
+# One-line reference grammar, quoted by every parse error so a typo'd
+# --faults string is fixable from the message alone.
+GRAMMAR = (
+    "drop=R,dup=R,delay=R,max_delay=N,attempts=N,"
+    "crash=N@rounds:S-E (R in [0,1), integers N,S,E >= 1)"
+)
+
+
+def _parse_int(key: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"--faults: {key}={value!r} is not an integer "
+            f"(grammar: {GRAMMAR})"
+        ) from None
+
+
 def _parse_rate(key: str, value: str) -> float:
     try:
         rate = float(value)
     except ValueError:
-        raise ValueError(f"--faults: {key}={value!r} is not a number") from None
+        raise ValueError(
+            f"--faults: {key}={value!r} is not a number "
+            f"(grammar: {GRAMMAR})"
+        ) from None
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"--faults: {key} must be in [0, 1), got {rate}")
     return rate
@@ -192,7 +219,8 @@ class FaultSpec:
             key, sep, value = item.partition("=")
             if not sep:
                 raise ValueError(
-                    f"--faults: {item!r} is not a key=value item"
+                    f"--faults: {item!r} is not a key=value item "
+                    f"(grammar: {GRAMMAR})"
                 )
             key = key.strip()
             value = value.strip()
@@ -203,15 +231,15 @@ class FaultSpec:
             elif key == "delay":
                 delay = _parse_rate(key, value)
             elif key == "max_delay":
-                max_delay = int(value)
+                max_delay = _parse_int(key, value)
             elif key == "attempts":
-                max_attempts = int(value)
+                max_attempts = _parse_int(key, value)
             elif key == "crash":
                 crashes.append(_parse_crash(value))
             else:
                 raise ValueError(
-                    f"--faults: unknown key {key!r} (use drop, dup, delay, "
-                    "max_delay, attempts, crash)"
+                    f"--faults: unknown key {key!r} in {item!r} "
+                    f"(grammar: {GRAMMAR})"
                 )
         return cls(
             drop=drop,
@@ -426,6 +454,9 @@ class FaultPlan:
                 f"{self.spec.max_attempts}-attempt retry budget at "
                 f"drop={drop:g}",
                 stage=stage,
+                # The model has no per-link identity; one aggregate
+                # culprit records the exhausted budget.
+                culprits=((-1, -1, int(attempts.max())),),
             )
         retries = int(attempts.sum()) - num_messages
         if retries == 0:

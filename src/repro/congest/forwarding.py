@@ -91,6 +91,7 @@ def forward_demands(
             faults=faults,
             validate=validate,
             context=context,
+            recovery=getattr(context, "recovery", None) or "fail-fast",
         )
         return report.rounds, report.messages
     network = Network(graph)

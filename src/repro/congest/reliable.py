@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
 
 from ..graphs.graph import Graph
+from .detector import MAX_WAIT_ROUNDS, CrashView, crash_view
 from .faults import (
     BACKOFF_CAP,
     DEFAULT_MAX_ATTEMPTS,
@@ -53,9 +54,15 @@ class ReliableForwarder(NodeAlgorithm):
         context,
         targets: Iterable[int],
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        crash_view: Optional[CrashView] = None,
     ):
         super().__init__(context)
         self.max_attempts = max_attempts
+        # Self-heal mode: a failure-detector view lets the sender park
+        # tokens to a temporarily-down target instead of burning
+        # attempts into a black hole (see _emit).
+        self.crash_view = crash_view
+        self.parked = 0
         self.remaining: dict[int, int] = {}
         for target in targets:
             target = int(target)
@@ -95,6 +102,18 @@ class ReliableForwarder(NodeAlgorithm):
             seq, attempts, resend_round = flight
             if round_number < resend_round:
                 continue
+            if self.crash_view is not None:
+                # A copy emitted now is delivered next round; if the
+                # detector says the target is down then, hold the token
+                # (no transmission, no attempt burned) until the first
+                # round whose delivery lands after the window.
+                until = self.crash_view.down_until(
+                    target, round_number + 1
+                )
+                if until >= 0:
+                    flight[2] = until
+                    self.parked += 1
+                    continue
             if attempts >= self.max_attempts:
                 self.failed.append((target, seq))
                 del self.in_flight[target]
@@ -180,6 +199,17 @@ class DeliveryReport:
     retry_rounds: int
     retransmissions: int
     stats: RunStats
+    #: Self-heal accounting (all empty/zero under fail-fast): demands
+    #: re-addressed to an escrow neighbour because the original target
+    #: is permanently down, as ``(origin, target, escrow)``; demands
+    #: abandoned because the origin (or every escrow option) is
+    #: permanently down, as ``(origin, target)``; tokens parked while a
+    #: crash window passed; and the round surplus charged to
+    #: ``recovery/wait`` instead of ``faults/retry-rounds``.
+    rehomed: tuple = ()
+    orphaned: tuple = ()
+    parked: int = 0
+    recovery_rounds: int = 0
 
 
 def reliable_forward_demands(
@@ -192,6 +222,9 @@ def reliable_forward_demands(
     max_attempts: Optional[int] = None,
     context=None,
     label: str = "forward",
+    recovery: str = "fail-fast",
+    view: Optional[CrashView] = None,
+    max_wait: int = MAX_WAIT_ROUNDS,
 ) -> DeliveryReport:
     """Deliver one-hop demands reliably, or raise :class:`DeliveryTimeout`.
 
@@ -213,6 +246,17 @@ def reliable_forward_demands(
             and faults are active, the overhead is charged as
             ``faults/retry-rounds``.
         label: stage name used in charges and timeout diagnostics.
+        recovery: ``"fail-fast"`` (PR-4 behaviour: crash windows that
+            outlive the retry budget raise) or ``"self-heal"`` — the
+            failure detector's crash view parks tokens through
+            temporary windows, re-homes demands whose target is
+            permanently down to the origin's lowest-ID live neighbour,
+            and records demands from permanently dead origins as
+            ``orphaned`` instead of raising.  The surplus rounds are
+            charged to ``recovery/wait``.
+        view: pre-built :class:`CrashView` (optional); under self-heal
+            one is derived from ``context`` or the plan when absent.
+        max_wait: windows ending after this round count as permanent.
 
     Returns:
         a :class:`DeliveryReport`; ``delivered == expected`` always
@@ -228,6 +272,11 @@ def reliable_forward_demands(
     targets = [int(target) for target in targets]
     if len(origins) != len(targets):
         raise ValueError("origins and targets must have the same length")
+    if recovery not in ("fail-fast", "self-heal"):
+        raise ValueError(
+            f"recovery must be 'fail-fast' or 'self-heal', "
+            f"got {recovery!r}"
+        )
     if faults is not None and faults.spec.is_null:
         faults = None
     if max_attempts is None:
@@ -235,6 +284,47 @@ def reliable_forward_demands(
             faults.spec.max_attempts if faults is not None
             else DEFAULT_MAX_ATTEMPTS
         )
+    self_heal = (
+        recovery == "self-heal"
+        and faults is not None
+        and bool(faults.spec.crashes)
+    )
+    rehomed: list[tuple[int, int, int]] = []
+    orphaned: list[tuple[int, int]] = []
+    if self_heal:
+        if view is None:
+            getter = getattr(context, "crash_view_for", None)
+            if getter is not None:
+                view = getter(graph.num_nodes)
+            else:
+                view = crash_view(faults, graph.num_nodes)
+        dead = view.permanently_down(max_wait)
+        if dead:
+            kept_origins: list[int] = []
+            kept_targets: list[int] = []
+            for origin, target in zip(origins, targets):
+                if origin in dead:
+                    orphaned.append((origin, target))
+                    continue
+                if target in dead:
+                    escrow = next(
+                        (
+                            int(w)
+                            for w in sorted(graph.neighbors(origin))
+                            if int(w) not in dead
+                        ),
+                        None,
+                    )
+                    if escrow is None:
+                        orphaned.append((origin, target))
+                        continue
+                    rehomed.append((origin, target, escrow))
+                    target = escrow
+                kept_origins.append(origin)
+                kept_targets.append(target)
+            origins, targets = kept_origins, kept_targets
+    else:
+        view = None
     network = Network(graph)
     per_node: list[list[int]] = [[] for _ in range(graph.num_nodes)]
     link_load: dict[tuple[int, int], int] = {}
@@ -245,7 +335,10 @@ def reliable_forward_demands(
     ideal_rounds = 2 * max_mult
     algorithms = [
         ReliableForwarder(
-            network.context(v), per_node[v], max_attempts=max_attempts
+            network.context(v),
+            per_node[v],
+            max_attempts=max_attempts,
+            crash_view=view,
         )
         for v in range(graph.num_nodes)
     ]
@@ -255,6 +348,9 @@ def reliable_forward_demands(
     # (e.g. a crash window outliving every retry) — which must surface
     # as a diagnosable timeout, never as an unbounded spin.
     budget = 100 + max(1, max_mult) * max_attempts * (BACKOFF_CAP + 2)
+    if view is not None:
+        # Parked tokens legitimately wait out waitable crash windows.
+        budget += view.waitable_end(max_wait)
     try:
         stats = network.run(
             algorithms,
@@ -270,12 +366,15 @@ def reliable_forward_demands(
             for v, algorithm in enumerate(algorithms)
             for target, _seq in algorithm.undelivered()
         ]
+        culprits = _culprits(algorithms, max_attempts)
         raise DeliveryTimeout(
             f"{label}: network round budget ({budget}) exhausted with "
             f"{len(undelivered)} demand(s) undelivered: "
-            f"{undelivered[:8]}{'...' if len(undelivered) > 8 else ''}",
+            f"{undelivered[:8]}{'...' if len(undelivered) > 8 else ''}"
+            f"{_worst_link(culprits)}",
             undelivered=undelivered,
             stage=label,
+            culprits=culprits,
         ) from error
     failed = [
         (v, target)
@@ -285,36 +384,87 @@ def reliable_forward_demands(
     delivered = sum(algorithm.received for algorithm in algorithms)
     expected = len(origins)
     if failed or delivered != expected:
+        culprits = tuple(
+            (v, target, max_attempts) for v, target in failed
+        )
         raise DeliveryTimeout(
             f"{label}: delivered {delivered}/{expected} demands; "
             f"{len(failed)} token(s) exhausted the {max_attempts}-attempt "
             f"retry budget: {failed[:8]}"
-            f"{'...' if len(failed) > 8 else ''}",
+            f"{'...' if len(failed) > 8 else ''}"
+            f"{_worst_link(culprits)}",
             undelivered=failed,
             stage=label,
+            culprits=culprits,
         )
     retry_rounds = max(0, stats.rounds - ideal_rounds)
     retransmissions = sum(algorithm.retries for algorithm in algorithms)
+    parked = sum(algorithm.parked for algorithm in algorithms)
+    recovery_rounds = retry_rounds if self_heal else 0
     if context is not None and faults is not None:
-        context.charge(
-            "faults/retry-rounds",
-            float(retry_rounds),
-            stage=label,
-            rounds_total=stats.rounds,
-            ideal_rounds=ideal_rounds,
-            retransmissions=retransmissions,
-            dropped=stats.dropped,
-            duplicated=stats.duplicated,
-            delayed=stats.delayed,
-            crash_dropped=stats.crash_dropped,
-        )
+        if self_heal:
+            # Under self-heal the surplus is dominated by waiting out
+            # crash windows, so it books to recovery/* (the fail-fast
+            # category stays comparable to PR-4 figures).
+            context.charge(
+                "recovery/wait",
+                float(recovery_rounds),
+                stage=label,
+                rounds_total=stats.rounds,
+                ideal_rounds=ideal_rounds,
+                parked=parked,
+                rehomed=len(rehomed),
+                orphaned=len(orphaned),
+                retransmissions=retransmissions,
+                crash_dropped=stats.crash_dropped,
+            )
+        else:
+            context.charge(
+                "faults/retry-rounds",
+                float(retry_rounds),
+                stage=label,
+                rounds_total=stats.rounds,
+                ideal_rounds=ideal_rounds,
+                retransmissions=retransmissions,
+                dropped=stats.dropped,
+                duplicated=stats.duplicated,
+                delayed=stats.delayed,
+                crash_dropped=stats.crash_dropped,
+            )
     return DeliveryReport(
         delivered=delivered,
         expected=expected,
         rounds=stats.rounds,
         messages=stats.messages,
         ideal_rounds=ideal_rounds,
-        retry_rounds=retry_rounds,
+        retry_rounds=0 if self_heal else retry_rounds,
         retransmissions=retransmissions,
         stats=stats,
+        rehomed=tuple(rehomed),
+        orphaned=tuple(orphaned),
+        parked=parked,
+        recovery_rounds=recovery_rounds,
+    )
+
+
+def _culprits(algorithms, max_attempts: int) -> tuple:
+    """``(node, target, attempts)`` for every link still holding or
+    having abandoned a token."""
+    out = []
+    for v, algorithm in enumerate(algorithms):
+        for target, _seq in algorithm.failed:
+            out.append((v, target, max_attempts))
+        for target, flight in sorted(algorithm.in_flight.items()):
+            out.append((v, target, flight[1]))
+    out.sort(key=lambda item: (-item[2], item[0], item[1]))
+    return tuple(out)
+
+
+def _worst_link(culprits: tuple) -> str:
+    if not culprits:
+        return ""
+    v, target, attempts = culprits[0]
+    return (
+        f"; worst link {v}->{target} after {attempts} "
+        f"attempt(s)"
     )

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..rng import derive_rng
+from .detector import MAX_WAIT_ROUNDS, CrashView, crash_view
 from .faults import DeliveryTimeout, FaultPlan
 from .network import CongestViolation, Network, NodeAlgorithm
 
@@ -50,6 +51,10 @@ class WalkProtocolOutcome:
         forward_rounds: CONGEST rounds of the forward pass.
         reverse_rounds: CONGEST rounds of the reverse pass.
         messages: total messages across both passes.
+        orphaned: walk ids abandoned under ``recovery="self-heal"``
+            because their origin is permanently crashed (their
+            ``endpoints``/``returned_to`` entries stay -1); always empty
+            under fail-fast.
     """
 
     starts: np.ndarray
@@ -58,6 +63,7 @@ class WalkProtocolOutcome:
     forward_rounds: int
     reverse_rounds: int
     messages: int
+    orphaned: tuple = ()
 
 
 @dataclass
@@ -69,61 +75,104 @@ class _WalkState:
     finished_here: dict[int, int]  # walk_id -> remaining ttl (== 0)
 
 
-class _ForwardNode(NodeAlgorithm):
+class _SelfHealMixin:
+    """Crash-aware emission shared by the two walk-pass nodes.
+
+    With a failure-detector ``view``, a node holds a departure while the
+    *delivery* round (emission round + 1) falls inside a crash window of
+    either endpoint: a copy sent into a window is lost on the unreliable
+    walk wire, and the walk protocol (unlike the ARQ layer) never
+    retransmits.  Without a view every check is a no-op, so the
+    fail-fast path is untouched, decision for decision.
+    """
+
+    view: Optional[CrashView] = None
+    parked = 0
+
+    def _blocked(self, target: int, round_number: int) -> bool:
+        if self.view is None:
+            return False
+        delivery = round_number + 1
+        if self.view.down_until(self.context.node_id, delivery) >= 0:
+            return True
+        return self.view.down_until(target, delivery) >= 0
+
+
+class _ForwardNode(_SelfHealMixin, NodeAlgorithm):
     """Forward pass: lazy-step tokens with per-edge FIFO queues."""
 
-    def __init__(self, context, state: _WalkState, initial_tokens):
+    def __init__(
+        self,
+        context,
+        state: _WalkState,
+        initial_tokens,
+        view: Optional[CrashView] = None,
+        avoid: frozenset = frozenset(),
+    ):
         super().__init__(context)
         self.state = state
+        self.view = view
+        # Permanently crashed neighbours: walks step around them (the
+        # walk continues on the live subgraph instead of vanishing).
+        self.live_neighbors = tuple(
+            v for v in context.neighbors if int(v) not in avoid
+        )
         self.queues: dict[int, deque] = {}
         for walk_id, ttl in initial_tokens:
             self._admit(walk_id, ttl)
 
     def _admit(self, walk_id: int, ttl: int) -> None:
         """Perform stays locally; enqueue the token once it must move."""
-        degree = self.context.degree
+        neighbors = self.live_neighbors
+        degree = len(neighbors)
         while ttl > 0:
             if degree == 0 or self.state.rng.random() < 0.5:
                 ttl -= 1  # lazy stay
                 continue
             target = int(
-                self.context.neighbors[
-                    self.state.rng.integers(0, degree)
-                ]
+                neighbors[self.state.rng.integers(0, degree)]
             )
             self.queues.setdefault(target, deque()).append((walk_id, ttl))
             return
         self.state.finished_here[walk_id] = 0
 
-    def _outbox(self) -> Mapping[int, tuple]:
+    def _outbox(self, round_number: int) -> Mapping[int, tuple]:
         outbox = {}
         for target in list(self.queues):
             queue = self.queues[target]
-            if queue:
+            if queue and not self._blocked(target, round_number):
                 walk_id, ttl = queue.popleft()
                 outbox[target] = ("walk", walk_id, ttl)
+            elif queue:
+                self.parked += 1
             if not queue:
                 del self.queues[target]
         self.finished = not self.queues
         return outbox
 
     def initialize(self) -> Mapping[int, tuple]:
-        return self._outbox()
+        return self._outbox(0)
 
     def receive(self, round_number, inbox) -> Mapping[int, tuple]:
         for sender, payload in inbox.items():
             __, walk_id, ttl = payload
             self.state.visit_stack.setdefault(walk_id, []).append(sender)
             self._admit(walk_id, ttl - 1)
-        return self._outbox()
+        return self._outbox(round_number)
 
 
-class _ReverseNode(NodeAlgorithm):
+class _ReverseNode(_SelfHealMixin, NodeAlgorithm):
     """Reverse pass: pop the visit stack and send the token back."""
 
-    def __init__(self, context, state: _WalkState):
+    def __init__(
+        self,
+        context,
+        state: _WalkState,
+        view: Optional[CrashView] = None,
+    ):
         super().__init__(context)
         self.state = state
+        self.view = view
         self.queues: dict[int, deque] = {}
         self.home_tokens: list[int] = []
         for walk_id in state.finished_here:
@@ -137,24 +186,26 @@ class _ReverseNode(NodeAlgorithm):
         else:
             self.home_tokens.append(walk_id)  # back at the origin
 
-    def _outbox(self) -> Mapping[int, tuple]:
+    def _outbox(self, round_number: int) -> Mapping[int, tuple]:
         outbox = {}
         for target in list(self.queues):
             queue = self.queues[target]
-            if queue:
+            if queue and not self._blocked(target, round_number):
                 outbox[target] = ("back", queue.popleft())
+            elif queue:
+                self.parked += 1
             if not queue:
                 del self.queues[target]
         self.finished = not self.queues
         return outbox
 
     def initialize(self) -> Mapping[int, tuple]:
-        return self._outbox()
+        return self._outbox(0)
 
     def receive(self, round_number, inbox) -> Mapping[int, tuple]:
         for __, payload in inbox.items():
             self._bounce(int(payload[1]))
-        return self._outbox()
+        return self._outbox(round_number)
 
 
 def _run_pass(
@@ -164,12 +215,13 @@ def _run_pass(
     validate: str,
     faults: Optional[FaultPlan],
     stage: str,
+    extra_rounds: int = 0,
 ):
     """One protocol pass; round-budget exhaustion under faults becomes a
     diagnosable :class:`DeliveryTimeout` (a crash window can wedge an
     unfinished node forever, which must not surface as a bare
     ``RuntimeError``)."""
-    max_rounds = 10000 * (length + 1)
+    max_rounds = 10000 * (length + 1) + extra_rounds
     try:
         return network.run(
             algorithms,
@@ -196,6 +248,10 @@ def run_walk_protocol(
     seed: int = 0,
     validate: str = "full",
     faults: Optional[FaultPlan] = None,
+    recovery: str = "fail-fast",
+    view: Optional[CrashView] = None,
+    context=None,
+    max_wait: int = MAX_WAIT_ROUNDS,
 ) -> WalkProtocolOutcome:
     """Execute the forward+reverse walk protocol on ``graph``.
 
@@ -212,6 +268,21 @@ def run_walk_protocol(
             loses or misdelivers is detected after each pass and raised
             as a :class:`~repro.congest.faults.DeliveryTimeout` — the
             outcome is never silently partial.
+        recovery: ``"fail-fast"`` (crash windows that swallow a token
+            raise) or ``"self-heal"`` — nodes read the failure
+            detector's crash view, park departures whose delivery round
+            falls inside a window of either endpoint, step walks around
+            permanently crashed neighbours, and report walks from
+            permanently crashed origins as ``orphaned`` instead of
+            raising.
+        view: pre-built :class:`~repro.congest.detector.CrashView`;
+            under self-heal one is derived from ``context`` or the plan
+            when absent.
+        context: optional :class:`repro.runtime.RunContext`; under
+            self-heal the parked-token rounds are charged to
+            ``recovery/wait``.
+        max_wait: crash windows ending after this round count as
+            permanent (their nodes are avoided, not waited for).
 
     Returns:
         A :class:`WalkProtocolOutcome`; ``returned_to`` equals ``starts``
@@ -220,8 +291,37 @@ def run_walk_protocol(
     starts = np.asarray(starts, dtype=np.int64)
     if faults is not None and faults.spec.is_null:
         faults = None
-    network = Network(graph)
+    if recovery not in ("fail-fast", "self-heal"):
+        raise ValueError(
+            f"recovery must be 'fail-fast' or 'self-heal', "
+            f"got {recovery!r}"
+        )
     n = graph.num_nodes
+    self_heal = (
+        recovery == "self-heal"
+        and faults is not None
+        and bool(faults.spec.crashes)
+    )
+    dead: frozenset = frozenset()
+    orphaned: list[int] = []
+    extra_rounds = 0
+    if self_heal:
+        if view is None:
+            getter = getattr(context, "crash_view_for", None)
+            if getter is not None:
+                view = getter(n)
+            else:
+                view = crash_view(faults, n)
+        dead = frozenset(view.permanently_down(max_wait))
+        extra_rounds = view.waitable_end(max_wait)
+        orphaned = [
+            walk_id
+            for walk_id, origin in enumerate(starts)
+            if int(origin) in dead
+        ]
+    else:
+        view = None
+    network = Network(graph)
     states = [
         _WalkState(
             rng=derive_rng(seed, v),
@@ -230,15 +330,22 @@ def run_walk_protocol(
         )
         for v in range(n)
     ]
+    orphan_set = set(orphaned)
     per_node_tokens: list[list[tuple[int, int]]] = [[] for _ in range(n)]
     for walk_id, origin in enumerate(starts):
+        if walk_id in orphan_set:
+            continue
         per_node_tokens[int(origin)].append((walk_id, length))
     forward = [
-        _ForwardNode(network.context(v), states[v], per_node_tokens[v])
+        _ForwardNode(
+            network.context(v), states[v], per_node_tokens[v],
+            view=view, avoid=dead,
+        )
         for v in range(n)
     ]
     forward_stats = _run_pass(
-        network, forward, length, validate, faults, stage="walk-forward"
+        network, forward, length, validate, faults,
+        stage="walk-forward", extra_rounds=extra_rounds,
     )
     endpoints = np.full(starts.shape[0], -1, dtype=np.int64)
     for v, state in enumerate(states):
@@ -246,6 +353,10 @@ def run_walk_protocol(
             endpoints[walk_id] = v
     if faults is not None:
         lost = np.flatnonzero(endpoints < 0)
+        lost = np.asarray(
+            [w for w in lost.tolist() if w not in orphan_set],
+            dtype=np.int64,
+        )
         if lost.size:
             raise DeliveryTimeout(
                 f"walk-forward: the faulty wire lost {lost.size}/"
@@ -257,10 +368,12 @@ def run_walk_protocol(
                 stage="walk-forward",
             )
     reverse = [
-        _ReverseNode(network.context(v), states[v]) for v in range(n)
+        _ReverseNode(network.context(v), states[v], view=view)
+        for v in range(n)
     ]
     reverse_stats = _run_pass(
-        network, reverse, length, validate, faults, stage="walk-reverse"
+        network, reverse, length, validate, faults,
+        stage="walk-reverse", extra_rounds=extra_rounds,
     )
     returned = np.full(starts.shape[0], -1, dtype=np.int64)
     for v, algorithm in enumerate(reverse):
@@ -268,6 +381,10 @@ def run_walk_protocol(
             returned[walk_id] = v
     if faults is not None:
         astray = np.flatnonzero(returned != starts)
+        astray = np.asarray(
+            [w for w in astray.tolist() if w not in orphan_set],
+            dtype=np.int64,
+        )
         if astray.size:
             raise DeliveryTimeout(
                 f"walk-reverse: {astray.size}/{starts.shape[0]} walk "
@@ -279,6 +396,18 @@ def run_walk_protocol(
                 ],
                 stage="walk-reverse",
             )
+    if self_heal and context is not None:
+        parked = sum(a.parked for a in forward) + sum(
+            a.parked for a in reverse
+        )
+        context.charge(
+            "recovery/wait",
+            float(parked),
+            stage="walk-protocol",
+            parked=parked,
+            orphaned=len(orphaned),
+            avoided=len(dead),
+        )
     return WalkProtocolOutcome(
         starts=starts,
         endpoints=endpoints,
@@ -286,4 +415,5 @@ def run_walk_protocol(
         forward_rounds=forward_stats.rounds,
         reverse_rounds=reverse_stats.rounds,
         messages=forward_stats.messages + reverse_stats.messages,
+        orphaned=tuple(orphaned),
     )

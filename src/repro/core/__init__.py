@@ -4,7 +4,13 @@ from .clique import CliqueEmulationResult, all_pairs_demand, emulate_clique
 from .clique_mst import CliqueMstResult, clique_boruvka_mst
 from .dense_clique import DenseCliqueResult, dense_clique_emulation
 from .embedding import G0Embedding, VirtualNodes, build_g0
-from .hierarchy import Hierarchy, Level, build_hierarchy
+from .hierarchy import (
+    Hierarchy,
+    Level,
+    RepairReport,
+    build_hierarchy,
+    repair_overlay,
+)
 from .ledger import Charge, RoundLedger
 from .mincut import MinCutResult, approximate_min_cut, tree_respecting_min_cut
 from .mst import IterationStats, MstResult, MstRunner, minimum_spanning_tree
@@ -27,7 +33,9 @@ __all__ = [
     "build_g0",
     "Hierarchy",
     "Level",
+    "RepairReport",
     "build_hierarchy",
+    "repair_overlay",
     "Charge",
     "RoundLedger",
     "MinCutResult",

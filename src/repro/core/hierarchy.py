@@ -28,7 +28,13 @@ from .ledger import RoundLedger
 from .partition import HierarchicalPartition, build_partition
 from .sampling import group_select, sample_within_parts
 
-__all__ = ["Level", "Hierarchy", "build_hierarchy"]
+__all__ = [
+    "Level",
+    "Hierarchy",
+    "build_hierarchy",
+    "RepairReport",
+    "repair_overlay",
+]
 
 
 @dataclass
@@ -329,3 +335,153 @@ def _measure_emulation_cost(
         return 1.0
     replay = run_regular_walks(previous_overlay, starts, walk_length, rng)
     return 2.0 * replay.schedule_rounds()
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of :func:`repair_overlay`.
+
+    Attributes:
+        dead: the virtual nodes repaired around.
+        replaced: per level (1-based index keys), overlay edges that
+            were re-embedded with a fresh live same-part neighbour.
+        dropped: per level, dead-incident edges removed without a
+            replacement (no live non-adjacent candidate, or a clique
+            level where live members stay complete anyway).
+        cost_rounds: base-graph rounds charged under
+            ``recovery/repair-level-*``.
+    """
+
+    dead: tuple[int, ...]
+    replaced: dict[int, int]
+    dropped: dict[int, int]
+    cost_rounds: float
+
+
+def repair_overlay(
+    hierarchy: Hierarchy,
+    dead_vnodes,
+    rng: np.random.Generator,
+    context=None,
+) -> RepairReport:
+    """Re-embed overlay edges incident to dead virtual nodes, in place.
+
+    Only the affected parts are touched: every live node that lost an
+    overlay edge to a dead neighbour samples a replacement neighbour
+    uniformly from the live, not-yet-adjacent members of its own part
+    at that level — the same distribution the original construction
+    used — and only those edges are rebuilt.  Untouched parts keep
+    their overlay arrays bit-identical (no global rebuild).
+
+    Each replacement edge costs one ``level_walk_length``-step walk on
+    the previous overlay (forward + reverse), charged per level as
+    ``recovery/repair-level-{i}``; charges go to ``context`` when
+    given, else to the hierarchy's own ledger.
+    """
+    dead = frozenset(int(v) for v in dead_vnodes)
+    replaced: dict[int, int] = {}
+    dropped: dict[int, int] = {}
+    total_cost = 0.0
+    if not dead:
+        return RepairReport((), replaced, dropped, 0.0)
+    num_vnodes = hierarchy.g0.virtual.count
+    walk_length = max(4, int(round(3.0 * np.log2(max(2, num_vnodes)))))
+    for level in hierarchy.levels:
+        edges = level.overlay.edge_array
+        if edges.size == 0:
+            continue
+        tails = edges[:, 0]
+        heads = edges[:, 1]
+        hit = np.fromiter(
+            (
+                int(u) in dead or int(v) in dead
+                for u, v in zip(tails, heads)
+            ),
+            dtype=bool,
+            count=edges.shape[0],
+        )
+        if not hit.any():
+            continue
+        kept = [
+            (int(u), int(v))
+            for u, v in zip(tails[~hit], heads[~hit])
+        ]
+        adjacency: dict[int, set[int]] = {}
+        for u, v in kept:
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        parts = level.parts
+        members_of: dict[int, list[int]] = {}
+        for part in {int(parts[u]) for u in dead if u < parts.shape[0]}:
+            members_of[part] = [
+                int(w)
+                for w in np.flatnonzero(parts == part).tolist()
+                if int(w) not in dead
+            ]
+        n_replaced = 0
+        n_dropped = 0
+        for u, v in zip(tails[hit], heads[hit]):
+            u, v = int(u), int(v)
+            live_end = None
+            if u not in dead and v in dead:
+                live_end = u
+            elif v not in dead and u in dead:
+                live_end = v
+            if live_end is None or level.is_clique:
+                # Both endpoints dead, or a clique level (live members
+                # are still pairwise connected): just drop the edge.
+                n_dropped += 1
+                continue
+            part = int(parts[live_end])
+            pool = members_of.get(part)
+            if pool is None:
+                pool = [
+                    int(w)
+                    for w in np.flatnonzero(parts == part).tolist()
+                    if int(w) not in dead
+                ]
+                members_of[part] = pool
+            taken = adjacency.get(live_end, set())
+            candidates = [
+                w for w in pool if w != live_end and w not in taken
+            ]
+            if not candidates:
+                n_dropped += 1
+                continue
+            w = candidates[int(rng.integers(0, len(candidates)))]
+            kept.append((live_end, w))
+            adjacency.setdefault(live_end, set()).add(w)
+            adjacency.setdefault(w, set()).add(live_end)
+            n_replaced += 1
+        level.overlay = Graph(level.overlay.num_nodes, kept)
+        if n_replaced:
+            replaced[level.index] = n_replaced
+        if n_dropped:
+            dropped[level.index] = n_dropped
+        # One re-embedding walk per replaced edge on the previous
+        # overlay, forward + reverse, converted to base-graph rounds.
+        cost = (
+            2.0
+            * n_replaced
+            * walk_length
+            * hierarchy.emulation_to_g(level.index - 1)
+        )
+        if cost > 0.0:
+            total_cost += cost
+            if context is not None:
+                context.charge(
+                    f"recovery/repair-level-{level.index}",
+                    cost,
+                    replaced=n_replaced,
+                    dropped=n_dropped,
+                )
+            else:
+                hierarchy.ledger.charge(
+                    f"recovery/repair-level-{level.index}",
+                    cost,
+                    replaced=n_replaced,
+                    dropped=n_dropped,
+                )
+    return RepairReport(
+        tuple(sorted(dead)), replaced, dropped, total_cost
+    )

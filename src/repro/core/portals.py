@@ -47,11 +47,32 @@ class PortalTable:
         boundary_counts: per level, dict ``(part, sibling_index) -> count``
             of boundary nodes — used by tests/benchmarks to check the
             ``Theta(m log n / beta^2)`` density claim of Lemma 3.4.
+        redundant: optional per-level arrays of shape
+            ``(num_vnodes, beta, k)`` holding ``k`` independent uniform
+            portals per (node, sibling); slot 0 is the primary (equal to
+            ``tables``), slots 1.. are failover candidates sampled from
+            a *separate* stream so building them never perturbs the
+            primary draw sequence.  ``None`` unless built with
+            ``redundancy_rng`` (self-heal mode).
+        boundary_sets: per level, the full boundary-node arrays keyed by
+            ``(part, sibling_index)`` — the electorate used when all
+            ``k`` redundant portals are dead and a new portal must be
+            re-elected from the part's overlay.
     """
 
     hierarchy: Hierarchy
     tables: list[np.ndarray]
     boundary_counts: list[dict[tuple[int, int], int]]
+    redundant: list[np.ndarray] | None = None
+    boundary_sets: list[dict[tuple[int, int], np.ndarray]] | None = None
+
+    @property
+    def redundancy(self) -> int:
+        """Portals held per (node, sibling): ``k``, or 1 when only the
+        primary table was built."""
+        if not self.redundant:
+            return 1
+        return int(self.redundant[0].shape[2])
 
     def portal(self, level: int, vnode: int, sibling_index: int) -> int:
         """Portal of ``vnode`` towards sibling ``sibling_index`` at ``level``."""
@@ -63,12 +84,52 @@ class PortalTable:
         """Vectorized portal lookup."""
         return self.tables[level - 1][vnodes, sibling_indices]
 
+    def redundant_portals_for(
+        self, level: int, vnodes: np.ndarray, sibling_indices: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``(len(vnodes), k)`` lookup of all k candidates."""
+        if self.redundant is None:
+            return self.portals_for(level, vnodes, sibling_indices)[
+                :, np.newaxis
+            ]
+        return self.redundant[level - 1][vnodes, sibling_indices, :]
+
+    def reelect(
+        self,
+        level: int,
+        part: int,
+        sibling_index: int,
+        is_dead,
+        rng: np.random.Generator,
+    ) -> int:
+        """Elect a live boundary node for ``(part, sibling_index)``.
+
+        ``is_dead`` maps a virtual node to liveness (callable); returns
+        -1 when the whole electorate is dead or unknown.
+        """
+        if self.boundary_sets is None:
+            return -1
+        candidates = self.boundary_sets[level - 1].get(
+            (part, sibling_index)
+        )
+        if candidates is None or candidates.shape[0] == 0:
+            return -1
+        live = np.asarray(
+            [c for c in candidates.tolist() if not is_dead(c)],
+            dtype=np.int64,
+        )
+        if live.shape[0] == 0:
+            return -1
+        return int(live[int(rng.integers(0, live.shape[0]))])
+
 
 def build_portals(
     hierarchy: Hierarchy,
     params: Params,
     rng: np.random.Generator,
     ledger: RoundLedger | None = None,
+    redundancy_rng: np.random.Generator | None = None,
+    redundancy: int | None = None,
 ) -> PortalTable:
     """Build portal tables for all levels of ``hierarchy``.
 
@@ -77,6 +138,14 @@ def build_portals(
         params: construction constants.
         rng: randomness source.
         ledger: ledger to charge costs to (default: the hierarchy's own).
+        redundancy_rng: separate randomness source for the extra
+            ``k - 1`` failover portals per (node, sibling); when given,
+            :attr:`PortalTable.redundant` is populated and the extra
+            discovery rounds are charged to ``recovery/portal-redundancy``.
+            Kept out of ``rng`` so turning redundancy on cannot shift
+            the primary portal draws (or anything sampled after them).
+        redundancy: override for ``k`` (default
+            ``params.portal_redundancy(num_vnodes)``).
 
     Returns:
         The :class:`PortalTable`.
@@ -84,8 +153,12 @@ def build_portals(
     ledger = ledger if ledger is not None else hierarchy.ledger
     tables: list[np.ndarray] = []
     boundary_counts: list[dict[tuple[int, int], int]] = []
+    boundary_sets: list[dict[tuple[int, int], np.ndarray]] = []
+    redundant: list[np.ndarray] = []
     beta = hierarchy.beta
     num_vnodes = hierarchy.g0.virtual.count
+    if redundancy_rng is not None and redundancy is None:
+        redundancy = params.portal_redundancy(num_vnodes)
     for level in range(1, hierarchy.depth + 1):
         parts = hierarchy.parts_at(level)
         boundary = _boundary_nodes(
@@ -94,6 +167,7 @@ def build_portals(
         boundary_counts.append(
             {key: value.shape[0] for key, value in boundary.items()}
         )
+        boundary_sets.append(boundary)
         if params.use_walk_portals:
             table, cost_level = _walk_portals(
                 hierarchy.overlay_at(level), parts, boundary, beta,
@@ -111,8 +185,30 @@ def build_portals(
             beta=beta,
         )
         tables.append(table)
+        if redundancy_rng is not None:
+            extra = np.full(
+                (num_vnodes, beta, redundancy), -1, dtype=np.int64
+            )
+            extra[:, :, 0] = table
+            for slot in range(1, redundancy):
+                extra[:, :, slot] = _sampled_portals(
+                    parts, boundary, beta, num_vnodes, redundancy_rng
+                )
+            redundant.append(extra)
+            # Each extra portal repeats the Lemma 3.3 discovery.
+            ledger.charge(
+                f"recovery/portal-redundancy-level-{level}",
+                (redundancy - 1)
+                * cost_level
+                * hierarchy.emulation_to_g(level),
+                redundancy=redundancy,
+            )
     return PortalTable(
-        hierarchy=hierarchy, tables=tables, boundary_counts=boundary_counts
+        hierarchy=hierarchy,
+        tables=tables,
+        boundary_counts=boundary_counts,
+        redundant=redundant if redundancy_rng is not None else None,
+        boundary_sets=boundary_sets,
     )
 
 

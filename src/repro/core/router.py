@@ -30,9 +30,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..congest.detector import crash_view as build_crash_view
 from ..congest.faults import FaultPlan, FaultRecord
 from ..params import Params
-from ..rng import resolve_rng
+from ..rng import derive_rng, resolve_rng
 from ..walks.correlated import run_correlated_walks
 from ..walks.engine import run_lazy_walks
 from .hierarchy import Hierarchy
@@ -87,6 +88,9 @@ class RoutingResult:
         fault_rounds: extra base-graph rounds spent on modeled
             retransmissions under an active
             :class:`~repro.congest.faults.FaultPlan` (0.0 otherwise).
+        recovery_rounds: extra base-graph rounds spent on portal
+            failover and re-election under ``recovery="self-heal"``
+            (0.0 under fail-fast).
         level_costs: per-level decomposition (index 0 = level 0).
         final_vnodes: final virtual-node position of every packet.
         packet_hops: per-packet overlay-edge hop counts (portal hops +
@@ -104,6 +108,7 @@ class RoutingResult:
     final_vnodes: np.ndarray | None = None
     packet_hops: np.ndarray | None = None
     fault_rounds: float = 0.0
+    recovery_rounds: float = 0.0
 
     @property
     def stretch_vs_tau_mix(self) -> float:
@@ -125,6 +130,8 @@ class Router:
         context=None,
         walk_runner=None,
         faults: FaultPlan | None = None,
+        recovery: str | None = None,
+        crash_view=None,
     ):
         """Args:
             hierarchy: the built routing structure.
@@ -150,6 +157,16 @@ class Router:
                 raises :class:`~repro.congest.faults.DeliveryTimeout`.
                 Duplication/delay cost nothing here (acks dedup and
                 absorb them); crash windows only act on the native wire.
+            recovery: ``"fail-fast"`` (default; identical to the PR-4
+                behaviour, draw for draw) or ``"self-heal"`` — portal
+                lookups fail over to the next live redundant portal,
+                re-electing from the part's boundary set when all ``k``
+                are dead, with the failover cost charged under
+                ``recovery/*``.  Defaults to the context's mode.
+            crash_view: pre-built
+                :class:`~repro.congest.detector.CrashView`; under
+                self-heal one is derived from the context or the plan
+                when absent.
         """
         self.hierarchy = hierarchy
         self._context = context
@@ -160,18 +177,87 @@ class Router:
                 rng = context.stream("router")
             if faults is None:
                 faults = context.fault_plan
+            if recovery is None:
+                recovery = getattr(context, "recovery", None)
+        if recovery is None:
+            recovery = "fail-fast"
+        if recovery not in ("fail-fast", "self-heal"):
+            raise ValueError(
+                f"recovery must be 'fail-fast' or 'self-heal', "
+                f"got {recovery!r}"
+            )
         if faults is not None and faults.spec.is_null:
             faults = None
         self._faults = faults
         self._warned_unmodeled = False
         self.params = params or Params.default()
         self.rng = resolve_rng(rng, seed)
-        self.portals = portals or build_portals(
-            hierarchy, self.params, self.rng
+        self.recovery = recovery
+        # Everything self-heal draws comes from streams separate from
+        # self.rng, so fail-fast stays bit-identical draw for draw.
+        view = crash_view
+        if recovery == "self-heal" and view is None:
+            num_real = hierarchy.g0.base_graph.num_nodes
+            if context is not None:
+                view = context.crash_view_for(num_real)
+            elif faults is not None and faults.spec.crashes:
+                view = build_crash_view(faults, num_real)
+        self._crash_view = view
+        self._self_heal = (
+            recovery == "self-heal"
+            and view is not None
+            and not view.is_null
         )
+        redundancy_rng = None
+        recovery_rng = None
+        if self._self_heal:
+            if context is not None:
+                redundancy_rng = context.fresh_stream("portals-redundant")
+                recovery_rng = context.fresh_stream("recovery")
+            else:
+                redundancy_rng = derive_rng(
+                    int(self.rng.integers(0, 2**62))
+                )
+                recovery_rng = derive_rng(
+                    int(self.rng.integers(0, 2**62))
+                )
+        self._recovery_rng = recovery_rng
+        if portals is not None:
+            self.portals = portals
+        else:
+            self.portals = build_portals(
+                hierarchy,
+                self.params,
+                self.rng,
+                redundancy_rng=redundancy_rng,
+            )
+        if self._self_heal:
+            host = hierarchy.g0.virtual.host
+            dead_hosts = np.fromiter(
+                sorted(view.ever_down), dtype=np.int64,
+                count=len(view.ever_down),
+            )
+            self._dead_vnode = np.isin(host, dead_hosts)
+        else:
+            self._dead_vnode = None
+        self._reelected: dict[tuple[int, int, int], int] = {}
+        self._failover_events = 0
+        self._reelections = 0
+        self._failover_rounds_g = 0.0
+        self._reelect_rounds_g = 0.0
         self._beta = hierarchy.beta
         self._level_costs: dict[int, LevelCost] = {}
         self._packet_hops: np.ndarray | None = None
+
+    # -- checkpoint support --------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle everything except the walk-runner closure (a native
+        backend re-binds its runner on resume; the oracle default is
+        ``None`` anyway)."""
+        state = self.__dict__.copy()
+        state["_walk_runner"] = None
+        return state
 
     # -- public API ----------------------------------------------------------
 
@@ -211,6 +297,10 @@ class Router:
         num_phases = self._required_phases(sources, destinations)
         phase_of = self.rng.integers(0, num_phases, size=sources.shape[0])
         self._level_costs = {}
+        self._failover_events = 0
+        self._reelections = 0
+        self._failover_rounds_g = 0.0
+        self._reelect_rounds_g = 0.0
         self._packet_hops = (
             np.zeros(sources.shape[0], dtype=np.int64) if trace else None
         )
@@ -241,6 +331,31 @@ class Router:
                     total_fault,
                     stage="route/model",
                     packets=int(sources.shape[0]),
+                )
+        recovery_rounds = self._failover_rounds_g + self._reelect_rounds_g
+        if self._self_heal:
+            cost_rounds += recovery_rounds
+            if self._context is not None:
+                if self._failover_rounds_g or self._failover_events:
+                    self._context.charge(
+                        "recovery/failover",
+                        self._failover_rounds_g,
+                        stage="route",
+                        events=self._failover_events,
+                    )
+                if self._reelect_rounds_g or self._reelections:
+                    self._context.charge(
+                        "recovery/re-election",
+                        self._reelect_rounds_g,
+                        stage="route",
+                        elections=self._reelections,
+                    )
+                self._context.emit(
+                    "recovery",
+                    "route/self-heal",
+                    failovers=self._failover_events,
+                    reelections=self._reelections,
+                    recovery_rounds=recovery_rounds,
                 )
         if ledger is not None:
             ledger.charge(
@@ -280,6 +395,7 @@ class Router:
             final_vnodes=final_vnodes,
             packet_hops=self._packet_hops,
             fault_rounds=total_fault if self._faults is not None else 0.0,
+            recovery_rounds=recovery_rounds if self._self_heal else 0.0,
         )
 
     # -- internals -----------------------------------------------------------
@@ -313,7 +429,11 @@ class Router:
             return 0.0
         if (
             not self._warned_unmodeled
-            and (plan.spec.crashes or plan.spec.duplicate or plan.spec.delay)
+            and (
+                (plan.spec.crashes and not self._self_heal)
+                or plan.spec.duplicate
+                or plan.spec.delay
+            )
         ):
             self._warned_unmodeled = True
             plan.record(
@@ -412,6 +532,10 @@ class Router:
             portals = self.portals.portals_for(
                 next_level, current[crossing], sibling
             )
+            if self._self_heal:
+                portals = self._failover_portals(
+                    next_level, current[crossing], sibling, portals
+                )
             if np.any(portals < 0):
                 raise RoutingError(
                     f"missing portal at level {next_level}; increase "
@@ -448,6 +572,74 @@ class Router:
             positions,
         )
 
+    def _failover_portals(
+        self,
+        level: int,
+        vnodes: np.ndarray,
+        siblings: np.ndarray,
+        primaries: np.ndarray,
+    ) -> np.ndarray:
+        """Replace dead primary portals with live candidates.
+
+        Failover order: the node's remaining ``k - 1`` redundant
+        portals, then a re-election over the (part, sibling) boundary
+        set (cached per instance so every node converges on the same
+        replacement).  Costs are modeled analytically — one extra
+        addressing round per stage that failed over, and a
+        ``Theta(beta)``-walk election when the whole redundant set is
+        dead — mirroring what the wire protocol would pay, so both
+        backends stay seed-for-seed comparable.
+        """
+        dead = self._dead_vnode
+        need = (primaries >= 0) & dead[primaries]
+        if not need.any():
+            return primaries
+        out = primaries.copy()
+        candidates = self.portals.redundant_portals_for(
+            level, vnodes, siblings
+        )
+        parts_level = self.hierarchy.parts_at(level)
+        hierarchy = self.hierarchy
+        failed_over = 0
+        for i in np.flatnonzero(need):
+            pick = -1
+            for candidate in candidates[i]:
+                candidate = int(candidate)
+                if candidate >= 0 and not dead[candidate]:
+                    pick = candidate
+                    break
+            if pick < 0:
+                part = int(parts_level[vnodes[i]])
+                sibling = int(siblings[i])
+                key = (level, part, sibling)
+                if key not in self._reelected:
+                    self._reelected[key] = self.portals.reelect(
+                        level,
+                        part,
+                        sibling,
+                        is_dead=lambda c: bool(dead[c]),
+                        rng=self._recovery_rng,
+                    )
+                    self._reelections += 1
+                    # Theta(beta) walks of level_walk_length steps on
+                    # the part overlay announce the new portal.
+                    num_vnodes = hierarchy.g0.virtual.count
+                    walk_length = self.params.level_walk_length(
+                        max(2, num_vnodes)
+                    )
+                    self._reelect_rounds_g += (
+                        float(self._beta * walk_length)
+                        * hierarchy.emulation_to_g(level)
+                    )
+                pick = self._reelected[key]
+            out[i] = pick
+            failed_over += 1
+        if failed_over:
+            self._failover_events += failed_over
+            # Re-addressing the stage costs one extra overlay round.
+            self._failover_rounds_g += hierarchy.emulation_to_g(level)
+        return out
+
     def _hop(
         self, level: int, portals: np.ndarray, target_parts: np.ndarray
     ) -> tuple[np.ndarray, float]:
@@ -467,6 +659,12 @@ class Router:
             )
             heads = overlay.indices[arcs]
             valid = arcs[parts_next[heads] == part]
+            if self._self_heal and valid.size:
+                # Prefer boundary edges whose far endpoint is live; a
+                # hop into a crashed node would strand the packet.
+                live = valid[~self._dead_vnode[overlay.indices[valid]]]
+                if live.size:
+                    valid = live
             if valid.size == 0:
                 raise RoutingError(
                     f"portal {int(portal)} lost its boundary edge to part "

@@ -602,6 +602,61 @@ class FaultStreamRule(Rule):
         return False
 
 
+@register
+class CrashStateRule(Rule):
+    """R008: recovery code reading raw crash state.
+
+    Self-healing code must learn about crashes the way a real system
+    would — through the failure detector.  Reading ``FaultPlan.crashed``
+    (or the private ``_crash_sets``/``_crash_entropy`` caches) outside
+    ``repro/congest/`` gives recovery logic oracle knowledge the model
+    does not grant and couples it to the fault-injection internals.
+    Consume :class:`repro.congest.detector.CrashView` (via
+    ``RunContext.crash_view_for`` or ``crash_view``) instead; inspecting
+    the declarative ``plan.spec.crashes`` is fine.
+    """
+
+    rule_id = "R008"
+    name = "raw-crash-state"
+    description = (
+        "crash state read via FaultPlan.crashed/_crash_sets outside "
+        "repro/congest — consume the failure-detector CrashView instead"
+    )
+
+    _PRIVATE_ATTRS = {"_crash_sets", "_crash_entropy"}
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        from pathlib import PurePath
+
+        if "congest" in PurePath(module.path).parts:
+            # The simulator and the detector are the two sanctioned
+            # consumers; both live in repro/congest/.
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "crashed"
+            ):
+                yield self.finding(
+                    module, node,
+                    "`.crashed(...)` hands recovery code the ground-truth "
+                    "crash schedule — consume a failure-detector "
+                    "CrashView (repro.congest.detector) instead",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr in self._PRIVATE_ATTRS
+                and isinstance(node.ctx, ast.Load)
+            ):
+                yield self.finding(
+                    module, node,
+                    f"`.{node.attr}` is FaultPlan's private crash cache — "
+                    "consume a failure-detector CrashView "
+                    "(repro.congest.detector) instead",
+                )
+
+
 def _walk_own_body(
     fn: ast.FunctionDef | ast.AsyncFunctionDef,
 ) -> Iterator[ast.AST]:

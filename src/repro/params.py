@@ -52,6 +52,10 @@ class Params:
             complete graph (paper: parts of size ``O(log n)``).
         portal_walks_factor: walks per node per sibling part during portal
             discovery, as a multiple of ``beta`` (paper: ``beta`` walks).
+        portal_redundancy_factor: under ``recovery="self-heal"``, number
+            of independent portals each node holds per sibling part, as
+            a multiple of ``log2 n`` (``k = O(log n)`` — a crashed
+            portal then strands a packet only if all ``k`` are down).
         hash_independence: ``W`` for the ``W``-wise independent partition
             hash, as a multiple of ``log2 n`` (paper: ``Theta(log n)``).
         packets_per_node_factor: routing-load promise — each node may be
@@ -83,6 +87,7 @@ class Params:
     level_walk_length_factor: float = 3.0
     bottom_size_factor: float = 4.0
     portal_walks_factor: float = 2.0
+    portal_redundancy_factor: float = 1.0
     hash_independence: float = 1.0
     packets_per_node_factor: float = 1.0
     use_walk_portals: bool = False
@@ -152,6 +157,10 @@ class Params:
     def bottom_size(self, n: int) -> int:
         """Part size below which the recursion bottoms out on a clique."""
         return max(4, int(round(self.bottom_size_factor * _log2(n))))
+
+    def portal_redundancy(self, n: int) -> int:
+        """Independent portals per (node, sibling) under self-heal."""
+        return max(2, int(round(self.portal_redundancy_factor * _log2(n))))
 
     def hash_wise(self, n: int) -> int:
         """Independence ``W`` of the partition hash family."""

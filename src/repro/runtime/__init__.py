@@ -18,8 +18,15 @@ from .backends import (
     UnsupportedOnBackend,
     make_backend,
 )
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    resume,
+    write_checkpoint,
+)
 from .config import OPS, RunConfig, RunOutcome, run
-from .context import RunContext
+from .context import RECOVERY_MODES, RunContext
 from .events import (
     EVENT_KINDS,
     EventSink,
@@ -35,7 +42,10 @@ __all__ = [
     "BACKENDS",
     "Backend",
     "BackendMismatch",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
     "EVENT_KINDS",
+    "RECOVERY_MODES",
     "EventSink",
     "JsonlSink",
     "MemorySink",
@@ -48,8 +58,11 @@ __all__ = [
     "RunOutcome",
     "TraceEvent",
     "UnsupportedOnBackend",
+    "load_checkpoint",
     "make_backend",
     "read_jsonl_trace",
+    "resume",
     "run",
     "sum_ledger_charges",
+    "write_checkpoint",
 ]

@@ -1,0 +1,185 @@
+"""Checkpoint/resume: snapshot a run at a phase boundary, continue later.
+
+A run started with ``RunConfig(checkpoint=path)`` records every trace
+event it emits and, once the build phase completes, pickles the whole
+execution state — operation, arguments, config, graph, context (RNG
+stream positions, ledger, fault plan, recorded events), and backend
+(with its built hierarchy) — into one file.  :func:`resume` loads that
+file and finishes the run:
+
+    >>> outcome = run("route", graph, config=RunConfig(
+    ...     seed=7, checkpoint="run.ckpt"))
+    >>> resumed = resume("run.ckpt")          # bit-identical outcome
+
+Everything is pickled as *one* object graph, so shared identities
+survive: the context's ``"router"`` stream and the router's ``rng`` stay
+the same generator after a round trip, which is what makes the resumed
+run consume randomness exactly where the original left off.  The two
+deliberately unpicklable members — the trace sink (an open file handle)
+and the native backend's walk-runner closure — are dropped at snapshot
+time and re-attached on resume.
+
+The file format is a pickled dict with a ``version`` field; loading a
+checkpoint written by a different format version fails loudly rather
+than mis-resuming.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import replace
+from typing import Union
+
+from .events import EventSink, JsonlSink, NullSink
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "load_checkpoint",
+    "resume",
+    "write_checkpoint",
+]
+
+#: Format version embedded in every checkpoint file.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint file is unreadable, corrupt, or incompatible."""
+
+
+def write_checkpoint(
+    path: str,
+    *,
+    op: str,
+    op_args: dict,
+    config,
+    graph,
+    context,
+    backend,
+) -> None:
+    """Snapshot a run into ``path`` (atomic: temp file + rename).
+
+    The config's ``trace`` member may hold an open sink, so it is
+    stripped (the context's recorded events carry the trace across the
+    boundary); everything else is pickled as one object graph.
+    """
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "op": op,
+        "op_args": dict(op_args),
+        "config": replace(config, trace=None),
+        "graph": graph,
+        "context": context,
+        "backend": backend,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    handle, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=".ckpt-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
+def load_checkpoint(path: str) -> dict:
+    """Load and validate a checkpoint file written by
+    :func:`write_checkpoint`."""
+    try:
+        with open(path, "rb") as stream:
+            payload = pickle.load(stream)
+    except (OSError, pickle.UnpicklingError, EOFError) as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path!r}: {error}"
+        ) from error
+    if not isinstance(payload, dict) or "version" not in payload:
+        raise CheckpointError(
+            f"{path!r} is not a repro checkpoint (no version field)"
+        )
+    if payload["version"] != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format version "
+            f"{payload['version']}, this build reads "
+            f"{CHECKPOINT_VERSION}"
+        )
+    missing = {
+        "op", "op_args", "config", "graph", "context", "backend"
+    } - set(payload)
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {path!r} is missing fields {sorted(missing)}"
+        )
+    return payload
+
+
+def resume(
+    path: str,
+    sink: Union[None, str, EventSink] = None,
+):
+    """Continue a checkpointed run to completion.
+
+    Args:
+        path: checkpoint file written by a ``RunConfig(checkpoint=...)``
+            run.
+        sink: where the resumed run's trace goes — ``None`` (discard), a
+            path string (JSONL file), or an :class:`EventSink` instance.
+            The events recorded *before* the snapshot are replayed into
+            it first, so the resumed trace is complete, not a suffix.
+
+    Returns:
+        The :class:`~repro.runtime.config.RunOutcome`, identical (same
+        results, ledger, and trace) to the outcome the uninterrupted
+        run produced.
+    """
+    from .config import _OP_RUNNERS, RunOutcome
+
+    payload = load_checkpoint(path)
+    op = payload["op"]
+    config = payload["config"]
+    graph = payload["graph"]
+    context = payload["context"]
+    backend = payload["backend"]
+    runner = _OP_RUNNERS[op]
+
+    owns_sink = isinstance(sink, str)
+    resolved: EventSink
+    if isinstance(sink, str):
+        resolved = JsonlSink(sink)
+    elif sink is None:
+        resolved = NullSink()
+    else:
+        resolved = sink
+    context.sink = resolved
+    # Replay the pre-snapshot trace verbatim (straight to the sink:
+    # context.emit would renumber and re-record them).
+    for event in context.recorded_events:
+        resolved.emit(event)
+    # The native walk runner is a closure over the backend and was
+    # dropped at snapshot time; re-bind it on the backend's router.
+    runner_closure = backend._walk_runner()
+    if backend._router is not None:
+        backend._router._walk_runner = runner_closure
+    try:
+        result = runner(backend, context, graph, dict(payload["op_args"]))
+    finally:
+        context.emit(
+            "run_end",
+            op,
+            total_rounds=float(context.ledger.total()),
+        )
+        if owns_sink:
+            context.close()
+    return RunOutcome(
+        op=op,
+        config=config,
+        result=result,
+        context=context,
+        backend=backend,
+    )

@@ -34,7 +34,8 @@ from ..graphs.generators import with_random_weights
 from ..graphs.graph import Graph, WeightedGraph
 from ..params import Params
 from .backends import BACKENDS, Backend, make_backend
-from .context import RunContext
+from .checkpoint import write_checkpoint
+from .context import RECOVERY_MODES, RunContext
 from .events import EventSink, JsonlSink, MemorySink, TraceEvent
 
 __all__ = ["OPS", "RunConfig", "RunOutcome", "run"]
@@ -60,6 +61,18 @@ class RunConfig:
             ``--faults`` grammar (``"drop=0.01,crash=3@rounds:10-20"``),
             or a :class:`FaultSpec`.  Normalized to a ``FaultSpec``.
         beta: partition branching-factor override.
+        recovery: ``"fail-fast"`` (crash windows that defeat reliable
+            delivery raise :class:`DeliveryTimeout` — the historical
+            contract, bit-identical to runs before recovery existed) or
+            ``"self-heal"`` (the failure detector publishes a crash
+            view; delivery waits out transient windows, re-homes or
+            orphans traffic of permanently dead nodes, and routing
+            fails over to redundant portals — all charged under the
+            ``recovery/*`` ledger namespace).
+        checkpoint: optional path; when set, the run snapshots its full
+            state there after the build phase and
+            :func:`repro.runtime.checkpoint.resume` can continue it
+            deterministically.
     """
 
     seed: int = 0
@@ -69,6 +82,8 @@ class RunConfig:
     trace: Union[None, str, EventSink] = None
     faults: Union[None, str, FaultSpec] = None
     beta: Optional[int] = None
+    recovery: str = "fail-fast"
+    checkpoint: Optional[str] = None
 
     def __post_init__(self):
         object.__setattr__(self, "seed", int(self.seed))
@@ -81,6 +96,18 @@ class RunConfig:
             raise ValueError(
                 f"validate must be one of {_VALIDATE_MODES}, "
                 f"got {self.validate!r}"
+            )
+        if self.recovery not in RECOVERY_MODES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_MODES}, "
+                f"got {self.recovery!r}"
+            )
+        if self.checkpoint is not None and not isinstance(
+            self.checkpoint, str
+        ):
+            raise TypeError(
+                "checkpoint must be None or a path string, "
+                f"got {type(self.checkpoint).__name__}"
             )
         if isinstance(self.faults, str):
             object.__setattr__(self, "faults", FaultSpec.parse(self.faults))
@@ -108,6 +135,7 @@ class RunConfig:
             params=self.params,
             sink=sink,
             faults=self.faults,
+            recovery=self.recovery,
         )
 
     def make_backend(
@@ -166,6 +194,17 @@ class RunOutcome:
                 charge.rounds
                 for charge in self.ledger.charges
                 if charge.label.startswith("faults/")
+            )
+        )
+
+    def recovery_rounds(self) -> float:
+        """Total rounds charged under the ``recovery/`` ledger category
+        (detection, waits, failover, re-election, repair, redundancy)."""
+        return float(
+            sum(
+                charge.rounds
+                for charge in self.ledger.charges
+                if charge.label.startswith("recovery/")
             )
         )
 
@@ -290,6 +329,9 @@ def run(
             f"unknown operation {op!r}; choose from {OPS}"
         ) from None
     context = config.make_context()
+    if config.checkpoint is not None:
+        # Every event must be replayable on resume, including run_start.
+        context.record_events = True
     spec = context.fault_spec
     context.emit(
         "run_start",
@@ -297,8 +339,24 @@ def run(
         seed=context.seed,
         backend=config.backend,
         faults=spec.describe() if spec is not None else None,
+        recovery=config.recovery,
     )
     backend = config.make_backend(graph, context)
+    if config.checkpoint is not None:
+        # Snapshot at the build/operate phase boundary.  Pre-building
+        # here is stream-neutral: construction and workload sampling
+        # draw from independent named streams, so the outcome is
+        # bit-identical to a run without a checkpoint.
+        backend.build()
+        write_checkpoint(
+            config.checkpoint,
+            op=op,
+            op_args=op_args,
+            config=config,
+            graph=graph,
+            context=context,
+            backend=backend,
+        )
     try:
         result = runner(backend, context, graph, dict(op_args))
     finally:

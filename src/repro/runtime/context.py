@@ -28,6 +28,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from ..congest.detector import CrashView, crash_view
 from ..congest.faults import FaultPlan, FaultRecord, FaultSpec
 from ..core.ledger import Charge, RoundLedger
 from ..params import Params
@@ -35,6 +36,8 @@ from ..rng import derive_rng, stream_entropy
 from .events import EventSink, NullSink, TraceEvent
 
 __all__ = ["RunContext"]
+
+RECOVERY_MODES = ("fail-fast", "self-heal")
 
 
 class RunContext:
@@ -49,6 +52,10 @@ class RunContext:
         fault_spec: the run's :class:`~repro.congest.faults.FaultSpec`,
             or ``None``; :attr:`fault_plan` binds it to the context's
             dedicated ``"faults"`` RNG stream.
+        recovery: ``"fail-fast"`` (crash windows that outlive retries
+            raise, the PR-4 contract) or ``"self-heal"`` (the failure
+            detector publishes a crash view and recovery code routes
+            around / waits out the windows, charging ``recovery/*``).
     """
 
     def __init__(
@@ -57,6 +64,7 @@ class RunContext:
         params: Optional[Params] = None,
         sink: Optional[EventSink] = None,
         faults: "Optional[FaultSpec | str]" = None,
+        recovery: str = "fail-fast",
     ) -> None:
         self.seed = int(seed)
         self.params = params or Params.default()
@@ -65,9 +73,20 @@ class RunContext:
         if isinstance(faults, str):
             faults = FaultSpec.parse(faults)
         self.fault_spec = faults
+        if recovery not in RECOVERY_MODES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_MODES}, "
+                f"got {recovery!r}"
+            )
+        self.recovery = recovery
         self._fault_plan: Optional[FaultPlan] = None
+        self._crash_views: dict[int, Optional[CrashView]] = {}
         self._seq = 0
         self._streams: dict[str, np.random.Generator] = {}
+        # Checkpoint support: when enabled, every emitted event is also
+        # kept here so a resumed run can replay the trace verbatim.
+        self.record_events = False
+        self.recorded_events: list[TraceEvent] = []
 
     # -- named RNG streams ---------------------------------------------------
 
@@ -118,6 +137,38 @@ class RunContext:
             )
         return self._fault_plan
 
+    def crash_view_for(self, num_nodes: int) -> Optional[CrashView]:
+        """The failure detector's crash view for an ``num_nodes`` wire.
+
+        Built (and its detection rounds charged under
+        ``recovery/detection``, when self-healing) once per distinct
+        ``num_nodes``; recovery code must read crash state through this
+        view, never from the plan (reprolint R008).  Returns ``None``
+        when the run has no crash windows.
+        """
+        plan = self.fault_plan
+        if plan is None or not plan.spec.crashes:
+            return None
+        view = self._crash_views.get(num_nodes)
+        if view is None:
+            view = crash_view(plan, num_nodes)
+            self._crash_views[num_nodes] = view
+            if self.recovery == "self-heal":
+                self.charge(
+                    "recovery/detection",
+                    view.detection_rounds,
+                    windows=len(view.windows),
+                    num_nodes=num_nodes,
+                )
+                self.emit(
+                    "recovery",
+                    "recovery/detection",
+                    windows=len(view.windows),
+                    num_nodes=num_nodes,
+                    rounds=view.detection_rounds,
+                )
+        return view
+
     def _emit_fault(self, record: FaultRecord) -> None:
         self.emit(
             "fault",
@@ -137,6 +188,8 @@ class RunContext:
         )
         self._seq += 1
         self.sink.emit(event)
+        if self.record_events:
+            self.recorded_events.append(event)
         return event
 
     @contextmanager
@@ -184,6 +237,21 @@ class RunContext:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- checkpoint support --------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle everything except the sink (file handles don't
+        survive a checkpoint; resume re-attaches one and replays
+        :attr:`recorded_events`)."""
+        state = self.__dict__.copy()
+        state["sink"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.sink is None:
+            self.sink = NullSink()
 
     def __repr__(self) -> str:
         return (

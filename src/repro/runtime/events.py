@@ -50,6 +50,7 @@ EVENT_KINDS = (
     "scheduler",      # payload: paths, rounds, ...
     "backend",        # payload: backend-specific execution stats
     "fault",          # payload: round, sender, target + fault detail
+    "recovery",       # payload: detection/failover/repair accounting
 )
 
 

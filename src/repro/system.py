@@ -64,6 +64,8 @@ class ExpanderNetwork:
         sink: EventSink | None = None,
         validate: str = "full",
         faults: "FaultSpec | str | None" = None,
+        recovery: str = "fail-fast",
+        checkpoint: str | None = None,
         config: RunConfig | None = None,
     ):
         """Args:
@@ -84,6 +86,10 @@ class ExpanderNetwork:
                 :class:`~repro.congest.faults.FaultSpec`; routing then
                 pays measured retry rounds (charged under ``faults/``)
                 or raises a diagnosable ``DeliveryTimeout``.
+            recovery: ``"fail-fast"`` (default) or ``"self-heal"`` —
+                see :class:`~repro.runtime.RunConfig`.
+            checkpoint: optional path for a post-build state snapshot —
+                see :class:`~repro.runtime.RunConfig`.
             config: a pre-built :class:`~repro.runtime.RunConfig`; when
                 given it IS the configuration and the individual
                 keyword arguments above are ignored.
@@ -99,6 +105,8 @@ class ExpanderNetwork:
                 trace=sink,
                 faults=faults,
                 beta=beta,
+                recovery=recovery,
+                checkpoint=checkpoint,
             )
         self.graph = graph
         self.config = config

@@ -1,12 +1,15 @@
-"""Tests for portal discovery (Lemma 3.3)."""
+"""Tests for portal discovery (Lemma 3.3) and portal redundancy."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import build_portals
 from repro.core.portals import _boundary_nodes
 from repro.graphs import Graph
 from repro.params import Params
+from repro.rng import derive_rng
 
 
 @pytest.fixture(scope="module")
@@ -107,6 +110,151 @@ class TestPortalTables:
             for level in portals64.boundary_counts
             for count in level.values()
         )
+
+
+def _redundant(hierarchy, params, seed, k=None):
+    return build_portals(
+        hierarchy,
+        params,
+        derive_rng(seed, 1),
+        redundancy_rng=derive_rng(seed, 2),
+        redundancy=k,
+    )
+
+
+class TestRedundantPortals:
+    def test_primary_bit_identical(self, hierarchy64, params):
+        """Turning redundancy on must not shift the primary draws."""
+        plain = build_portals(hierarchy64, params, derive_rng(9, 1))
+        extra = _redundant(hierarchy64, params, seed=9)
+        for level in range(1, hierarchy64.depth + 1):
+            assert np.array_equal(
+                plain.tables[level - 1], extra.tables[level - 1]
+            )
+            # Slot 0 of the redundant array IS the primary table.
+            assert np.array_equal(
+                extra.redundant[level - 1][:, :, 0],
+                extra.tables[level - 1],
+            )
+
+    def test_redundancy_k(self, hierarchy64, params):
+        extra = _redundant(hierarchy64, params, seed=9)
+        num_vnodes = hierarchy64.g0.virtual.count
+        assert extra.redundancy == params.portal_redundancy(num_vnodes)
+        assert _redundant(
+            hierarchy64, params, seed=9, k=5
+        ).redundancy == 5
+
+    def test_candidates_lie_on_the_boundary(self, hierarchy64, params):
+        """Every failover candidate is a legal portal: a boundary node
+        of the right (part, sibling) pair."""
+        extra = _redundant(hierarchy64, params, seed=11)
+        beta = hierarchy64.beta
+        for level in range(1, hierarchy64.depth + 1):
+            parts = hierarchy64.parts_at(level)
+            cube = extra.redundant[level - 1]
+            boundary = extra.boundary_sets[level - 1]
+            for (part, j), nodes in boundary.items():
+                members = np.flatnonzero(parts == part)
+                legal = set(nodes.tolist())
+                for slot in range(cube.shape[2]):
+                    chosen = cube[members, j, slot]
+                    assert set(chosen[chosen >= 0].tolist()) <= legal
+
+    def test_recovery_cost_charged_separately(self, hierarchy64, params):
+        from repro.core import RoundLedger
+
+        ledger = RoundLedger()
+        build_portals(
+            hierarchy64,
+            params,
+            derive_rng(12, 1),
+            ledger,
+            redundancy_rng=derive_rng(12, 2),
+        )
+        labels = ledger.by_label()
+        assert any(
+            label.startswith("recovery/portal-redundancy") for label in labels
+        )
+        assert any(label.startswith("portals/level") for label in labels)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_build_is_deterministic(self, hierarchy64, params, seed):
+        """Crash-then-recover twice: two builds from the same seed are
+        bit-identical, so re-running a healed run reproduces it."""
+        a = _redundant(hierarchy64, params, seed=seed, k=4)
+        b = _redundant(hierarchy64, params, seed=seed, k=4)
+        for level in range(1, hierarchy64.depth + 1):
+            assert np.array_equal(
+                a.redundant[level - 1], b.redundant[level - 1]
+            )
+
+    def test_slots_independent_uniform(self, hierarchy64, params):
+        """The k candidates are independent uniform draws over the
+        boundary set: aggregated over seeds, every boundary node shows
+        up, frequencies are roughly flat, and slots differ."""
+        beta = hierarchy64.beta
+        parts = hierarchy64.parts_at(1)
+        counts: dict[int, int] = {}
+        slot_pairs_equal = 0
+        total_pairs = 0
+        boundary = None
+        target = None
+        members = None
+        for seed in range(5):
+            extra = _redundant(hierarchy64, params, seed=20 + seed, k=4)
+            if boundary is None:
+                sets = extra.boundary_sets[0]
+                # Pick the densest electorate for stable statistics.
+                (part, target), nodes = max(
+                    sets.items(), key=lambda item: item[1].shape[0]
+                )
+                boundary = set(nodes.tolist())
+                members = np.flatnonzero(parts == part)
+            cube = extra.redundant[0]
+            for slot in range(1, 4):
+                chosen = cube[members, target, slot]
+                for node in chosen[chosen >= 0].tolist():
+                    counts[node] = counts.get(node, 0) + 1
+            a = cube[members, target, 1]
+            b = cube[members, target, 2]
+            ok = (a >= 0) & (b >= 0)
+            slot_pairs_equal += int(np.sum(a[ok] == b[ok]))
+            total_pairs += int(np.sum(ok))
+        # Support: with >> |boundary| samples, every node is drawn.
+        assert set(counts) == boundary
+        # Flatness: no node dominates a uniform draw by 6x.
+        frequencies = np.array(sorted(counts.values()), dtype=float)
+        assert frequencies[-1] <= 6 * max(1.0, frequencies[0])
+        # Independence: identical slots would agree everywhere; uniform
+        # independent slots agree with probability 1/|boundary|.
+        assert total_pairs > 0
+        assert slot_pairs_equal / total_pairs < 0.5
+
+    def test_reelection_deterministic_and_live(self, hierarchy64, params):
+        extra = _redundant(hierarchy64, params, seed=13)
+        sets = extra.boundary_sets[0]
+        (part, j), nodes = max(
+            sets.items(), key=lambda item: item[1].shape[0]
+        )
+        dead = {int(nodes[0])}
+        first = extra.reelect(
+            1, part, j, lambda v: v in dead, derive_rng(14, 0)
+        )
+        second = extra.reelect(
+            1, part, j, lambda v: v in dead, derive_rng(14, 0)
+        )
+        assert first == second
+        assert first in set(nodes.tolist()) - dead
+
+    def test_reelection_exhausted_electorate(self, hierarchy64, params):
+        extra = _redundant(hierarchy64, params, seed=13)
+        sets = extra.boundary_sets[0]
+        (part, j), _nodes = next(iter(sorted(sets.items())))
+        assert extra.reelect(
+            1, part, j, lambda v: True, derive_rng(15, 0)
+        ) == -1
 
 
 class TestWalkVariant:

@@ -514,6 +514,76 @@ class TestR007FaultStream:
         assert "R007" not in rule_ids(source)
 
 
+class TestR008RawCrashState:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # recovery code asking the plan who is down right now
+            """
+            def reroute(plan, round_number, n):
+                down = plan.crashed(round_number, n)
+                return down
+            """,
+            # reaching into the private crash cache
+            """
+            def peek(plan):
+                return plan._crash_sets
+            """,
+            # deriving from the private crash entropy
+            """
+            from repro.rng import derive_rng
+
+            def rederive(plan, n):
+                return derive_rng(plan._crash_entropy, 0, n)
+            """,
+        ],
+    )
+    def test_fires(self, source):
+        assert "R008" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # the sanctioned path: consume the failure detector's view
+            """
+            from repro.congest.detector import crash_view
+
+            def reroute(plan, round_number, n):
+                view = crash_view(plan, n)
+                return view.down_until(0, round_number)
+            """,
+            # reading the declarative spec is fine
+            """
+            def has_crashes(plan):
+                return bool(plan.spec.crashes)
+            """,
+            # unrelated attribute named crashed (not a call) is fine
+            """
+            def status(report):
+                return report.crashed
+            """,
+        ],
+    )
+    def test_quiet(self, source):
+        assert "R008" not in rule_ids(source)
+
+    def test_congest_modules_exempt(self):
+        source = textwrap.dedent(
+            """
+            def deliver(faults, round_number, n):
+                return faults.crashed(round_number, n)
+            """
+        )
+        assert any(
+            f.rule == "R008"
+            for f in lint_source(source, "src/repro/core/router.py")
+        )
+        assert not any(
+            f.rule == "R008"
+            for f in lint_source(source, "src/repro/congest/network.py")
+        )
+
+
 class TestEngineMechanics:
     def test_syntax_error_reported_not_raised(self):
         findings = lint_source("def broken(:\n", "bad.py")

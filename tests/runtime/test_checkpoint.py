@@ -1,0 +1,171 @@
+"""Checkpoint/resume: a resumed run is the uninterrupted run, bit for bit."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    MemorySink,
+    RunConfig,
+    load_checkpoint,
+    read_jsonl_trace,
+    resume,
+    run,
+)
+
+
+def _signature(sink: MemorySink):
+    return [(e.seq, e.kind, e.name) for e in sink.events]
+
+
+def _charges(outcome):
+    return [(c.label, c.rounds) for c in outcome.ledger.charges]
+
+
+def _route(graph64, backend, *, checkpoint=None, sink=None, seed=7):
+    return run(
+        "route",
+        graph64,
+        config=RunConfig(
+            seed=seed, backend=backend, trace=sink, checkpoint=checkpoint
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def graph64(expander64):
+    return expander64
+
+
+@pytest.mark.parametrize("backend", ["oracle", "native"])
+class TestResumeEquivalence:
+    def test_resumed_run_is_bit_identical(self, graph64, backend, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        plain_sink = MemorySink()
+        plain = _route(graph64, backend, sink=plain_sink)
+
+        ckpt_sink = MemorySink()
+        checkpointed = _route(
+            graph64, backend, checkpoint=path, sink=ckpt_sink
+        )
+        resumed_sink = MemorySink()
+        resumed = resume(path, sink=resumed_sink)
+
+        # Writing the checkpoint must not perturb the run that wrote it.
+        assert (
+            checkpointed.result.cost_rounds == plain.result.cost_rounds
+        )
+        assert _charges(checkpointed) == _charges(plain)
+        assert _signature(ckpt_sink) == _signature(plain_sink)
+
+        # The resumed run reproduces results, ledger, and trace.
+        assert resumed.op == "route"
+        assert resumed.result.delivered
+        assert resumed.result.cost_rounds == plain.result.cost_rounds
+        assert np.array_equal(
+            resumed.result.final_vnodes, plain.result.final_vnodes
+        )
+        assert _charges(resumed) == _charges(plain)
+        assert _signature(resumed_sink) == _signature(plain_sink)
+
+    def test_resume_twice_from_one_snapshot(
+        self, graph64, backend, tmp_path
+    ):
+        """A checkpoint is a value: resuming it twice gives identical
+        outcomes (nothing in the file is consumed)."""
+        path = str(tmp_path / "run.ckpt")
+        _route(graph64, backend, checkpoint=path)
+        first = resume(path)
+        second = resume(path)
+        assert first.result.cost_rounds == second.result.cost_rounds
+        assert _charges(first) == _charges(second)
+
+
+class TestCheckpointFile:
+    def test_snapshot_taken_at_phase_boundary(self, graph64, tmp_path):
+        """The snapshot holds the *built* backend but none of the
+        operation's charges."""
+        path = str(tmp_path / "run.ckpt")
+        _route(graph64, "oracle", checkpoint=path)
+        payload = load_checkpoint(path)
+        assert payload["version"] == CHECKPOINT_VERSION
+        assert payload["op"] == "route"
+        labels = [c.label for c in payload["context"].ledger.charges]
+        assert any(label.startswith("g0/") for label in labels) or any(
+            label.startswith("hierarchy") or label.startswith("portals")
+            for label in labels
+        )
+        assert not any(label.startswith("route/") for label in labels)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.ckpt"))
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "old.ckpt"
+        payload = {
+            "version": CHECKPOINT_VERSION + 1,
+            "op": "route",
+            "op_args": {},
+            "config": None,
+            "graph": None,
+            "context": None,
+            "backend": None,
+        }
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "short.ckpt"
+        path.write_bytes(
+            pickle.dumps({"version": CHECKPOINT_VERSION, "op": "route"})
+        )
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_no_tmp_litter(self, graph64, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        _route(graph64, "oracle", checkpoint=path)
+        leftovers = [
+            p.name
+            for p in tmp_path.iterdir()
+            if p.name != "run.ckpt"
+        ]
+        assert leftovers == []
+
+
+class TestResumeTrace:
+    def test_jsonl_resume_replays_prefix(self, graph64, tmp_path):
+        """A resumed run's trace file starts from run_start: the
+        pre-snapshot events are replayed into the new sink."""
+        ckpt = str(tmp_path / "run.ckpt")
+        trace = str(tmp_path / "resumed.jsonl")
+        _route(graph64, "oracle", checkpoint=ckpt)
+        resume(ckpt, sink=trace)
+        events = list(read_jsonl_trace(trace))
+        assert events[0].kind == "run_start"
+        assert events[-1].kind == "run_end"
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+
+    def test_checkpointed_ops_round_trip(self, graph64, tmp_path):
+        """Checkpointing works for every oracle op, not just route."""
+        for op, kwargs in (("mincut", {"eps": 0.5}), ("clique", {})):
+            path = str(tmp_path / f"{op}.ckpt")
+            direct = run(
+                op,
+                graph64,
+                config=RunConfig(seed=3, checkpoint=path),
+                **kwargs,
+            )
+            resumed = resume(path)
+            assert _charges(resumed) == _charges(direct)

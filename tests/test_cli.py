@@ -169,3 +169,50 @@ class TestRuntimeFlags:
         graph = self._expander(tmp_path)
         assert main(["mst", graph, "--backend", "native"]) == 2
         assert "oracle" in capsys.readouterr().err
+
+
+class TestRecoveryFlags:
+    """The self-healing surface: --recovery, --checkpoint, run --resume."""
+
+    def _expander(self, tmp_path, n=32):
+        out = str(tmp_path / "exp.json")
+        main(["generate", "expander", str(n), "-o", out])
+        return out
+
+    def test_checkpoint_then_resume_matches(self, tmp_path, capsys):
+        graph = self._expander(tmp_path)
+        ckpt = str(tmp_path / "run.ckpt")
+        assert main(
+            ["route", graph, "--seed", "2", "--checkpoint", ckpt]
+        ) == 0
+        first = capsys.readouterr().out
+        assert f"checkpoint   {ckpt}" in first
+        assert main(["run", "--resume", ckpt]) == 0
+        resumed = capsys.readouterr().out
+        assert "op           route" in resumed
+        assert "seed         2" in resumed
+
+    def test_resume_missing_checkpoint_exits_2(self, tmp_path, capsys):
+        assert main(["run", "--resume", str(tmp_path / "nope.ckpt")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_self_heal_survives_permanent_crash(self, tmp_path, capsys):
+        graph = self._expander(tmp_path)
+        spec = "crash=6@rounds:1-1000000"
+        assert main(
+            ["route", graph, "--seed", "2", "--faults", spec,
+             "--recovery", "self-heal"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "delivered    True" in out
+        assert "recovery" in out
+
+    def test_timeout_prints_culprits_and_exits_3(self, tmp_path, capsys):
+        graph = self._expander(tmp_path)
+        assert main(
+            ["route", graph, "--seed", "2",
+             "--faults", "drop=0.999,attempts=3"]
+        ) == 3
+        err = capsys.readouterr().err
+        assert "delivery failed" in err
+        assert "exhausted:" in err

@@ -16,9 +16,8 @@ windows produce ``DeliveryTimeout``, not partial results.
 import numpy as np
 import pytest
 
-from repro import Params, RunConfig, run
+from repro import RunConfig, run
 from repro.baselines import kruskal
-from repro.congest import Network
 from repro.congest.faults import (
     CrashWindow,
     DeliveryTimeout,
@@ -369,6 +368,170 @@ class TestCrashWindows:
                 config=RunConfig(
                     seed=3, faults="drop=0.999,attempts=3"
                 ),
+            )
+
+
+class TestParseErrorDiagnostics:
+    """A typo'd --faults string is fixable from the message alone: the
+    error quotes the offending token and the one-line grammar."""
+
+    @pytest.mark.parametrize(
+        ("bad", "token"),
+        [
+            ("bogus=1", "'bogus'"),
+            ("drop=abc", "drop='abc'"),
+            ("max_delay=soon", "max_delay='soon'"),
+            ("drop", "'drop'"),
+        ],
+    )
+    def test_message_quotes_token_and_grammar(self, bad, token):
+        from repro.congest.faults import GRAMMAR
+
+        with pytest.raises(ValueError) as excinfo:
+            FaultSpec.parse(bad)
+        message = str(excinfo.value)
+        assert token in message
+        assert GRAMMAR in message
+
+    def test_crash_errors_name_the_window(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultSpec.parse("crash=3@sometime")
+        assert "'3@sometime'" in str(excinfo.value)
+        with pytest.raises(ValueError) as excinfo:
+            FaultSpec.parse("crash=3@rounds:9-5")
+        assert "9-5" in str(excinfo.value)
+
+    def test_cli_exits_2_with_the_message(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graphs import save_graph
+
+        path = str(tmp_path / "g.json")
+        save_graph(random_regular(16, 4, derive_rng(1, 16)), path)
+        code = main(["route", path, "--faults", "bogus=1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "grammar" in err
+
+
+class TestDeliveryCulprits:
+    """Guarantee 2, sharpened: a timeout names who exhausted attempts."""
+
+    def test_wire_timeout_names_the_worst_link(self, expander64):
+        origins, targets = _neighbor_demands(expander64)
+        with pytest.raises(DeliveryTimeout) as excinfo:
+            reliable_forward_demands(
+                expander64, origins, targets,
+                faults=_plan("crash=8@rounds:1-1000000", label=4),
+            )
+        culprits = excinfo.value.culprits
+        assert culprits, "timeout must carry culprits"
+        undelivered = set(excinfo.value.undelivered)
+        for node, target, attempts in culprits:
+            assert attempts >= 1
+            assert (node, target) in undelivered
+        assert "attempt" in str(excinfo.value)
+
+    def test_model_timeout_carries_attempts(self, expander64):
+        with pytest.raises(DeliveryTimeout) as excinfo:
+            run(
+                "route", expander64,
+                config=RunConfig(seed=3, faults="drop=0.999,attempts=3"),
+            )
+        culprits = excinfo.value.culprits
+        assert culprits
+        assert all(attempts > 3 for _, _, attempts in culprits)
+
+
+class TestSelfHealCompletion:
+    """The tentpole guarantee: every fault-matrix crash scenario that
+    raises in fail-fast completes under recovery='self-heal', with the
+    recovery cost in its own ledger category."""
+
+    def test_permanent_crash_forwarding_completes(self, expander64):
+        origins, targets = _neighbor_demands(expander64)
+        report = reliable_forward_demands(
+            expander64, origins, targets,
+            faults=_plan("crash=8@rounds:1-1000000", label=4),
+            recovery="self-heal",
+        )
+        assert report.delivered == report.expected
+        assert report.rehomed or report.orphaned
+
+    def test_permanent_crash_forwarding_deterministic(self, expander64):
+        origins, targets = _neighbor_demands(expander64)
+
+        def heal():
+            return reliable_forward_demands(
+                expander64, origins, targets,
+                faults=_plan("crash=8@rounds:1-1000000", label=4),
+                recovery="self-heal",
+            )
+
+        a, b = heal(), heal()
+        assert (a.delivered, a.rounds, a.rehomed, a.orphaned) == (
+            b.delivered, b.rounds, b.rehomed, b.orphaned
+        )
+
+    def test_walk_protocol_completes_on_live_subgraph(self):
+        graph = random_regular(32, 6, np.random.default_rng(6))
+        starts = np.arange(32)
+        outcome = run_walk_protocol(
+            graph, starts, 4, seed=2,
+            faults=_plan("crash=10@rounds:1-1000000", label=5),
+            recovery="self-heal",
+        )
+        # Walks from dead origins are orphaned, every other walk
+        # finishes and returns.
+        assert len(outcome.orphaned) == 10
+        orphan_set = set(outcome.orphaned)
+        for walk in range(32):
+            if walk in orphan_set:
+                assert outcome.returned_to[walk] == -1
+            else:
+                assert outcome.endpoints[walk] >= 0
+                assert outcome.returned_to[walk] == outcome.starts[walk]
+
+    def test_end_to_end_route_heals_and_charges_recovery(self, expander64):
+        healed = run(
+            "route", expander64,
+            config=RunConfig(
+                seed=11,
+                faults="crash=8@rounds:1-1000000",
+                recovery="self-heal",
+            ),
+        )
+        assert healed.result.delivered
+        assert healed.recovery_rounds() > 0
+        labels = {
+            charge.label
+            for charge in healed.ledger.charges
+            if charge.label.startswith("recovery/")
+        }
+        assert labels, "self-heal cost must land under recovery/"
+        # Recovery and fault retry accounting stay disjoint.
+        assert not any(label.startswith("faults/") for label in labels)
+
+    def test_self_heal_without_crashes_is_bit_identical(self, expander64):
+        """Enabling self-heal draws nothing unless a crash window
+        exists: a crash-free run is identical to fail-fast."""
+        default = run("route", expander64, config=RunConfig(seed=11))
+        healed = run(
+            "route", expander64,
+            config=RunConfig(seed=11, recovery="self-heal"),
+        )
+        assert healed.result.cost_rounds == default.result.cost_rounds
+        assert [
+            (c.label, c.rounds) for c in healed.ledger.charges
+        ] == [(c.label, c.rounds) for c in default.ledger.charges]
+        assert healed.recovery_rounds() == 0.0
+
+    def test_fail_fast_is_still_the_default(self, expander64):
+        assert RunConfig(seed=1).recovery == "fail-fast"
+        origins, targets = _neighbor_demands(expander64)
+        with pytest.raises(DeliveryTimeout):
+            reliable_forward_demands(
+                expander64, origins, targets,
+                faults=_plan("crash=8@rounds:1-1000000", label=4),
             )
 
 
