@@ -19,8 +19,18 @@ else
     echo "== ruff not installed; skipping style lint (pip install ruff)"
 fi
 
-echo "== reprolint (CONGEST + determinism contract)"
-python -m repro.lint src/repro tests
+echo "== reprolint (CONGEST + determinism contract, whole-program)"
+# Gates against the committed .reprolint-baseline.json: only *new*
+# findings fail.  --cache skips content-unchanged files; the cache file
+# is git-ignored and safe to delete.
+python -m repro.lint --cache src/repro tests
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy --strict (repro.lint, repro.runtime)"
+    mypy --config-file pyproject.toml
+else
+    echo "== mypy not installed; skipping type check (pip install mypy)"
+fi
 
 echo "== bench harness smoke (schema only, no thresholds)"
 python scripts/bench_baseline.py --check

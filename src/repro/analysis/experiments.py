@@ -38,6 +38,7 @@ from ..graphs import (
 )
 from ..graphs.properties import edge_expansion_exact, regular_mixing_time
 from ..params import Params
+from ..rng import derive_rng
 from ..walks import (
     degree_proportional_starts,
     estimate_mixing_time,
@@ -81,7 +82,7 @@ def routing_scaling(
     params = params or Params.default()
     rows = []
     for n in sizes:
-        rng = np.random.default_rng(seed + n)
+        rng = derive_rng(seed + n)
         graph = _expander(n, rng)
         hierarchy = build_hierarchy(graph, params, rng)
         router = Router(hierarchy, params=params, rng=rng)
@@ -113,7 +114,7 @@ def mst_scaling(
     params = params or Params.default()
     rows = []
     for n in sizes:
-        rng = np.random.default_rng(seed + n)
+        rng = derive_rng(seed + n)
         graph = with_random_weights(_expander(n, rng), rng)
         hierarchy = build_hierarchy(graph, params, rng)
         runner = MstRunner(graph, hierarchy=hierarchy, params=params, rng=rng)
@@ -146,7 +147,7 @@ def clique_emulation_sweep(
     params = params or Params.default()
     rows = []
     for p in probabilities:
-        rng = np.random.default_rng(seed)
+        rng = derive_rng(seed)
         graph = erdos_renyi(n, p, rng)
         hierarchy = build_hierarchy(graph, params, rng)
         ours = emulate_clique(hierarchy, params, rng)
@@ -177,7 +178,7 @@ def dense_regime_sweep(
     """E3b: the dense-regime emulation (Theorem 1.3, second clause)."""
     rows = []
     for p in probabilities:
-        rng = np.random.default_rng(seed)
+        rng = derive_rng(seed)
         graph = erdos_renyi(n, p, rng)
         result = dense_clique_emulation(graph, rng)
         baseline = two_hop_relay_emulation(graph, rng)
@@ -203,7 +204,7 @@ def dense_regime_sweep(
 
 def mixing_bound_survey(seed: int = 4) -> list[dict]:
     """E4: exact regular-walk mixing time vs. the Lemma 2.3 bound."""
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     families = {
         "ring(16)": ring_graph(16),
         "torus(4x4)": grid_torus(4, 4),
@@ -246,7 +247,7 @@ def mixing_scaling(
     from ..graphs import grid_torus, mixing_time, random_regular, ring_graph
     from .fits import power_law_exponent
 
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     families = {
         "ring": lambda n: ring_graph(n),
         "torus": lambda n: grid_torus(
@@ -284,7 +285,7 @@ def parallel_walk_sweep(
     seed: int = 5,
 ) -> list[dict]:
     """E5: measured parallel-walk load and schedule vs. Lemmas 2.4 / 2.5."""
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     graph = random_regular(n, 6, rng)
     rows = []
     for k in ks:
@@ -317,11 +318,11 @@ def beta_ablation(
 ) -> list[dict]:
     """E6: the beta trade-off (Lemma 3.2) — construction vs. routing cost."""
     params = params or Params.default()
-    base_rng = np.random.default_rng(seed)
+    base_rng = derive_rng(seed)
     graph = _expander(n, base_rng)
     rows = []
     for beta in betas:
-        rng = np.random.default_rng(seed + beta)
+        rng = derive_rng(seed + beta)
         hierarchy = build_hierarchy(graph, params, rng, beta=beta)
         router = Router(hierarchy, params=params, rng=rng)
         perm = rng.permutation(n)
@@ -348,7 +349,7 @@ def recursion_decomposition(
 ) -> list[dict]:
     """E7: per-level cost decomposition of one routing instance (Lemma 3.4)."""
     params = params or Params.default()
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     graph = _expander(n, rng)
     hierarchy = build_hierarchy(graph, params, rng, beta=beta)
     router = Router(hierarchy, params=params, rng=rng)
@@ -384,7 +385,7 @@ def virtual_tree_trace(
 ) -> list[dict]:
     """E8: Lemma 4.1 invariants (depth, degree) over Boruvka iterations."""
     params = params or Params.default()
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     graph = with_random_weights(_expander(n, rng), rng)
     runner = MstRunner(graph, params=params, rng=rng)
     result = runner.run()
@@ -413,7 +414,7 @@ def partition_structure(
 ) -> list[dict]:
     """E9: Figure 1's structure — balance (P1) and portal coverage per level."""
     params = params or Params.default()
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     graph = _expander(n, rng)
     hierarchy = build_hierarchy(graph, params, rng, beta=beta)
     from ..core import build_portals
@@ -451,7 +452,7 @@ def portal_uniformity(
 ) -> list[dict]:
     """E10: portals are ~uniform over boundary nodes (walk vs. sampled)."""
     base_params = params or Params.default()
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     graph = _expander(n, rng)
     hierarchy = build_hierarchy(graph, base_params, rng, beta=4)
     from ..core import build_portals
@@ -498,18 +499,18 @@ def correlated_ablation(
     additive ``log n`` from every Lemma 2.5 schedule.
     """
     base = params or Params.default()
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     graph = _expander(n, rng)
     rows = []
     for variant, correlated in (("independent", False), ("correlated", True)):
         local_params = base.with_overrides(use_correlated_walks=correlated)
         hierarchy = build_hierarchy(
-            graph, local_params, np.random.default_rng(seed + 1)
+            graph, local_params, derive_rng(seed + 1)
         )
         router = Router(
-            hierarchy, params=local_params, rng=np.random.default_rng(seed + 2)
+            hierarchy, params=local_params, rng=derive_rng(seed + 2)
         )
-        perm = np.random.default_rng(seed + 3).permutation(n)
+        perm = derive_rng(seed + 3).permutation(n)
         result = router.route(np.arange(n), perm)
         rows.append(
             {
@@ -536,11 +537,11 @@ def stretch_profile(
     in the worst case (the ``2 T(m/beta)`` branching of Lemma 3.4).
     """
     params = params or Params.default()
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     graph = _expander(n, rng)
     rows = []
     for beta in betas:
-        local_rng = np.random.default_rng(seed + beta)
+        local_rng = derive_rng(seed + beta)
         hierarchy = build_hierarchy(graph, params, local_rng, beta=beta)
         router = Router(hierarchy, params=params, rng=local_rng)
         perm = local_rng.permutation(n)
@@ -620,7 +621,7 @@ def native_fidelity(
 
     rows = []
     for n in sizes:
-        rng = np.random.default_rng(seed + n)
+        rng = derive_rng(seed + n)
         graph = random_regular(n, 4, rng)
         tau = mixing_time(graph)
         walks = max(8, int(round(3 * math.log2(n))))
@@ -634,7 +635,7 @@ def native_fidelity(
             g0_degree_factor=degree / math.log2(n),
         )
         reference = core.build_g0(
-            graph, params, np.random.default_rng(seed + n), tau_mix=tau
+            graph, params, derive_rng(seed + n), tau_mix=tau
         )
         rows.append(
             {
@@ -662,7 +663,7 @@ def preset_ablation(
     ones, and ``correlated`` adds the deferred walk refinement.  All must
     deliver; the cost spread quantifies what the constants buy.
     """
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     graph = _expander(n, rng)
     presets = [
         ("fast", Params.fast()),
@@ -673,10 +674,10 @@ def preset_ablation(
     ]
     rows = []
     for name, preset in presets:
-        local = np.random.default_rng(seed + 1)
+        local = derive_rng(seed + 1)
         hierarchy = build_hierarchy(graph, preset, local)
         router = Router(hierarchy, params=preset, rng=local)
-        perm = np.random.default_rng(seed + 2).permutation(n)
+        perm = derive_rng(seed + 2).permutation(n)
         result = router.route(np.arange(n), perm)
         rows.append(
             {

@@ -8,25 +8,55 @@ the first constraint for code that runs through it; this package checks
 both constraints *statically*, over the whole tree, so the ledger-based
 fast paths (``core/``, ``walks/``) are covered too.
 
+Two layers of analysis:
+
+* per-file rules (R001–R008) judge one module's AST at a time;
+* whole-program rules (R009–R012, :mod:`.program`) build a project-wide
+  symbol table and call graph, then check interprocedural contracts —
+  ledger coverage, RNG provenance, message-size flow, and internal use
+  of deprecated shims.
+
 Usage::
 
     python -m repro.lint src/repro tests
-    reprolint --format=json src/repro
+    python -m repro.lint --format=sarif src/repro
+    python -m repro.lint --update-baseline
 
 Findings can be suppressed per line with ``# reprolint: disable=R001``
-(comma-separated rule ids, or ``all``).  See ``docs/linting.md`` for the
-rule catalogue.
+(comma-separated rule ids, or ``all``), or accepted wholesale in the
+committed ``.reprolint-baseline.json`` (see :mod:`.baseline`).  See
+``docs/linting.md`` for the rule catalogue and the baseline workflow.
 """
 
+from .baseline import (
+    fingerprint_findings,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from .cache import LintCache
 from .engine import Finding, LintModule, Rule, lint_paths, lint_source
+from .program import Program, ProgramRule, build_program, lint_program
+from .program_rules import PROGRAM_RULES, get_program_rules
 from .rules import RULES, get_rules
 
 __all__ = [
     "Finding",
     "LintModule",
-    "Rule",
+    "LintCache",
+    "Program",
+    "ProgramRule",
+    "PROGRAM_RULES",
     "RULES",
+    "Rule",
+    "build_program",
+    "fingerprint_findings",
+    "get_program_rules",
     "get_rules",
     "lint_paths",
+    "lint_program",
     "lint_source",
+    "load_baseline",
+    "partition_findings",
+    "write_baseline",
 ]

@@ -1,0 +1,172 @@
+"""Content-hash cache for lint runs.
+
+Per-file rules are a pure function of (file content, rule set); the
+whole-program pass is a pure function of (every file's content, rule
+set).  The cache exploits both: a file whose SHA-256 is unchanged since
+the last run reuses its recorded findings, and the program pass re-runs
+only when the *input set* (the multiset of content hashes, i.e. any
+edit, addition, or removal) changes.  The rule set is part of every key
+— the cache hashes the lint package's own sources — so editing a rule
+invalidates everything, and a stale cache can never mask a finding.
+
+The cache file is a plain JSON artifact (default
+``.reprolint-cache.json``, git-ignored); deleting it is always safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .engine import Finding
+
+__all__ = ["LintCache", "rules_digest"]
+
+CACHE_VERSION = 1
+
+_rules_digest_memo: Optional[str] = None
+
+
+def rules_digest() -> str:
+    """SHA-256 over the lint package's own source files.
+
+    Any change to the engine, a rule, or the program analyzer yields a
+    new digest, so cached findings can never outlive the rules that
+    produced them.
+    """
+    global _rules_digest_memo
+    if _rules_digest_memo is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).resolve().parent
+        for source in sorted(package_dir.glob("*.py")):
+            digest.update(source.name.encode("utf-8"))
+            digest.update(source.read_bytes())
+        _rules_digest_memo = digest.hexdigest()
+    return _rules_digest_memo
+
+
+def file_digest(content: bytes) -> str:
+    return hashlib.sha256(content).hexdigest()
+
+
+class LintCache:
+    """Findings keyed by content hash, persisted as JSON."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._rules = rules_digest()
+        self._files: Dict[str, dict] = {}
+        self._program: Optional[dict] = None
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return  # corrupt cache == no cache
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_VERSION
+            or data.get("rules") != self._rules
+        ):
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        program = data.get("program")
+        if isinstance(program, dict):
+            self._program = program
+
+    # -- per-file findings ---------------------------------------------------
+
+    def get_file(
+        self, path: str, digest: str
+    ) -> Optional[List[Finding]]:
+        entry = self._files.get(path)
+        if entry is None or entry.get("sha256") != digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [
+            _finding_from_dict(raw, path)
+            for raw in entry.get("findings", [])
+        ]
+
+    def put_file(
+        self, path: str, digest: str, findings: List[Finding]
+    ) -> None:
+        self._files[path] = {
+            "sha256": digest,
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    # -- whole-program findings ----------------------------------------------
+
+    @staticmethod
+    def program_input_hash(digests: Dict[str, str]) -> str:
+        """One hash over the program's full input set (path + content
+        per file) — any edit, rename, addition, or deletion changes
+        it."""
+        combined = hashlib.sha256()
+        for path in sorted(digests):
+            combined.update(path.encode("utf-8"))
+            combined.update(digests[path].encode("ascii"))
+        return combined.hexdigest()
+
+    def get_program(
+        self, input_hash: str
+    ) -> Optional[List[Finding]]:
+        if (
+            self._program is None
+            or self._program.get("input_hash") != input_hash
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [
+            _finding_from_dict(raw, raw.get("path", ""))
+            for raw in self._program.get("findings", [])
+        ]
+
+    def put_program(
+        self, input_hash: str, findings: List[Finding]
+    ) -> None:
+        self._program = {
+            "input_hash": input_hash,
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self) -> None:
+        payload = {
+            "version": CACHE_VERSION,
+            "rules": self._rules,
+            "files": self._files,
+            "program": self._program,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            pass  # a read-only checkout just runs uncached
+
+
+def _finding_from_dict(raw: dict, path: str) -> Finding:
+    return Finding(
+        rule=str(raw.get("rule", "")),
+        path=str(raw.get("path", path)),
+        line=int(raw.get("line", 1)),
+        col=int(raw.get("col", 0)),
+        message=str(raw.get("message", "")),
+        scope=str(raw.get("scope", "")),
+        snippet=str(raw.get("snippet", "")),
+    )

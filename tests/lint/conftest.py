@@ -1,0 +1,36 @@
+"""Shared fixtures for the lint tests: on-disk fixture trees.
+
+The whole-program analyzer derives module names from the package layout
+(``__init__.py`` chains), so program-rule fixtures must live on disk as
+real package trees — ``make_tree`` builds one under ``tmp_path`` and
+fills in the ``__init__.py`` files automatically.
+"""
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write ``{relative_path: source}`` under ``tmp_path``.
+
+    Every intermediate directory gets an (empty) ``__init__.py`` unless
+    the caller supplies one, so dotted module names resolve the same way
+    ``import`` would see them.  Returns ``tmp_path``.
+    """
+
+    def build(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+            parent = path.parent
+            while parent != tmp_path:
+                marker = parent / "__init__.py"
+                if not marker.exists():
+                    marker.write_text("", encoding="utf-8")
+                parent = parent.parent
+        return tmp_path
+
+    return build

@@ -1,0 +1,140 @@
+"""Baseline gating: fingerprints, round-trips, and drift stability."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BASELINE_VERSION,
+    fingerprint_findings,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.lint.engine import lint_source
+
+SOURCE_WITH_FINDING = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+
+def _lint(source, path="pkg/mod.py"):
+    findings = lint_source(source, path)
+    assert findings, "fixture must produce at least one finding"
+    return findings
+
+
+class TestFingerprints:
+    def test_stable_under_line_drift(self):
+        before = _lint(SOURCE_WITH_FINDING)
+        drifted = _lint(
+            "# a new leading comment\n\n\n" + SOURCE_WITH_FINDING
+        )
+        digests_before = [d for _f, d in fingerprint_findings(before)]
+        digests_after = [d for _f, d in fingerprint_findings(drifted)]
+        assert digests_before == digests_after
+        assert before[0].line != drifted[0].line
+
+    def test_changes_when_offending_line_changes(self):
+        before = _lint(SOURCE_WITH_FINDING)
+        edited = _lint(
+            SOURCE_WITH_FINDING.replace(
+                "return time.time()", "value = time.time()\n    return value"
+            )
+        )
+        digests_before = {d for _f, d in fingerprint_findings(before)}
+        digests_after = {d for _f, d in fingerprint_findings(edited)}
+        assert digests_before.isdisjoint(digests_after)
+
+    def test_duplicate_lines_get_distinct_fingerprints(self):
+        source = (
+            "import time\n\n\n"
+            "def stamp():\n"
+            "    a = time.time()\n"
+            "    b = time.time()\n"
+            "    return a + b\n"
+        )
+        findings = _lint(source)
+        assert len(findings) == 2
+        digests = [d for _f, d in fingerprint_findings(findings)]
+        assert len(set(digests)) == 2
+
+    def test_root_relativizes_paths(self, tmp_path):
+        findings = _lint(
+            SOURCE_WITH_FINDING, path=str(tmp_path / "pkg" / "mod.py")
+        )
+        absolute = fingerprint_findings(findings, None)
+        relative = fingerprint_findings(findings, tmp_path)
+        plain = fingerprint_findings(
+            _lint(SOURCE_WITH_FINDING, path="pkg/mod.py")
+        )
+        assert [d for _f, d in relative] == [d for _f, d in plain]
+        assert [d for _f, d in absolute] != [d for _f, d in plain]
+
+
+class TestRoundTrip:
+    def test_write_then_partition_accepts_everything(self, tmp_path):
+        findings = _lint(SOURCE_WITH_FINDING)
+        target = tmp_path / "baseline.json"
+        count = write_baseline(target, findings)
+        assert count == len(findings)
+        accepted = load_baseline(target)
+        new, baselined = partition_findings(findings, accepted)
+        assert new == []
+        assert baselined == findings
+
+    def test_new_finding_stays_new(self, tmp_path):
+        findings = _lint(SOURCE_WITH_FINDING)
+        target = tmp_path / "baseline.json"
+        write_baseline(target, findings)
+        grown = _lint(
+            SOURCE_WITH_FINDING
+            + "\n\ndef later():\n    return time.time()\n"
+        )
+        new, baselined = partition_findings(
+            grown, load_baseline(target)
+        )
+        assert len(baselined) == len(findings)
+        assert len(new) == len(grown) - len(findings)
+        assert all(f.scope == "later" for f in new)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_entries_carry_audit_context(self, tmp_path):
+        findings = _lint(SOURCE_WITH_FINDING)
+        target = tmp_path / "baseline.json"
+        write_baseline(target, findings)
+        data = json.loads(target.read_text(encoding="utf-8"))
+        assert data["version"] == BASELINE_VERSION
+        entry = data["findings"][0]
+        assert set(entry) >= {
+            "fingerprint", "rule", "path", "scope", "snippet", "message",
+        }
+
+
+class TestMalformedBaselines:
+    def test_invalid_json_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="malformed"):
+            load_baseline(target)
+
+    def test_wrong_version_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps({"version": 99, "findings": []}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(target)
+
+    def test_missing_findings_key_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 1}), encoding="utf-8")
+        with pytest.raises(ValueError, match="findings"):
+            load_baseline(target)

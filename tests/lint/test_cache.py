@@ -1,0 +1,99 @@
+"""Content-hash cache: hits on unchanged inputs, misses on anything else."""
+
+import json
+
+from repro.lint.cache import LintCache, file_digest, rules_digest
+from repro.lint.engine import lint_source
+
+SOURCE_WITH_FINDING = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+
+def _findings(path="pkg/mod.py"):
+    findings = lint_source(SOURCE_WITH_FINDING, path)
+    assert findings
+    return findings
+
+
+class TestFileCache:
+    def test_roundtrip_by_content_hash(self, tmp_path):
+        cache = LintCache(tmp_path / "cache.json")
+        digest = file_digest(SOURCE_WITH_FINDING.encode("utf-8"))
+        findings = _findings()
+        cache.put_file("pkg/mod.py", digest, findings)
+        cache.save()
+
+        reloaded = LintCache(tmp_path / "cache.json")
+        cached = reloaded.get_file("pkg/mod.py", digest)
+        assert cached == findings
+        assert reloaded.hits == 1
+
+    def test_changed_content_misses(self, tmp_path):
+        cache = LintCache(tmp_path / "cache.json")
+        digest = file_digest(b"original")
+        cache.put_file("pkg/mod.py", digest, _findings())
+        assert cache.get_file("pkg/mod.py", file_digest(b"edited")) is None
+        assert cache.misses == 1
+
+    def test_rules_change_invalidates_everything(self, tmp_path):
+        cache = LintCache(tmp_path / "cache.json")
+        digest = file_digest(b"content")
+        cache.put_file("pkg/mod.py", digest, _findings())
+        cache.save()
+
+        data = json.loads(
+            (tmp_path / "cache.json").read_text(encoding="utf-8")
+        )
+        data["rules"] = "0" * 64
+        (tmp_path / "cache.json").write_text(
+            json.dumps(data), encoding="utf-8"
+        )
+        reloaded = LintCache(tmp_path / "cache.json")
+        assert reloaded.get_file("pkg/mod.py", digest) is None
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        (tmp_path / "cache.json").write_text(
+            "{broken", encoding="utf-8"
+        )
+        cache = LintCache(tmp_path / "cache.json")
+        assert cache.get_file("pkg/mod.py", "deadbeef") is None
+
+
+class TestProgramCache:
+    def test_roundtrip_on_unchanged_input_set(self, tmp_path):
+        digests = {"a.py": "1" * 64, "b.py": "2" * 64}
+        input_hash = LintCache.program_input_hash(digests)
+        cache = LintCache(tmp_path / "cache.json")
+        findings = _findings()
+        cache.put_program(input_hash, findings)
+        cache.save()
+
+        reloaded = LintCache(tmp_path / "cache.json")
+        assert reloaded.get_program(input_hash) == findings
+
+    def test_any_file_edit_changes_the_input_hash(self):
+        base = {"a.py": "1" * 64, "b.py": "2" * 64}
+        edited = dict(base, **{"b.py": "3" * 64})
+        added = dict(base, **{"c.py": "4" * 64})
+        removed = {"a.py": "1" * 64}
+        hashes = {
+            LintCache.program_input_hash(d)
+            for d in (base, edited, added, removed)
+        }
+        assert len(hashes) == 4
+
+    def test_stale_input_hash_misses(self, tmp_path):
+        cache = LintCache(tmp_path / "cache.json")
+        cache.put_program("a" * 64, _findings())
+        assert cache.get_program("b" * 64) is None
+
+
+class TestRulesDigest:
+    def test_digest_is_memoized_and_stable(self):
+        assert rules_digest() == rules_digest()
+        assert len(rules_digest()) == 64

@@ -1,0 +1,160 @@
+"""CLI behaviour for the whole-program pass, baseline gate, and cache."""
+
+import io
+import json
+
+from repro.lint.cli import main
+
+DIRTY = """
+import random
+
+def pick(items):
+    return random.choice(items)
+"""
+
+UNCHARGED_RUN = """
+def spin(network, steps):
+    for _ in range(steps):
+        network.run(None, max_rounds=1)
+"""
+
+
+def run_cli(*argv):
+    stdout = io.StringIO()
+    code = main(list(argv), stdout=stdout)
+    return code, stdout.getvalue()
+
+
+class TestProgramPass:
+    def test_cli_reports_program_findings(self, make_tree):
+        root = make_tree({"proj/congest/mod.py": UNCHARGED_RUN})
+        code, out = run_cli(str(root / "proj"), "--no-baseline")
+        assert code == 1
+        assert "R009" in out
+
+    def test_no_program_skips_them(self, make_tree):
+        root = make_tree({"proj/congest/mod.py": UNCHARGED_RUN})
+        code, out = run_cli(
+            str(root / "proj"), "--no-baseline", "--no-program"
+        )
+        assert code == 0
+
+    def test_disable_covers_program_rules(self, make_tree):
+        root = make_tree({"proj/congest/mod.py": UNCHARGED_RUN})
+        code, __ = run_cli(
+            str(root / "proj"), "--no-baseline", "--disable", "R009"
+        )
+        assert code == 0
+
+
+class TestBaselineGate:
+    def test_update_then_gate_passes(self, make_tree, tmp_path):
+        root = make_tree({"pkg/dirty.py": DIRTY})
+        baseline = tmp_path / "baseline.json"
+
+        code, out = run_cli(
+            str(root / "pkg"), "--baseline", str(baseline),
+            "--update-baseline",
+        )
+        assert code == 0
+        assert "1 accepted finding(s)" in out
+
+        code, out = run_cli(str(root / "pkg"), "--baseline", str(baseline))
+        assert code == 0
+        assert "baselined finding(s) suppressed" in out
+
+    def test_new_finding_still_fails_the_gate(self, make_tree, tmp_path):
+        root = make_tree({"pkg/dirty.py": DIRTY})
+        baseline = tmp_path / "baseline.json"
+        run_cli(
+            str(root / "pkg"), "--baseline", str(baseline),
+            "--update-baseline",
+        )
+        (root / "pkg" / "worse.py").write_text(DIRTY, encoding="utf-8")
+
+        code, out = run_cli(str(root / "pkg"), "--baseline", str(baseline))
+        assert code == 1
+        assert "worse.py" in out
+        # exactly one *new* finding is reported; dirty.py stays accepted
+        assert out.count("R001") == 1
+
+    def test_no_baseline_reports_everything(self, make_tree, tmp_path):
+        root = make_tree({"pkg/dirty.py": DIRTY})
+        baseline = tmp_path / "baseline.json"
+        run_cli(
+            str(root / "pkg"), "--baseline", str(baseline),
+            "--update-baseline",
+        )
+        code, out = run_cli(
+            str(root / "pkg"), "--baseline", str(baseline),
+            "--no-baseline",
+        )
+        assert code == 1
+        assert "R001" in out
+
+    def test_malformed_baseline_exits_two(self, make_tree, tmp_path):
+        root = make_tree({"pkg/dirty.py": DIRTY})
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{broken", encoding="utf-8")
+        code, __ = run_cli(str(root / "pkg"), "--baseline", str(baseline))
+        assert code == 2
+
+
+class TestSarifFormat:
+    def test_sarif_output_parses_and_gates(self, make_tree, tmp_path):
+        root = make_tree({"pkg/dirty.py": DIRTY})
+        code, out = run_cli(
+            str(root / "pkg"), "--no-baseline", "--format", "sarif"
+        )
+        assert code == 1
+        log = json.loads(out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert results and results[0]["ruleId"] == "R001"
+
+    def test_sarif_includes_baselined_as_notes(self, make_tree, tmp_path):
+        root = make_tree({"pkg/dirty.py": DIRTY})
+        baseline = tmp_path / "baseline.json"
+        run_cli(
+            str(root / "pkg"), "--baseline", str(baseline),
+            "--update-baseline",
+        )
+        code, out = run_cli(
+            str(root / "pkg"), "--baseline", str(baseline),
+            "--format", "sarif",
+        )
+        assert code == 0
+        results = json.loads(out)["runs"][0]["results"]
+        assert [r["level"] for r in results] == ["note"]
+        assert results[0]["baselineState"] == "unchanged"
+
+
+class TestCacheFlag:
+    def test_cache_file_is_created_and_reused(self, make_tree, tmp_path):
+        root = make_tree({"pkg/dirty.py": DIRTY})
+        cache = tmp_path / "cache.json"
+
+        code1, out1 = run_cli(
+            str(root / "pkg"), "--no-baseline", "--cache", str(cache)
+        )
+        assert cache.is_file()
+        code2, out2 = run_cli(
+            str(root / "pkg"), "--no-baseline", "--cache", str(cache)
+        )
+        assert (code1, out1) == (code2, out2)
+
+    def test_cached_run_sees_edits(self, make_tree, tmp_path):
+        root = make_tree({"pkg/dirty.py": DIRTY})
+        cache = tmp_path / "cache.json"
+        run_cli(str(root / "pkg"), "--no-baseline", "--cache", str(cache))
+
+        (root / "pkg" / "dirty.py").write_text(
+            "def pick(items, rng):\n"
+            "    return items[int(rng.integers(0, len(items)))]\n",
+            encoding="utf-8",
+        )
+        code, out = run_cli(
+            str(root / "pkg"), "--no-baseline", "--cache", str(cache)
+        )
+        assert code == 0
+        assert "clean" in out

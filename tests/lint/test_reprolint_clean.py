@@ -7,9 +7,15 @@ e.g. the over-width payloads the simulator tests reject).
 
 from pathlib import Path
 
-from repro.lint import lint_paths
+from repro.lint import (
+    lint_paths,
+    lint_program,
+    load_baseline,
+    partition_findings,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / ".reprolint-baseline.json"
 
 
 def _render(findings):
@@ -34,3 +40,40 @@ class TestSelfCheck:
     def test_lint_package_lints_itself(self):
         findings = lint_paths([REPO_ROOT / "src" / "repro" / "lint"])
         assert findings == []
+
+    def test_program_rules_have_no_unbaselined_findings(self):
+        """The interprocedural rules (R009–R012) gate the tree too.
+
+        Any finding must either be fixed or deliberately accepted into
+        the committed ``.reprolint-baseline.json`` (with review) — a
+        new finding outside the baseline fails CI.
+        """
+        findings = lint_program([REPO_ROOT / "src" / "repro"])
+        baseline = load_baseline(BASELINE)
+        new, _baselined = partition_findings(
+            findings, baseline, REPO_ROOT
+        )
+        assert new == [], (
+            "new whole-program reprolint findings in src/repro — fix "
+            "them or accept them via `python -m repro.lint "
+            "--update-baseline`:\n" + _render(new)
+        )
+
+    def test_baseline_entries_are_still_live(self):
+        """Every baseline entry must match a current finding.
+
+        A stale entry means the violation it accepted was fixed (or the
+        code moved): regenerate the baseline so the accepted set never
+        over-approximates reality.
+        """
+        baseline = load_baseline(BASELINE)
+        findings = lint_program(
+            [REPO_ROOT / "src" / "repro"]
+        ) + lint_paths([REPO_ROOT / "src" / "repro"])
+        _new, baselined = partition_findings(
+            findings, baseline, REPO_ROOT
+        )
+        assert len(baselined) == len(baseline), (
+            "stale baseline entries — regenerate with "
+            "`python -m repro.lint --update-baseline`"
+        )

@@ -1,0 +1,182 @@
+"""The SARIF reporter emits valid SARIF 2.1.0.
+
+Validated against a vendored subset of the OASIS SARIF 2.1.0 schema
+(the structural constraints GitHub code scanning actually enforces:
+version, run/tool/driver shape, result locations and levels) — the full
+schema is network-hosted and the tests must run offline.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import lint_source
+from repro.lint.reporters import SARIF_VERSION, render_sarif
+from repro.lint.rules import get_rules
+
+jsonschema = pytest.importorskip("jsonschema")
+
+# Subset of the OASIS sarif-schema-2.1.0.json: required top-level keys,
+# the tool.driver rule catalogue, and per-result location structure.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning",
+                                        "error",
+                                    ]
+                                },
+                                "baselineState": {
+                                    "enum": [
+                                        "new", "unchanged", "updated",
+                                        "absent",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation"
+                                                ],
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+SOURCE_WITH_FINDING = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+
+def _findings(path="src/pkg/mod.py"):
+    findings = lint_source(SOURCE_WITH_FINDING, path)
+    assert findings
+    return findings
+
+
+class TestSarifOutput:
+    def test_validates_against_schema(self):
+        log = json.loads(
+            render_sarif(_findings(), get_rules(), version="1.0.0")
+        )
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+        assert log["version"] == SARIF_VERSION
+
+    def test_empty_run_is_still_valid(self):
+        log = json.loads(render_sarif([], get_rules()))
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+        assert log["runs"][0]["results"] == []
+
+    def test_results_carry_rule_and_location(self):
+        findings = _findings()
+        log = json.loads(render_sarif(findings, get_rules()))
+        result = log["runs"][0]["results"][0]
+        assert result["ruleId"] == findings[0].rule
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/pkg/mod.py"
+        assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        assert location["region"]["startLine"] == findings[0].line
+        assert (
+            "reprolintFingerprint/v1" in result["partialFingerprints"]
+        )
+
+    def test_rule_index_points_into_catalogue(self):
+        rules = get_rules()
+        log = json.loads(render_sarif(_findings(), rules))
+        run = log["runs"][0]
+        result = run["results"][0]
+        catalogue = run["tool"]["driver"]["rules"]
+        assert (
+            catalogue[result["ruleIndex"]]["id"] == result["ruleId"]
+        )
+
+    def test_baselined_findings_are_demoted_notes(self):
+        findings = _findings()
+        log = json.loads(
+            render_sarif([], get_rules(), baselined=findings)
+        )
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+        result = log["runs"][0]["results"][0]
+        assert result["level"] == "note"
+        assert result["baselineState"] == "unchanged"
+
+    def test_new_findings_are_errors(self):
+        log = json.loads(render_sarif(_findings(), get_rules()))
+        levels = {
+            result["level"]
+            for result in log["runs"][0]["results"]
+        }
+        assert levels == {"error"}
+
+    def test_uris_are_root_relative(self, tmp_path):
+        path = tmp_path / "src" / "mod.py"
+        findings = lint_source(SOURCE_WITH_FINDING, str(path))
+        log = json.loads(
+            render_sarif(findings, get_rules(), root=tmp_path)
+        )
+        run = log["runs"][0]
+        uri = run["results"][0]["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert uri == "src/mod.py"
+        base = run["originalUriBaseIds"]["SRCROOT"]["uri"]
+        assert base == Path(tmp_path).resolve().as_uri() + "/"
