@@ -26,6 +26,12 @@ the committed delta records the retry overhead.  Combine with
 ``BENCH_PR5.json``: heartbeat detection, token parking, re-homing,
 live-subgraph walks, and end-to-end portal failover, so the committed
 rows record what each recovery mechanism costs.
+
+``--pr7`` switches to the vectorized-engine suite
+(:func:`repro.analysis.perf.run_pr7_suite`) and writes
+``BENCH_PR7.json``: scalar-vs-array walk protocol (verified bit-equal
+before reporting), the native hierarchy build at n = 512/1024, and a
+sharded-delivery worker sweep.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from dataclasses import asdict
 from repro.analysis.perf import (
     run_bench_suite,
     run_fault_suite,
+    run_pr7_suite,
     run_recovery_suite,
     validate_bench,
     write_bench,
@@ -66,6 +73,13 @@ def main(argv: list[str] | None = None) -> int:
         help="smoke mode: small sizes, schema assertion, nothing written",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the small quick-mode sizes even when writing a file "
+        "(CI uses --quick --check; --check alone already implies quick "
+        "sizes)",
+    )
+    parser.add_argument(
         "--faults",
         action="store_true",
         help="run the fault-injection suite (clean vs drop=0.01 reliable "
@@ -77,10 +91,26 @@ def main(argv: list[str] | None = None) -> int:
         help="run the self-healing suite (detection, parking, re-homing, "
         "portal failover) instead of the main kernel suite",
     )
+    parser.add_argument(
+        "--pr7",
+        action="store_true",
+        help="run the vectorized-engine suite (scalar-vs-array walk "
+        "protocol, native build at n=512/1024, sharded-delivery worker "
+        "sweep) instead of the main kernel suite",
+    )
     args = parser.parse_args(argv)
-    if args.faults and args.recovery:
-        parser.error("--faults and --recovery are mutually exclusive")
-    if args.recovery:
+    chosen = [
+        flag
+        for flag in ("faults", "recovery", "pr7")
+        if getattr(args, flag)
+    ]
+    if len(chosen) > 1:
+        parser.error(
+            "--" + " and --".join(chosen) + " are mutually exclusive"
+        )
+    if args.pr7:
+        suite, default_out = run_pr7_suite, "BENCH_PR7.json"
+    elif args.recovery:
         suite, default_out = run_recovery_suite, "BENCH_PR5.json"
     elif args.faults:
         suite, default_out = run_fault_suite, "BENCH_PR4.json"
@@ -99,7 +129,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    rows = suite(seed=args.seed)
+    rows = suite(seed=args.seed, quick=args.quick)
     write_bench(rows, args.out)
     width = max(len(row.kernel) for row in rows)
     for row in rows:

@@ -36,6 +36,10 @@ echo "== bench harness smoke (schema only, no thresholds)"
 python scripts/bench_baseline.py --check
 python scripts/bench_baseline.py --check --faults
 python scripts/bench_baseline.py --check --recovery
+python scripts/bench_baseline.py --check --pr7
+
+echo "== perf tripwire (native_build n=256 within pinned budget)"
+python scripts/perf_tripwire.py
 
 echo "== fault-matrix smoke (reliable delivery under injected faults)"
 python scripts/fault_smoke.py

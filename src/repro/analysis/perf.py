@@ -53,6 +53,7 @@ __all__ = [
     "load_bench",
     "run_bench_suite",
     "run_fault_suite",
+    "run_pr7_suite",
     "run_recovery_suite",
     "validate_bench",
     "write_bench",
@@ -485,6 +486,133 @@ def run_recovery_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
             int(outcome.result.cost_rounds),
         )
     )
+    return rows
+
+
+def _bench_walk_protocol_vec(seed: int, quick: bool) -> list[BenchRow]:
+    """Scalar-oracle vs array-engine walk protocol, verified equal.
+
+    Like the scheduler kernel, both engines run the *same* workload and
+    the rows are only reported after their outcomes compare bit-equal —
+    the recorded speedup can never come from changed semantics.
+    """
+    configs = [(64, 8)] if quick else [(128, 12), (512, 16)]
+    rows = []
+    for n, length in configs:
+        graph = random_regular(n, 6, derive_rng(seed, n))
+        starts = np.repeat(np.arange(n), 2)
+        wall_vec, vec = _timed(
+            lambda: run_walk_protocol(
+                graph, starts, length, seed=seed + n, engine="vectorized"
+            ),
+            repeats=1 if quick else 3,
+        )
+        wall_sca, sca = _timed(
+            lambda: run_walk_protocol(
+                graph, starts, length, seed=seed + n, engine="scalar"
+            ),
+            repeats=1,
+        )
+        if (
+            not np.array_equal(vec.endpoints, sca.endpoints)
+            or not np.array_equal(vec.returned_to, sca.returned_to)
+            or (vec.forward_rounds, vec.reverse_rounds, vec.messages)
+            != (sca.forward_rounds, sca.reverse_rounds, sca.messages)
+        ):
+            raise AssertionError(
+                "walk-protocol engines diverged on the bench workload"
+            )
+        total = vec.forward_rounds + vec.reverse_rounds
+        rows.append(BenchRow("walk_protocol_vec", n, seed, wall_vec, total))
+        rows.append(BenchRow("walk_protocol_scalar", n, seed, wall_sca, total))
+    return rows
+
+
+def _bench_native_build_large(seed: int, quick: bool) -> list[BenchRow]:
+    """The PR 7 headline: the native hierarchy at n = 512 and 1024."""
+    configs = [(128, 6)] if quick else [(512, 6), (1024, 6)]
+    rows = []
+    for n, degree in configs:
+        graph = random_regular(n, degree, derive_rng(seed, n))
+        tau = mixing_time(graph)
+
+        def build():
+            g0 = build_native_g0(
+                graph,
+                walks_per_vnode=12,
+                degree=6,
+                length=2 * tau,
+                seed=seed + n,
+            )
+            level1 = build_native_level1(
+                g0, beta=3, degree=4, length=8, seed=seed + n + 1
+            )
+            return g0, level1
+
+        wall, (g0, level1) = _timed(build, repeats=1)
+        rows.append(
+            BenchRow(
+                "native_build",
+                n,
+                seed,
+                wall,
+                g0.build_rounds + level1.build_rounds,
+            )
+        )
+    return rows
+
+
+def _bench_sharded_delivery(seed: int, quick: bool) -> list[BenchRow]:
+    """Worker sweep of the sharded simulator on one walk workload.
+
+    Every row must report the same ``rounds`` — sharding moves delivery
+    onto more processes without touching the round accounting; the sweep
+    records what that costs/buys in wall time at each worker count.
+    """
+    n, length = (48, 6) if quick else (128, 10)
+    graph = random_regular(n, 6, derive_rng(seed, n))
+    starts = np.repeat(np.arange(n), 2)
+    sweep = (1, 2) if quick else (1, 2, 4)
+    rows = []
+    baseline_rounds: int | None = None
+    for workers in sweep:
+        wall, outcome = _timed(
+            lambda workers=workers: run_walk_protocol(
+                graph,
+                starts,
+                length,
+                seed=seed + n,
+                engine="scalar",
+                workers=workers,
+            ),
+            repeats=1 if quick else 2,
+        )
+        total = outcome.forward_rounds + outcome.reverse_rounds
+        if baseline_rounds is None:
+            baseline_rounds = total
+        elif total != baseline_rounds:
+            raise AssertionError(
+                f"sharded delivery changed the round count: {total} != "
+                f"{baseline_rounds} at workers={workers}"
+            )
+        rows.append(
+            BenchRow(f"sharded_delivery_w{workers}", n, seed, wall, total)
+        )
+    return rows
+
+
+def run_pr7_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
+    """The vectorized-engine kernel suite behind ``BENCH_PR7.json``.
+
+    Three groups: the scalar-vs-array walk protocol (verified equal
+    before reporting), the native hierarchy build at n = 512/1024 (the
+    sizes the array engine unlocked), and a sharded-delivery worker
+    sweep (identical rounds at every worker count, by assertion).
+    """
+    rows: list[BenchRow] = []
+    rows += _bench_walk_protocol_vec(seed, quick)
+    rows += _bench_native_build_large(seed, quick)
+    rows += _bench_sharded_delivery(seed, quick)
     return rows
 
 

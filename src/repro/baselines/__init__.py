@@ -13,6 +13,7 @@ from .routing_baselines import (
     bfs_store_and_forward,
     random_walk_delivery,
     schedule_paths,
+    schedule_paths_csr,
 )
 from .routing_baselines_ref import schedule_paths_ref
 
@@ -38,5 +39,6 @@ __all__ = [
     "bfs_store_and_forward",
     "random_walk_delivery",
     "schedule_paths",
+    "schedule_paths_csr",
     "schedule_paths_ref",
 ]

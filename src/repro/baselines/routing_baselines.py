@@ -33,6 +33,7 @@ __all__ = [
     "StoreAndForwardResult",
     "bfs_store_and_forward",
     "schedule_paths",
+    "schedule_paths_csr",
     "RandomWalkDeliveryResult",
     "random_walk_delivery",
 ]
@@ -101,6 +102,38 @@ def schedule_paths(
     rng = resolve_rng(rng, seed)
     num_packets = len(paths)
     lengths = np.fromiter(map(len, paths), dtype=np.int64, count=num_packets)
+    offsets = np.zeros(num_packets + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    nodes = np.fromiter(
+        chain.from_iterable(paths), dtype=np.int64, count=int(offsets[-1])
+    )
+    return schedule_paths_csr(
+        nodes, offsets, rng=rng, max_rounds=max_rounds
+    )
+
+
+def schedule_paths_csr(
+    nodes: np.ndarray,
+    offsets: np.ndarray,
+    rng: np.random.Generator | None = None,
+    max_rounds: int = 1_000_000,
+    seed: int | None = None,
+) -> StoreAndForwardResult:
+    """:func:`schedule_paths` on paths already in CSR form.
+
+    Packet ``i``'s path is ``nodes[offsets[i]:offsets[i + 1]]``.  The
+    native pipeline assembles its embedded-path systems as flat arrays
+    (:mod:`repro.congest.native`); this entry point schedules them
+    without a list-of-lists round trip.  Semantics are *identical* to
+    :func:`schedule_paths` on the inflated lists — including the single
+    ``rng.permutation(num_packets)`` draw — so both entries produce the
+    same result on the same packet set and seed.
+    """
+    rng = resolve_rng(rng, seed)
+    nodes = np.asarray(nodes)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    num_packets = int(offsets.shape[0]) - 1
+    lengths = np.diff(offsets)
     total_hops = int((lengths - 1).sum()) if num_packets else 0
     order = rng.permutation(num_packets)
     entered = lengths > 1
@@ -108,14 +141,6 @@ def schedule_paths(
         return StoreAndForwardResult(
             rounds=0, delivered=True, max_queue=0, total_hops=total_hops
         )
-    # CSR layout: all path nodes flat; per-packet node-position
-    # pointers (a packet is delivered when its pointer reaches the last
-    # node of its path).
-    offsets = np.zeros(num_packets + 1, dtype=np.int64)
-    np.cumsum(lengths, out=offsets[1:])
-    nodes = np.fromiter(
-        chain.from_iterable(paths), dtype=np.int64, count=int(offsets[-1])
-    )
     # A hop starts at every node that is not the last of its path.
     starts_hop = np.ones(nodes.shape[0], dtype=bool)
     starts_hop[offsets[1:] - 1] = False
@@ -124,7 +149,9 @@ def schedule_paths(
     # the per-edge queue arrays stay small and cache-resident.
     low = int(nodes.min())
     span = int(nodes.max()) - low + 1
-    keys = (nodes[hop_positions] - low) * span + (
+    # int64 keys regardless of the caller's node dtype: span**2 can
+    # overflow int32 for large node-id ranges.
+    keys = (nodes[hop_positions].astype(np.int64) - low) * span + (
         nodes[hop_positions + 1] - low
     )
     if span * span <= 4_194_304:

@@ -101,6 +101,11 @@ def _add_runtime_flags(sub: argparse.ArgumentParser) -> None:
         help="snapshot the run's full state here after the build phase; "
         "continue it later with 'repro run --resume PATH'",
     )
+    sub.add_argument(
+        "--workers", type=int, default=1,
+        help="message-delivery shards for the native simulator; results "
+        "and round accounting are identical at any worker count",
+    )
 
 
 def _make_config(args) -> RunConfig:
@@ -113,6 +118,7 @@ def _make_config(args) -> RunConfig:
         faults=getattr(args, "faults", None),
         recovery=getattr(args, "recovery", "fail-fast"),
         checkpoint=getattr(args, "checkpoint", None),
+        workers=getattr(args, "workers", 1),
     )
 
 

@@ -17,10 +17,13 @@ calibration of :func:`repro.core.embedding.build_g0` (see
 ``tests/congest/test_native.py``) — closing the loop between the
 accounted and the executed pipeline.
 
-The level-1 construction batches its sampling walks over the overlay CSR
-and assembles the embedded chains with array ops, which keeps base
-graphs up to ``n ~ 256`` practical (the walk protocol itself remains the
-scalar message-passing simulation — that part *is* the artifact).
+The construction walks default to the array-native engine
+(:mod:`repro.congest.walk_engine_vec`), which executes the identical
+protocol — same tape, same queues, same rounds — from flat numpy state,
+keeping base graphs up to ``n ~ 4096`` practical; the per-node scalar
+simulation is retained (``engine="scalar"``) as the equivalence oracle.
+The level-1 construction batches its sampling walks over the overlay
+CSR and assembles the embedded chains with array ops.
 """
 
 from __future__ import annotations
@@ -30,12 +33,13 @@ from itertools import chain as _chain
 
 import numpy as np
 
-from ..baselines.routing_baselines import schedule_paths
+from ..baselines.routing_baselines import schedule_paths, schedule_paths_csr
 from ..graphs.graph import Graph
 from ..rng import derive_rng
 from .forwarding import forward_demands
-from .walk_protocol import _ForwardNode, _WalkState
 from .network import Network
+from .walk_engine_vec import forward_pass_vec
+from .walk_state import ForwardWalkNode, WalkState, WalkTape
 
 __all__ = [
     "NativeG0",
@@ -77,27 +81,44 @@ def _forward_pass_with_paths(
     length: int,
     seed: int,
     validate: str = "full",
-) -> tuple[np.ndarray, list[list[int]], int]:
+    engine: str = "vectorized",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Run the forward walk protocol and reconstruct each token's path.
 
-    Returns ``(endpoints, paths, rounds)``; a path lists the real nodes
-    the token moved through (stays omitted), starting at its origin.
+    Both engines read the same :class:`WalkTape`, so endpoints, paths
+    and rounds are bit-identical; ``engine="scalar"`` runs the per-node
+    oracle through the simulator, the default runs the array engine.
+    Returns ``(endpoints, flat, pptr, rounds)``; walk ``w``'s path is
+    ``flat[pptr[w]:pptr[w + 1]]`` — the real nodes the token moved
+    through (stays omitted), starting at its origin.
     """
+    starts = np.asarray(starts, dtype=np.int64)
+    num_walks = int(starts.shape[0])
+    tape = WalkTape.sample(seed, num_walks, length)
+    if engine == "vectorized":
+        endpoints, batch, rounds = forward_pass_vec(graph, starts, tape)
+        # Inflate the move CSR into per-walk paths (origin first).
+        counts = batch.move_counts()
+        pptr = np.zeros(num_walks + 1, dtype=np.int64)
+        np.cumsum(counts + 1, out=pptr[1:])
+        flat = np.empty(int(pptr[-1]), dtype=np.int64)
+        flat[pptr[:-1]] = starts
+        content = np.ones(flat.shape[0], dtype=bool)
+        content[pptr[:-1]] = False
+        flat[content] = batch.mv_target
+        return endpoints, flat, pptr, rounds
+    if engine != "scalar":
+        raise ValueError(
+            f"engine must be 'vectorized' or 'scalar', got {engine!r}"
+        )
     network = Network(graph)
     n = graph.num_nodes
-    states = [
-        _WalkState(
-            rng=derive_rng(seed, v),
-            visit_stack={},
-            finished_here={},
-        )
-        for v in range(n)
-    ]
+    states = [WalkState() for _ in range(n)]
     per_node: list[list[tuple[int, int]]] = [[] for _ in range(n)]
     for walk_id, origin in enumerate(starts):
         per_node[int(origin)].append((walk_id, length))
     forward = [
-        _ForwardNode(network.context(v), states[v], per_node[v])
+        ForwardWalkNode(network.context(v), states[v], tape, per_node[v])
         for v in range(n)
     ]
     stats = network.run(
@@ -126,7 +147,29 @@ def _forward_pass_with_paths(
         if reverse_path[-1] != int(origin):
             raise RuntimeError("path reconstruction lost the origin")
         paths.append(list(reversed(reverse_path)))
-    return endpoints, paths, stats.rounds
+    pptr = np.zeros(num_walks + 1, dtype=np.int64)
+    np.cumsum(
+        np.fromiter(map(len, paths), dtype=np.int64, count=num_walks),
+        out=pptr[1:],
+    )
+    flat = np.fromiter(
+        _chain.from_iterable(paths), dtype=np.int64, count=int(pptr[-1])
+    )
+    return endpoints, flat, pptr, stats.rounds
+
+
+def _reverse_rows_csr(flat: np.ndarray, pptr: np.ndarray) -> np.ndarray:
+    """Reverse each CSR row in place-order: row ``w`` of the result is
+    row ``w`` of ``flat`` backwards."""
+    total = int(flat.shape[0])
+    counts = np.diff(pptr)
+    walk_of = np.repeat(
+        np.arange(counts.shape[0], dtype=np.int64), counts
+    )
+    mirror = pptr[walk_of] + pptr[walk_of + 1] - 1 - np.arange(
+        total, dtype=np.int64
+    )
+    return flat[mirror]
 
 
 def build_native_g0(
@@ -136,21 +179,27 @@ def build_native_g0(
     length: int,
     seed: int = 0,
     validate: str = "full",
+    engine: str = "vectorized",
 ) -> NativeG0:
     """Build a native ``G0`` with embedded paths and measure one round.
 
-    The construction walks run through the message-passing simulator;
-    everything downstream (path delivery, native-round measurement) goes
-    through the vectorized scheduler, which keeps ``n ~ 256`` practical.
+    The construction walks run through the walk-protocol engine
+    (array-native by default, the per-node scalar oracle with
+    ``engine="scalar"`` — same tape, bit-identical outcome); everything
+    downstream (path delivery, native-round measurement) goes through
+    the vectorized scheduler, which keeps ``n ~ 1024`` and beyond
+    practical.
 
     Args:
         graph: connected base graph.
         walks_per_vnode: construction walks per virtual node.
         degree: out-neighbours kept per virtual node.
         length: walk length (use ``~2 tau_mix``).
-        seed: base seed for per-node randomness.
+        seed: seed of the shared walk-decision tape.
         validate: outbox-validation mode for the simulator (see
-            :meth:`repro.congest.network.Network.run`).
+            :meth:`repro.congest.network.Network.run`; scalar engine
+            only).
+        engine: ``"vectorized"`` or ``"scalar"``.
     """
     if not graph.is_connected():
         raise ValueError("native G0 requires a connected graph")
@@ -158,13 +207,14 @@ def build_native_g0(
     num_vnodes = int(vnode_host.shape[0])
     starts = np.repeat(vnode_host, walks_per_vnode)
     owners = np.repeat(np.arange(num_vnodes), walks_per_vnode)
-    endpoints, walk_paths, build_rounds = _forward_pass_with_paths(
-        graph, starts, length, seed, validate=validate
+    endpoints, path_flat, path_ptr, build_rounds = _forward_pass_with_paths(
+        graph, starts, length, seed, validate=validate, engine=engine
     )
     # The reversal (to tell sources their endpoints) costs about the same
-    # again; run it through schedule_paths on the reversed paths.
-    reverse = schedule_paths(
-        [list(reversed(path)) for path in walk_paths],
+    # again; run it through the scheduler on the row-reversed paths.
+    reverse = schedule_paths_csr(
+        _reverse_rows_csr(path_flat, path_ptr),
+        path_ptr,
         rng=derive_rng(seed, 98),
     )
     build_rounds += reverse.rounds
@@ -188,10 +238,13 @@ def build_native_g0(
         bucket = by_owner.setdefault(owner, {})
         if target not in bucket and len(bucket) < degree:
             bucket[target] = walk_id
+    path_list = path_flat.tolist()
     for owner, bucket in sorted(by_owner.items()):
         for target, walk_id in bucket.items():
             edges.append((owner, target))
-            edge_paths.append(walk_paths[walk_id])
+            edge_paths.append(
+                path_list[int(path_ptr[walk_id]) : int(path_ptr[walk_id + 1])]
+            )
     overlay = Graph(num_vnodes, edges)
     # One native overlay round: a message along every edge, both ways.
     both_ways = edge_paths + [list(reversed(p)) for p in edge_paths]
@@ -219,13 +272,17 @@ def _oriented_arc_paths(g0: NativeG0) -> list[list[int]]:
     """
     overlay = g0.overlay
     num_edges = len(g0.edge_paths)
+    # arc_tails is a rebuilt-per-access property: hoist it (indexing it
+    # inside the loop re-materialized the whole array once per arc).
+    arc_tails = overlay.arc_tails
+    arc_edge = overlay.arc_edge
     arc_paths: list[list[int] | None] = [None] * overlay.num_arcs
     for arc in range(overlay.num_arcs):
-        eid = int(overlay.arc_edge[arc])
+        eid = int(arc_edge[arc])
         if eid >= num_edges:
             continue
         path = g0.edge_paths[eid]
-        tail_host = int(g0.vnode_host[overlay.arc_tails[arc]])
+        tail_host = int(g0.vnode_host[arc_tails[arc]])
         if tail_host == path[0]:
             arc_paths[arc] = path
         elif tail_host == path[-1]:
@@ -264,7 +321,10 @@ def _assemble_chains(
     """
     num_walks = int(owners.shape[0])
     # Flatten every arc segment (the path minus its first node, which is
-    # the walk's current host whenever the arc is taken).
+    # the walk's current host whenever the arc is taken).  Node ids fit
+    # int32 by a wide margin; the chain arrays are the largest objects
+    # this builder touches, so the narrow dtype halves the memory
+    # traffic of every gather below.
     seg_lists = [path[1:] for path in arc_paths]
     seg_len = np.fromiter(
         map(len, seg_lists), dtype=np.int64, count=len(seg_lists)
@@ -273,7 +333,7 @@ def _assemble_chains(
     np.cumsum(seg_len, out=seg_offsets[1:])
     seg_flat = np.fromiter(
         _chain.from_iterable(seg_lists),
-        dtype=np.int64,
+        dtype=np.int32,
         count=int(seg_offsets[-1]),
     )
     # Crossing events, ordered walk-major then step-major — the order the
@@ -287,11 +347,14 @@ def _assemble_chains(
     ev_cum = np.zeros(ev_len.shape[0] + 1, dtype=np.int64)
     np.cumsum(ev_len, out=ev_cum[1:])
     total_content = int(ev_cum[-1])
-    # Gather all segment nodes in event order (CSR expansion).
-    within = np.arange(total_content, dtype=np.int64) - np.repeat(
-        ev_cum[:-1], ev_len
-    )
-    content = seg_flat[np.repeat(seg_offsets[ev_arcs], ev_len) + within]
+    # Gather all segment nodes in event order (CSR expansion): element j
+    # of event e sits at seg_offsets[arc_e] + (j - ev_cum[e]), so one
+    # fused repeat of the per-event base plus a single iota covers the
+    # whole gather.
+    iota = np.arange(total_content, dtype=np.int64)
+    content = seg_flat[
+        np.repeat(seg_offsets[ev_arcs] - ev_cum[:-1], ev_len) + iota
+    ]
     # Interleave with the per-walk start hosts: exactly one start node
     # precedes each walk's content, so content element j lands at global
     # position j + (its walk index) + 1.
@@ -300,14 +363,12 @@ def _assemble_chains(
     walk_extra = ev_cum[ev_ptr[1:]] - ev_cum[ev_ptr[:-1]]
     offsets = np.zeros(num_walks + 1, dtype=np.int64)
     np.cumsum(walk_extra + 1, out=offsets[1:])
-    nodes = np.empty(int(offsets[-1]), dtype=np.int64)
+    nodes = np.empty(int(offsets[-1]), dtype=np.int32)
     starts_at = offsets[:-1]
     nodes[starts_at] = g0.vnode_host[owners]
     if total_content:
         rep_walks = np.repeat(ev_walks, ev_len)
-        nodes[
-            np.arange(total_content, dtype=np.int64) + rep_walks + 1
-        ] = content
+        nodes[iota + rep_walks + 1] = content
     # Compress consecutive duplicates within each walk (walk boundaries
     # always survive).
     keep = np.ones(nodes.shape[0], dtype=bool)
@@ -341,7 +402,12 @@ class WalkReplay:
 
 
 def replay_walk_run(
-    graph: Graph, run, validate: str = "full", faults=None, context=None
+    graph: Graph,
+    run,
+    validate: str = "full",
+    faults=None,
+    context=None,
+    workers: int = 1,
 ) -> WalkReplay:
     """Execute a recorded walk batch through the CONGEST simulator.
 
@@ -366,6 +432,9 @@ def replay_walk_run(
             clean charge; the surplus is the measured fault overhead.
         context: optional :class:`repro.runtime.RunContext` that the
             reliable path charges ``faults/retry-rounds`` to.
+        workers: delivery processes per step (see
+            :meth:`repro.congest.network.Network.run`); round accounting
+            is unchanged.  Ignored under active faults.
 
     Returns:
         A :class:`WalkReplay` with the executed round/message counts.
@@ -398,6 +467,7 @@ def replay_walk_run(
             validate=validate,
             faults=faults,
             context=context,
+            workers=workers,
         )
         per_step.append(rounds)
         messages += sent
@@ -484,18 +554,23 @@ def build_native_level1(
             bucket.add(position)
             edges.append((vnode, position))
             edge_path_walks.append(int(walk_id))
+    # Schedule every traversing chain straight from the CSR (row order
+    # and the >1-node filter match the old list-of-lists construction,
+    # so the permutation draw — and hence the rounds — are unchanged).
+    lens = np.diff(chain_offsets)
+    traversing = lens > 1
+    trav_offsets = np.zeros(int(traversing.sum()) + 1, dtype=np.int64)
+    np.cumsum(lens[traversing], out=trav_offsets[1:])
+    build = schedule_paths_csr(
+        chains[np.repeat(traversing, lens)],
+        trav_offsets,
+        rng=derive_rng(seed, 1),
+    )
     flat = chains.tolist()
     edge_paths: list[list[int]] = [
-        flat[chain_offsets[w] : chain_offsets[w + 1]] for w in edge_path_walks
+        flat[int(chain_offsets[w]) : int(chain_offsets[w + 1])]
+        for w in edge_path_walks
     ]
-    all_traversals = [
-        flat[chain_offsets[w] : chain_offsets[w + 1]]
-        for w in range(num_walks)
-        if chain_offsets[w + 1] - chain_offsets[w] > 1
-    ]
-    build = schedule_paths(
-        all_traversals, rng=derive_rng(seed, 1)
-    )
     both_ways = edge_paths + [list(reversed(p)) for p in edge_paths]
     native_round = schedule_paths(
         [path for path in both_ways if len(path) > 1],

@@ -5,38 +5,44 @@ many walk tokens forward for ``~tau_mix`` steps — queuing on edges, one
 token per edge per direction per round — while *every node remembers in
 which direction it forwarded each token*; then run the tokens backwards
 along the remembered directions to tell the sources where their walks
-ended.  The vectorized engines simulate this implicitly; this module
-executes it, message by message, on the CONGEST simulator:
+ended.
 
-* **Forward pass**: a token ``(walk_id, ttl)`` performs lazy steps; a
-  stay consumes a step immediately, a move enqueues the token on the
-  chosen edge (FIFO, one token per edge-direction per round) and the step
-  completes when it crosses.  Each crossing is recorded by the receiving
-  node (a visit stack per walk, since walks may revisit nodes).
-* **Reverse pass**: endpoints launch the tokens back; every node pops
-  its visit stack for the walk and forwards the token to where it came
-  from, under the same edge-capacity queueing.
+Two engines execute that mechanic:
 
-The test suite checks that every token returns exactly to its origin —
-the property the overlay construction depends on — and that endpoints
-are near-stationary.
+* the **scalar oracle** — one :class:`~repro.congest.walk_state.
+  ForwardWalkNode`/:class:`~repro.congest.walk_state.ReverseWalkNode`
+  per node, message by message, on the CONGEST simulator; and
+* the **vectorized engine** (:mod:`repro.congest.walk_engine_vec`) —
+  the same execution as flat-array gather/scatter, seed-for-seed and
+  round-for-round identical.
+
+Both read every lazy-step decision off one shared
+:class:`~repro.congest.walk_state.WalkTape`, which is what makes the
+equivalence exact rather than merely distributional.  The dispatch
+lives in :func:`run_walk_protocol` (``engine="auto"`` picks the
+vectorized engine whenever the fault mode allows it); the test suite
+checks both that every token returns exactly to its origin — the
+property the overlay construction depends on — and that the two
+engines' outcomes are bit-identical.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..graphs.graph import Graph
-from ..rng import derive_rng
 from .detector import MAX_WAIT_ROUNDS, CrashView, crash_view
 from .faults import DeliveryTimeout, FaultPlan
-from .network import CongestViolation, Network, NodeAlgorithm
+from .network import CongestViolation, Network
+from .walk_engine_vec import run_walk_protocol_vec
+from .walk_state import ForwardWalkNode, ReverseWalkNode, WalkState, WalkTape
 
 __all__ = ["WalkProtocolOutcome", "run_walk_protocol"]
+
+_ENGINES = ("auto", "scalar", "vectorized")
 
 
 @dataclass
@@ -66,148 +72,6 @@ class WalkProtocolOutcome:
     orphaned: tuple = ()
 
 
-@dataclass
-class _WalkState:
-    """Per-node protocol state shared between the two passes."""
-
-    rng: np.random.Generator
-    visit_stack: dict[int, list[int]]  # walk_id -> senders, in visit order
-    finished_here: dict[int, int]  # walk_id -> remaining ttl (== 0)
-
-
-class _SelfHealMixin:
-    """Crash-aware emission shared by the two walk-pass nodes.
-
-    With a failure-detector ``view``, a node holds a departure while the
-    *delivery* round (emission round + 1) falls inside a crash window of
-    either endpoint: a copy sent into a window is lost on the unreliable
-    walk wire, and the walk protocol (unlike the ARQ layer) never
-    retransmits.  Without a view every check is a no-op, so the
-    fail-fast path is untouched, decision for decision.
-    """
-
-    view: Optional[CrashView] = None
-    parked = 0
-
-    def _blocked(self, target: int, round_number: int) -> bool:
-        if self.view is None:
-            return False
-        delivery = round_number + 1
-        if self.view.down_until(self.context.node_id, delivery) >= 0:
-            return True
-        return self.view.down_until(target, delivery) >= 0
-
-
-class _ForwardNode(_SelfHealMixin, NodeAlgorithm):
-    """Forward pass: lazy-step tokens with per-edge FIFO queues."""
-
-    def __init__(
-        self,
-        context,
-        state: _WalkState,
-        initial_tokens,
-        view: Optional[CrashView] = None,
-        avoid: frozenset = frozenset(),
-    ):
-        super().__init__(context)
-        self.state = state
-        self.view = view
-        # Permanently crashed neighbours: walks step around them (the
-        # walk continues on the live subgraph instead of vanishing).
-        self.live_neighbors = tuple(
-            v for v in context.neighbors if int(v) not in avoid
-        )
-        self.queues: dict[int, deque] = {}
-        for walk_id, ttl in initial_tokens:
-            self._admit(walk_id, ttl)
-
-    def _admit(self, walk_id: int, ttl: int) -> None:
-        """Perform stays locally; enqueue the token once it must move."""
-        neighbors = self.live_neighbors
-        degree = len(neighbors)
-        while ttl > 0:
-            if degree == 0 or self.state.rng.random() < 0.5:
-                ttl -= 1  # lazy stay
-                continue
-            target = int(
-                neighbors[self.state.rng.integers(0, degree)]
-            )
-            self.queues.setdefault(target, deque()).append((walk_id, ttl))
-            return
-        self.state.finished_here[walk_id] = 0
-
-    def _outbox(self, round_number: int) -> Mapping[int, tuple]:
-        outbox = {}
-        for target in list(self.queues):
-            queue = self.queues[target]
-            if queue and not self._blocked(target, round_number):
-                walk_id, ttl = queue.popleft()
-                outbox[target] = ("walk", walk_id, ttl)
-            elif queue:
-                self.parked += 1
-            if not queue:
-                del self.queues[target]
-        self.finished = not self.queues
-        return outbox
-
-    def initialize(self) -> Mapping[int, tuple]:
-        return self._outbox(0)
-
-    def receive(self, round_number, inbox) -> Mapping[int, tuple]:
-        for sender, payload in inbox.items():
-            __, walk_id, ttl = payload
-            self.state.visit_stack.setdefault(walk_id, []).append(sender)
-            self._admit(walk_id, ttl - 1)
-        return self._outbox(round_number)
-
-
-class _ReverseNode(_SelfHealMixin, NodeAlgorithm):
-    """Reverse pass: pop the visit stack and send the token back."""
-
-    def __init__(
-        self,
-        context,
-        state: _WalkState,
-        view: Optional[CrashView] = None,
-    ):
-        super().__init__(context)
-        self.state = state
-        self.view = view
-        self.queues: dict[int, deque] = {}
-        self.home_tokens: list[int] = []
-        for walk_id in state.finished_here:
-            self._bounce(walk_id)
-
-    def _bounce(self, walk_id: int) -> None:
-        stack = self.state.visit_stack.get(walk_id)
-        if stack:
-            sender = stack.pop()
-            self.queues.setdefault(sender, deque()).append(walk_id)
-        else:
-            self.home_tokens.append(walk_id)  # back at the origin
-
-    def _outbox(self, round_number: int) -> Mapping[int, tuple]:
-        outbox = {}
-        for target in list(self.queues):
-            queue = self.queues[target]
-            if queue and not self._blocked(target, round_number):
-                outbox[target] = ("back", queue.popleft())
-            elif queue:
-                self.parked += 1
-            if not queue:
-                del self.queues[target]
-        self.finished = not self.queues
-        return outbox
-
-    def initialize(self) -> Mapping[int, tuple]:
-        return self._outbox(0)
-
-    def receive(self, round_number, inbox) -> Mapping[int, tuple]:
-        for __, payload in inbox.items():
-            self._bounce(int(payload[1]))
-        return self._outbox(round_number)
-
-
 def _run_pass(
     network: Network,
     algorithms,
@@ -216,6 +80,7 @@ def _run_pass(
     faults: Optional[FaultPlan],
     stage: str,
     extra_rounds: int = 0,
+    workers: int = 1,
 ):
     """One protocol pass; round-budget exhaustion under faults becomes a
     diagnosable :class:`DeliveryTimeout` (a crash window can wedge an
@@ -228,6 +93,7 @@ def _run_pass(
             max_rounds=max_rounds,
             validate=validate,
             faults=faults,
+            workers=workers,
         )
     except CongestViolation:
         raise
@@ -241,6 +107,75 @@ def _run_pass(
         ) from error
 
 
+def _check_lost(
+    endpoints: np.ndarray,
+    starts: np.ndarray,
+    orphan_set: set,
+    faults: Optional[FaultPlan],
+) -> None:
+    """Raise if the faulty wire swallowed any non-orphan forward token."""
+    if faults is None:
+        return
+    lost = np.flatnonzero(endpoints < 0)
+    lost = np.asarray(
+        [w for w in lost.tolist() if w not in orphan_set],
+        dtype=np.int64,
+    )
+    if lost.size:
+        raise DeliveryTimeout(
+            f"walk-forward: the faulty wire lost {lost.size}/"
+            f"{starts.shape[0]} walk token(s): walks "
+            f"{lost[:8].tolist()}{'...' if lost.size > 8 else ''}",
+            undelivered=[(int(starts[w]), -1) for w in lost[:64]],
+            stage="walk-forward",
+        )
+
+
+def _check_astray(
+    returned: np.ndarray,
+    starts: np.ndarray,
+    orphan_set: set,
+    faults: Optional[FaultPlan],
+) -> None:
+    """Raise if any non-orphan token failed to return to its origin."""
+    if faults is None:
+        return
+    astray = np.flatnonzero(returned != starts)
+    astray = np.asarray(
+        [w for w in astray.tolist() if w not in orphan_set],
+        dtype=np.int64,
+    )
+    if astray.size:
+        raise DeliveryTimeout(
+            f"walk-reverse: {astray.size}/{starts.shape[0]} walk "
+            f"token(s) failed to return to their origin under "
+            f"faults: walks {astray[:8].tolist()}"
+            f"{'...' if astray.size > 8 else ''}",
+            undelivered=[
+                (int(returned[w]), int(starts[w])) for w in astray[:64]
+            ],
+            stage="walk-reverse",
+        )
+
+
+def _vec_handles(faults: Optional[FaultPlan], self_heal: bool) -> bool:
+    """Whether the array engine covers this fault mode exactly.
+
+    Fault-free runs always qualify.  Crash-only plans qualify under
+    self-heal: they draw nothing from the sequential per-message link
+    stream (``link_copies`` short-circuits at rate 0) and the blocking
+    crash view makes every emission deliverable, so the array engine
+    sees the identical execution.  Wire-level rates (drop/dup/delay)
+    and fail-fast crash runs need the per-message RNG — scalar only.
+    """
+    if faults is None:
+        return True
+    spec = faults.spec
+    if spec.drop or spec.duplicate or spec.delay:
+        return False
+    return self_heal
+
+
 def run_walk_protocol(
     graph: Graph,
     starts: np.ndarray,
@@ -252,6 +187,8 @@ def run_walk_protocol(
     view: Optional[CrashView] = None,
     context=None,
     max_wait: int = MAX_WAIT_ROUNDS,
+    engine: str = "auto",
+    workers: int = 1,
 ) -> WalkProtocolOutcome:
     """Execute the forward+reverse walk protocol on ``graph``.
 
@@ -259,9 +196,12 @@ def run_walk_protocol(
         graph: the network.
         starts: origin node per walk token.
         length: lazy steps per walk.
-        seed: base seed for the per-node randomness.
+        seed: seed of the shared decision tape (one stream for the whole
+            batch; both engines index it identically).
         validate: outbox-validation mode passed to
-            :meth:`repro.congest.network.Network.run`.
+            :meth:`repro.congest.network.Network.run` (scalar engine
+            only — the array engine sends along graph edges by
+            construction).
         faults: optional :class:`~repro.congest.faults.FaultPlan`.  The
             walk tokens themselves are *not* retransmitted (the protocol
             is the paper's, verbatim); instead any walk the faulty wire
@@ -283,6 +223,13 @@ def run_walk_protocol(
             ``recovery/wait``.
         max_wait: crash windows ending after this round count as
             permanent (their nodes are avoided, not waited for).
+        engine: ``"auto"`` (vectorized whenever the fault mode allows,
+            else scalar), ``"scalar"`` (the per-node oracle), or
+            ``"vectorized"`` (raises if the fault mode needs the scalar
+            path).
+        workers: delivery shards for the scalar engine's
+            :meth:`Network.run` (ignored by the vectorized engine,
+            which has no per-node message loop to shard).
 
     Returns:
         A :class:`WalkProtocolOutcome`; ``returned_to`` equals ``starts``
@@ -296,7 +243,12 @@ def run_walk_protocol(
             f"recovery must be 'fail-fast' or 'self-heal', "
             f"got {recovery!r}"
         )
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"engine must be one of {_ENGINES}, got {engine!r}"
+        )
     n = graph.num_nodes
+    num_walks = int(starts.shape[0])
     self_heal = (
         recovery == "self-heal"
         and faults is not None
@@ -321,85 +273,94 @@ def run_walk_protocol(
         ]
     else:
         view = None
-    network = Network(graph)
-    states = [
-        _WalkState(
-            rng=derive_rng(seed, v),
-            visit_stack={},
-            finished_here={},
+    vec_ok = _vec_handles(faults, self_heal)
+    if engine == "vectorized" and not vec_ok:
+        raise ValueError(
+            "engine='vectorized' covers fault-free runs and crash-only "
+            "plans under recovery='self-heal'; wire-level fault rates "
+            "and fail-fast crash runs need engine='scalar' (or 'auto')"
         )
-        for v in range(n)
-    ]
+    use_vec = engine == "vectorized" or (engine == "auto" and vec_ok)
+    tape = WalkTape.sample(seed, num_walks, length)
     orphan_set = set(orphaned)
-    per_node_tokens: list[list[tuple[int, int]]] = [[] for _ in range(n)]
-    for walk_id, origin in enumerate(starts):
-        if walk_id in orphan_set:
-            continue
-        per_node_tokens[int(origin)].append((walk_id, length))
-    forward = [
-        _ForwardNode(
-            network.context(v), states[v], per_node_tokens[v],
-            view=view, avoid=dead,
-        )
-        for v in range(n)
-    ]
-    forward_stats = _run_pass(
-        network, forward, length, validate, faults,
-        stage="walk-forward", extra_rounds=extra_rounds,
-    )
-    endpoints = np.full(starts.shape[0], -1, dtype=np.int64)
-    for v, state in enumerate(states):
-        for walk_id in state.finished_here:
-            endpoints[walk_id] = v
-    if faults is not None:
-        lost = np.flatnonzero(endpoints < 0)
-        lost = np.asarray(
-            [w for w in lost.tolist() if w not in orphan_set],
-            dtype=np.int64,
-        )
-        if lost.size:
-            raise DeliveryTimeout(
-                f"walk-forward: the faulty wire lost {lost.size}/"
-                f"{starts.shape[0]} walk token(s): walks "
-                f"{lost[:8].tolist()}{'...' if lost.size > 8 else ''}",
-                undelivered=[
-                    (int(starts[w]), -1) for w in lost[:64]
-                ],
-                stage="walk-forward",
+    max_rounds = 10000 * (length + 1) + extra_rounds
+
+    if use_vec:
+        active = np.ones(num_walks, dtype=bool)
+        if orphaned:
+            active[np.asarray(orphaned, dtype=np.int64)] = False
+        try:
+            vec = run_walk_protocol_vec(
+                graph, starts, tape,
+                view=view, dead=dead, active=active,
+                max_rounds=max_rounds,
             )
-    reverse = [
-        _ReverseNode(network.context(v), states[v], view=view)
-        for v in range(n)
-    ]
-    reverse_stats = _run_pass(
-        network, reverse, length, validate, faults,
-        stage="walk-reverse", extra_rounds=extra_rounds,
-    )
-    returned = np.full(starts.shape[0], -1, dtype=np.int64)
-    for v, algorithm in enumerate(reverse):
-        for walk_id in algorithm.home_tokens:
-            returned[walk_id] = v
-    if faults is not None:
-        astray = np.flatnonzero(returned != starts)
-        astray = np.asarray(
-            [w for w in astray.tolist() if w not in orphan_set],
-            dtype=np.int64,
-        )
-        if astray.size:
+        except RuntimeError as error:
+            if faults is None:
+                raise
             raise DeliveryTimeout(
-                f"walk-reverse: {astray.size}/{starts.shape[0]} walk "
-                f"token(s) failed to return to their origin under "
-                f"faults: walks {astray[:8].tolist()}"
-                f"{'...' if astray.size > 8 else ''}",
-                undelivered=[
-                    (int(returned[w]), int(starts[w])) for w in astray[:64]
-                ],
-                stage="walk-reverse",
+                f"walk-protocol: round budget ({max_rounds}) exhausted "
+                f"under faults — a crash window likely outlived the "
+                f"protocol",
+                stage="walk-protocol",
+            ) from error
+        endpoints = vec.endpoints
+        returned = vec.returned_to
+        forward_rounds = vec.forward_rounds
+        reverse_rounds = vec.reverse_rounds
+        messages = vec.messages
+        parked = vec.parked
+    else:
+        network = Network(graph)
+        states = [WalkState() for _ in range(n)]
+        per_node_tokens: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        for walk_id, origin in enumerate(starts):
+            if walk_id in orphan_set:
+                continue
+            per_node_tokens[int(origin)].append((walk_id, length))
+        forward = [
+            ForwardWalkNode(
+                network.context(v), states[v], tape, per_node_tokens[v],
+                view=view, avoid=dead,
             )
-    if self_heal and context is not None:
+            for v in range(n)
+        ]
+        forward_stats = _run_pass(
+            network, forward, length, validate, faults,
+            stage="walk-forward", extra_rounds=extra_rounds,
+            workers=workers,
+        )
+        endpoints = np.full(num_walks, -1, dtype=np.int64)
+        for v, state in enumerate(states):
+            for walk_id in state.finished_here:
+                endpoints[walk_id] = v
+        # A swallowed forward token surfaces before the reversal starts,
+        # exactly as the scalar protocol always has.
+        _check_lost(endpoints, starts, orphan_set, faults)
+        reverse = [
+            ReverseWalkNode(network.context(v), states[v], view=view)
+            for v in range(n)
+        ]
+        reverse_stats = _run_pass(
+            network, reverse, length, validate, faults,
+            stage="walk-reverse", extra_rounds=extra_rounds,
+            workers=workers,
+        )
+        returned = np.full(num_walks, -1, dtype=np.int64)
+        for v, algorithm in enumerate(reverse):
+            for walk_id in algorithm.home_tokens:
+                returned[walk_id] = v
+        forward_rounds = forward_stats.rounds
+        reverse_rounds = reverse_stats.rounds
+        messages = forward_stats.messages + reverse_stats.messages
         parked = sum(a.parked for a in forward) + sum(
             a.parked for a in reverse
         )
+
+    if use_vec:
+        _check_lost(endpoints, starts, orphan_set, faults)
+    _check_astray(returned, starts, orphan_set, faults)
+    if self_heal and context is not None:
         context.charge(
             "recovery/wait",
             float(parked),
@@ -412,8 +373,8 @@ def run_walk_protocol(
         starts=starts,
         endpoints=endpoints,
         returned_to=returned,
-        forward_rounds=forward_stats.rounds,
-        reverse_rounds=reverse_stats.rounds,
-        messages=forward_stats.messages + reverse_stats.messages,
+        forward_rounds=forward_rounds,
+        reverse_rounds=reverse_rounds,
+        messages=messages,
         orphaned=tuple(orphaned),
     )

@@ -154,7 +154,10 @@ class LedgerCoverageRule(ProgramRule):
     )
 
     _CHARGE_ATTRS = {"charge", "absorb_ledger"}
-    _RUN_EXECUTORS = ("replay_walk_run",)
+    # simulate_walk_timing is the array engine's round executor: it plays
+    # the queue/wire dynamics without a Network, so its rounds need the
+    # same coverage as a simulator run.
+    _RUN_EXECUTORS = ("replay_walk_run", "simulate_walk_timing")
 
     def check(self, program: Program) -> Iterator[Finding]:
         direct: Dict[str, List[CallSite]] = {

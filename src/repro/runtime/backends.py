@@ -219,9 +219,11 @@ class NativeBackend(Backend):
         context: RunContext,
         beta: Optional[int] = None,
         validate: str = "full",
+        workers: int = 1,
     ) -> None:
         super().__init__(graph, context, beta=beta)
         self.validate = validate
+        self.workers = int(workers)
         self.executed_rounds = 0
         self.executed_messages = 0
 
@@ -244,7 +246,8 @@ class NativeBackend(Backend):
             # replaced by surplus accounting, not silently skipped.
             plan = self.context.fault_plan
             replay = replay_walk_run(
-                graph, run, validate=self.validate, faults=plan
+                graph, run, validate=self.validate, faults=plan,
+                workers=self.workers,
             )
             charged = run.schedule_rounds()
             if plan is None:
@@ -287,11 +290,12 @@ def make_backend(
     context: RunContext,
     beta: Optional[int] = None,
     validate: str = "full",
+    workers: int = 1,
 ) -> Backend:
     """Instantiate a backend by name (``"oracle"`` or ``"native"``).
 
-    ``validate`` only applies to the native backend (the oracle has no
-    message passing to validate).
+    ``validate`` and ``workers`` only apply to the native backend (the
+    oracle has no message passing to validate or shard).
     """
     try:
         cls = BACKENDS[name]
@@ -300,5 +304,7 @@ def make_backend(
             f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
         ) from None
     if cls is NativeBackend:
-        return cls(graph, context, beta=beta, validate=validate)
+        return cls(
+            graph, context, beta=beta, validate=validate, workers=workers
+        )
     return cls(graph, context, beta=beta)

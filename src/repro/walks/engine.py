@@ -16,7 +16,56 @@ import numpy as np
 
 from ..graphs.graph import Graph
 
-__all__ = ["WalkRun", "run_lazy_walks", "run_regular_walks"]
+__all__ = [
+    "WalkRun",
+    "advance_lazy_step",
+    "run_lazy_walks",
+    "run_regular_walks",
+]
+
+
+def advance_lazy_step(
+    positions: np.ndarray,
+    move: np.ndarray,
+    choice_u: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+    num_arcs: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Advance all walks one lazy step over a CSR adjacency.
+
+    The shared inner step of every walk engine in this repo —
+    :func:`run_lazy_walks` here and the trajectory presampler in
+    :mod:`repro.congest.walk_engine_vec` — so the arc choice is the
+    *same arithmetic* everywhere: ``floor(u * degree)`` with the uniform
+    ``choice_u``, truncated exactly like the scalar protocol's
+    ``int(u * degree)``.
+
+    Args:
+        positions: current node per walk.
+        move: per walk, whether it moves this step; must already fold in
+            the stay coin AND the degree-0 guard.
+        choice_u: uniform draw in ``[0, 1)`` per walk (consumed even for
+            stays — the caller's draw order is part of its contract).
+        indptr: CSR row pointers of the (possibly filtered) adjacency.
+        indices: CSR neighbour array.
+        degrees: out-degree per node in that adjacency.
+        num_arcs: ``len(indices)`` (0 allowed: nothing moves).
+
+    Returns:
+        ``(new_positions, chosen_arcs)`` — the arc indices are
+        meaningful only where ``move`` is True but stay in bounds
+        everywhere, so callers can gather congestion stats unmasked.
+    """
+    offsets = (choice_u * degrees[positions]).astype(np.int64)
+    chosen_arcs = indptr[positions] + offsets
+    # Degree-0 positions never move, but their (meaningless) arc index
+    # must stay in bounds for the vectorized gather.
+    chosen_arcs = np.minimum(chosen_arcs, max(0, num_arcs - 1))
+    if num_arcs:
+        positions = np.where(move, indices[chosen_arcs], positions)
+    return positions, chosen_arcs
 
 
 @dataclass
@@ -107,15 +156,10 @@ def run_lazy_walks(
     for _ in range(steps):
         move = rng.random(positions.shape[0]) < 0.5
         move &= degrees[positions] > 0
-        offsets = (
-            rng.random(positions.shape[0]) * degrees[positions]
-        ).astype(np.int64)
-        chosen_arcs = indptr[positions] + offsets
-        # Degree-0 positions never move, but their (meaningless) arc index
-        # must stay in bounds for the vectorized gather.
-        chosen_arcs = np.minimum(chosen_arcs, max(0, graph.num_arcs - 1))
-        if graph.num_arcs:
-            positions = np.where(move, graph.indices[chosen_arcs], positions)
+        positions, chosen_arcs = advance_lazy_step(
+            positions, move, rng.random(positions.shape[0]),
+            indptr, graph.indices, degrees, graph.num_arcs,
+        )
         congestion, node_load = _step_stats(graph, positions, chosen_arcs, move)
         run.edge_congestion.append(congestion)
         run.max_node_load.append(node_load)

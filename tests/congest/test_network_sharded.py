@@ -1,0 +1,159 @@
+"""Sharded ``Network.run`` is observationally identical to one process.
+
+``Network.run(workers>1)`` forks the per-node ``receive`` work across
+processes but keeps delivery, accounting and termination on the master
+at the round barrier, so the claim is exact: same :class:`RunStats`
+(round-for-round), same node results, regardless of worker count.
+Hypothesis drives random graphs, payload schedules and worker counts
+through that claim; the walk protocol and demand forwarding then check
+it end-to-end through their own ``workers`` plumbing.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest import Network, NodeAlgorithm
+from repro.congest.forwarding import forward_demands
+from repro.congest.walk_protocol import run_walk_protocol
+from repro.graphs import hypercube, random_regular, ring_graph
+from repro.rng import derive_rng
+
+sharded_settings = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class _Gossip(NodeAlgorithm):
+    """Flood the max node id seen for a fixed number of hops.
+
+    Deterministic, touches every node every round, and carries per-node
+    state (``best``) that the sharded path must ship back to the master
+    for ``result()`` to be correct.
+    """
+
+    def __init__(self, context, hops):
+        super().__init__(context)
+        self.hops = hops
+        self.best = context.node_id
+
+    def initialize(self):
+        if self.hops == 0:
+            self.finished = True
+            return {}
+        return {w: (self.best,) for w in self.context.neighbors}
+
+    def receive(self, round_number, inbox):
+        for (value,) in inbox.values():
+            if value > self.best:
+                self.best = value
+        if round_number >= self.hops:
+            self.finished = True
+            return {}
+        return {w: (self.best,) for w in self.context.neighbors}
+
+    def result(self):
+        return self.best
+
+
+def _stats_tuple(stats):
+    return (
+        stats.rounds,
+        stats.messages,
+        stats.max_messages_per_round,
+        tuple(stats.per_round_messages),
+    )
+
+
+@st.composite
+def gossip_cases(draw):
+    n = draw(st.integers(min_value=4, max_value=24))
+    degree = draw(st.sampled_from([2, 4]))
+    if degree >= n:
+        degree = 2
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    graph = random_regular(n, degree, derive_rng(seed))
+    hops = draw(st.integers(min_value=0, max_value=5))
+    workers = draw(st.integers(min_value=2, max_value=4))
+    return graph, hops, workers
+
+
+class TestShardedRunProperty:
+    @sharded_settings
+    @given(gossip_cases())
+    def test_stats_and_results_match_single_process(self, case):
+        graph, hops, workers = case
+        outcomes = []
+        for count in (1, workers):
+            net = Network(graph)
+            algorithms = [
+                _Gossip(net.context(v), hops)
+                for v in range(graph.num_nodes)
+            ]
+            stats = net.run(algorithms, workers=count)
+            outcomes.append(
+                (
+                    _stats_tuple(stats),
+                    [a.result() for a in algorithms],
+                    [a.finished for a in algorithms],
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    @sharded_settings
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_walk_protocol_rounds_invariant(self, seed, workers):
+        # The satellite claim in one property: the scalar protocol's
+        # CONGEST round counts do not depend on the worker count.
+        graph = random_regular(18, 4, derive_rng(seed))
+        rng = derive_rng(seed, 77)
+        starts = rng.integers(
+            0, graph.num_nodes, size=int(rng.integers(2, 16))
+        )
+        length = int(rng.integers(1, 8))
+        runs = [
+            run_walk_protocol(
+                graph,
+                starts,
+                length,
+                seed=seed,
+                engine="scalar",
+                workers=count,
+            )
+            for count in (1, workers)
+        ]
+        assert runs[0].forward_rounds == runs[1].forward_rounds
+        assert runs[0].reverse_rounds == runs[1].reverse_rounds
+        assert runs[0].messages == runs[1].messages
+        assert np.array_equal(runs[0].endpoints, runs[1].endpoints)
+        assert np.array_equal(runs[0].returned_to, runs[1].returned_to)
+
+
+class TestShardedForwarding:
+    def test_forward_demands_matches_single_process(self):
+        # One-hop demands, several per edge so queues actually form.
+        graph = hypercube(5)
+        rng = derive_rng(11)
+        base = np.arange(graph.num_nodes, dtype=np.int64)
+        origins = np.concatenate([base, base, base])
+        picks = rng.integers(0, 5, size=origins.shape[0])
+        targets = graph.indices[graph.indptr[origins] + picks]
+        results = [
+            forward_demands(graph, origins, targets, workers=count)
+            for count in (1, 3)
+        ]
+        assert results[0] == results[1]
+        assert results[0][0] >= 3  # at least one edge carries 3 demands
+
+    def test_single_node_graph_ignores_workers(self):
+        graph = ring_graph(3)
+        net = Network(graph)
+        algorithms = [_Gossip(net.context(v), 2) for v in range(3)]
+        stats = net.run(algorithms, workers=8)
+        assert stats.rounds == 2
+        assert [a.result() for a in algorithms] == [2, 2, 2]

@@ -1,0 +1,271 @@
+"""Seed-for-seed equivalence of the array walk engine and the oracle.
+
+The vectorized engine (:mod:`repro.congest.walk_engine_vec`) claims to
+execute the *identical* protocol the per-node scalar simulation runs —
+same decision tape, same queues, same rounds.  This suite holds it to
+that: every comparison here is exact equality (endpoints, return nodes,
+round counts, message counts, ledger charges, orphan sets), never a
+distributional check, across clean runs, crash plans under self-heal,
+and the native G0 construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.congest.faults import (
+    CrashWindow,
+    DeliveryTimeout,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.congest.native import build_native_g0
+from repro.congest.walk_protocol import run_walk_protocol
+from repro.graphs import (
+    barbell_graph,
+    grid_torus,
+    hypercube,
+    random_regular,
+    ring_graph,
+    star_graph,
+)
+from repro.rng import derive_rng
+from repro.runtime.context import RunContext
+
+
+def assert_outcomes_equal(a, b):
+    """Exact equality of two WalkProtocolOutcome values."""
+    assert np.array_equal(a.endpoints, b.endpoints)
+    assert np.array_equal(a.returned_to, b.returned_to)
+    assert a.forward_rounds == b.forward_rounds
+    assert a.reverse_rounds == b.reverse_rounds
+    assert a.messages == b.messages
+    assert a.orphaned == b.orphaned
+
+
+GRAPH_FACTORIES = [
+    lambda: ring_graph(11),
+    lambda: hypercube(4),
+    lambda: star_graph(9),
+    lambda: barbell_graph(5, 2),
+    lambda: grid_torus(4, 5),
+    lambda: random_regular(30, 4, derive_rng(5)),
+]
+
+
+class TestCleanEquivalence:
+    @pytest.mark.parametrize("factory", GRAPH_FACTORIES)
+    def test_engines_agree_across_graphs(self, factory):
+        g = factory()
+        rng = derive_rng(21)
+        starts = rng.integers(0, g.num_nodes, size=25)
+        scalar = run_walk_protocol(g, starts, 9, seed=31, engine="scalar")
+        vec = run_walk_protocol(g, starts, 9, seed=31, engine="vectorized")
+        assert_outcomes_equal(scalar, vec)
+        assert np.array_equal(vec.returned_to, np.asarray(starts))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_engines_agree_across_seeds(self, seed):
+        g = random_regular(24, 4, derive_rng(3))
+        rng = derive_rng(seed, 40)
+        walks = int(rng.integers(1, 40))
+        starts = rng.integers(0, g.num_nodes, size=walks)
+        length = int(rng.integers(0, 15))
+        scalar = run_walk_protocol(
+            g, starts, length, seed=seed, engine="scalar"
+        )
+        vec = run_walk_protocol(
+            g, starts, length, seed=seed, engine="vectorized"
+        )
+        assert_outcomes_equal(scalar, vec)
+
+    def test_auto_picks_vectorized_on_clean_runs(self):
+        g = hypercube(4)
+        starts = np.zeros(10, dtype=np.int64)
+        auto = run_walk_protocol(g, starts, 8, seed=5)
+        vec = run_walk_protocol(g, starts, 8, seed=5, engine="vectorized")
+        assert_outcomes_equal(auto, vec)
+
+    def test_duplicate_starts_and_multi_token_queues(self):
+        # Many tokens from one node force deep queues — the FIFO-order
+        # part of the equivalence claim.
+        g = ring_graph(8)
+        starts = np.zeros(30, dtype=np.int64)
+        scalar = run_walk_protocol(g, starts, 12, seed=9, engine="scalar")
+        vec = run_walk_protocol(g, starts, 12, seed=9, engine="vectorized")
+        assert_outcomes_equal(scalar, vec)
+
+
+class TestSelfHealEquivalence:
+    """Crash-only plans under self-heal: the one fault mode the array
+    engine covers, bit for bit — including parked-round charges."""
+
+    def _crash_spec(self, rng):
+        windows = tuple(
+            CrashWindow(
+                count=int(rng.integers(1, 4)),
+                start=int(rng.integers(1, 6)),
+                end=int(rng.integers(6, 14)),
+            )
+            for _ in range(2)
+        )
+        return FaultSpec(crashes=windows)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_crash_self_heal_agrees(self, seed):
+        g = random_regular(30, 4, derive_rng(1))
+        rng = derive_rng(seed, 41)
+        starts = rng.integers(0, g.num_nodes, size=int(rng.integers(4, 30)))
+        length = int(rng.integers(3, 12))
+        spec = self._crash_spec(rng)
+        outcomes = []
+        for engine in ("scalar", "vectorized"):
+            outcomes.append(
+                run_walk_protocol(
+                    g,
+                    starts,
+                    length,
+                    seed=seed,
+                    faults=FaultPlan(spec, derive_rng(seed, 99)),
+                    recovery="self-heal",
+                    engine=engine,
+                )
+            )
+        assert_outcomes_equal(*outcomes)
+
+    def test_parked_charge_identical(self):
+        """The recovery/wait ledger charge — parked-token rounds — is
+        the same number on either engine."""
+        g = random_regular(30, 4, derive_rng(1))
+        ledgers = []
+        for engine in ("scalar", "vectorized"):
+            ctx = RunContext(
+                seed=2, faults="crash=3@rounds:2-9", recovery="self-heal"
+            )
+            starts = derive_rng(2, 41).integers(0, g.num_nodes, size=20)
+            run_walk_protocol(
+                g,
+                starts,
+                8,
+                seed=2,
+                faults=ctx.fault_plan,
+                recovery="self-heal",
+                context=ctx,
+                engine=engine,
+            )
+            ledgers.append(
+                [
+                    (c.label, c.rounds, c.detail)
+                    for c in ctx.ledger.charges
+                ]
+            )
+        assert ledgers[0] == ledgers[1]
+
+    def test_permanent_crash_orphans_agree(self):
+        g = random_regular(24, 4, derive_rng(7))
+        spec = FaultSpec(
+            crashes=(CrashWindow(count=4, start=1, end=1_000_000),)
+        )
+        starts = np.arange(24, dtype=np.int64)
+        outcomes = [
+            run_walk_protocol(
+                g,
+                starts,
+                6,
+                seed=3,
+                faults=FaultPlan(spec, derive_rng(3, 5)),
+                recovery="self-heal",
+                engine=engine,
+            )
+            for engine in ("scalar", "vectorized")
+        ]
+        assert_outcomes_equal(*outcomes)
+        assert outcomes[0].orphaned  # the scenario actually orphans
+
+
+class TestEngineDispatch:
+    def test_vectorized_rejects_drop_rates(self):
+        g = hypercube(3)
+        plan = FaultPlan(FaultSpec(drop=0.2), derive_rng(0))
+        with pytest.raises(ValueError, match="engine='vectorized'"):
+            run_walk_protocol(
+                g,
+                np.zeros(4, dtype=np.int64),
+                5,
+                faults=plan,
+                engine="vectorized",
+            )
+
+    def test_vectorized_rejects_fail_fast_crashes(self):
+        g = hypercube(3)
+        plan = FaultPlan(
+            FaultSpec(crashes=(CrashWindow(count=1, start=1, end=2),)),
+            derive_rng(0),
+        )
+        with pytest.raises(ValueError, match="engine='vectorized'"):
+            run_walk_protocol(
+                g,
+                np.zeros(4, dtype=np.int64),
+                5,
+                faults=plan,
+                recovery="fail-fast",
+                engine="vectorized",
+            )
+
+    def test_unknown_engine_rejected(self):
+        g = hypercube(3)
+        with pytest.raises(ValueError, match="engine"):
+            run_walk_protocol(
+                g, np.zeros(2, dtype=np.int64), 3, engine="turbo"
+            )
+
+    def test_auto_falls_back_to_scalar_under_delay(self):
+        # Wire-level rates need the sequential per-message RNG: auto
+        # must take the scalar path.  A delay-only plan loses nothing,
+        # so that path completes with every token home.
+        g = hypercube(4)
+        plan = FaultPlan(FaultSpec(delay=0.2, max_delay=3), derive_rng(4))
+        outcome = run_walk_protocol(
+            g, np.zeros(6, dtype=np.int64), 4, seed=6, faults=plan
+        )
+        assert np.array_equal(
+            outcome.returned_to, np.zeros(6, dtype=np.int64)
+        )
+
+    def test_auto_under_drop_fails_loudly_via_scalar(self):
+        # Drops lose walk tokens; the scalar path's contract is a
+        # diagnosable DeliveryTimeout — auto must surface that, not the
+        # vectorized engine's ValueError.
+        g = hypercube(4)
+        plan = FaultPlan(FaultSpec(drop=0.3), derive_rng(4))
+        with pytest.raises(DeliveryTimeout):
+            run_walk_protocol(
+                g, np.zeros(6, dtype=np.int64), 4, seed=6, faults=plan
+            )
+
+
+class TestNativeBuildEquivalence:
+    def test_g0_identical_across_engines(self):
+        g = random_regular(32, 4, derive_rng(5))
+        built = [
+            build_native_g0(
+                g,
+                walks_per_vnode=6,
+                degree=4,
+                length=8,
+                seed=2,
+                engine=engine,
+            )
+            for engine in ("scalar", "vectorized")
+        ]
+        scalar, vec = built
+        assert list(scalar.overlay.edges()) == list(vec.overlay.edges())
+        assert scalar.edge_paths == vec.edge_paths
+        assert scalar.build_rounds == vec.build_rounds
+        assert scalar.round_rounds == vec.round_rounds
+
+    def test_unknown_engine_rejected(self):
+        g = random_regular(16, 4, derive_rng(6))
+        with pytest.raises(ValueError, match="engine"):
+            build_native_g0(
+                g, walks_per_vnode=2, degree=2, length=4, engine="warp"
+            )
