@@ -32,6 +32,13 @@ rows record what each recovery mechanism costs.
 ``BENCH_PR7.json``: scalar-vs-array walk protocol (verified bit-equal
 before reporting), the native hierarchy build at n = 512/1024, and a
 sharded-delivery worker sweep.
+
+``--serve`` switches to the session-layer suite
+(:func:`repro.analysis.perf.run_serve_suite`) and writes
+``BENCH_PR8.json``: cold single-shot vs. warm-served requests
+(verified bit-equal before reporting) plus the session build and the
+cache-hit re-open, so the committed rows record the build-once/
+serve-many amortization.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ from repro.analysis.perf import (
     run_fault_suite,
     run_pr7_suite,
     run_recovery_suite,
+    run_serve_suite,
     validate_bench,
     write_bench,
 )
@@ -98,17 +106,26 @@ def main(argv: list[str] | None = None) -> int:
         "protocol, native build at n=512/1024, sharded-delivery worker "
         "sweep) instead of the main kernel suite",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the session-layer suite (cold single-shot vs warm "
+        "serving, session build, cache-hit re-open) instead of the "
+        "main kernel suite",
+    )
     args = parser.parse_args(argv)
     chosen = [
         flag
-        for flag in ("faults", "recovery", "pr7")
+        for flag in ("faults", "recovery", "pr7", "serve")
         if getattr(args, flag)
     ]
     if len(chosen) > 1:
         parser.error(
             "--" + " and --".join(chosen) + " are mutually exclusive"
         )
-    if args.pr7:
+    if args.serve:
+        suite, default_out = run_serve_suite, "BENCH_PR8.json"
+    elif args.pr7:
         suite, default_out = run_pr7_suite, "BENCH_PR7.json"
     elif args.recovery:
         suite, default_out = run_recovery_suite, "BENCH_PR5.json"

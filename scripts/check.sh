@@ -37,12 +37,16 @@ python scripts/bench_baseline.py --check
 python scripts/bench_baseline.py --check --faults
 python scripts/bench_baseline.py --check --recovery
 python scripts/bench_baseline.py --check --pr7
+python scripts/bench_baseline.py --check --serve
 
 echo "== perf tripwire (native_build n=256 within pinned budget)"
 python scripts/perf_tripwire.py
 
 echo "== fault-matrix smoke (reliable delivery under injected faults)"
 python scripts/fault_smoke.py
+
+echo "== serve smoke (session lifecycle: build, cache hit, replay, churn)"
+python scripts/serve_smoke.py
 
 echo "== pytest"
 python -m pytest -x -q

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Serve-layer smoke: the build-once/serve-many contract, end to end.
+
+One n=64 expander through the full session lifecycle:
+
+1. **Cold reference** — ``repro.run("route", ...)`` records the result a
+   warm-served request must reproduce bit for bit.
+2. **Build + persist** — ``Session.open`` on an empty cache emits
+   ``serve/cache-miss``, runs the build phase, stores the snapshot, and
+   serves a request identical to the cold reference.
+3. **Cache-hit restart** — a second ``Session.open`` (a simulated
+   process restart) emits ``serve/cache-hit`` and *no build phase* in
+   its trace, then serves the same request with the same result and the
+   same per-request ledger total.
+4. **100-request replay** — a JSONL stream of 100 route requests is
+   served through :func:`repro.runtime.serve_jsonl` with batching; every
+   response must carry rounds and no record may error.
+5. **Churn update** — one ``apply_update`` (an added edge) repairs the
+   overlay in place, charges ``serve/``, re-keys the cache entry, and
+   the session still delivers afterwards.
+
+Exit code 0 = all assertions hold.  Wired into scripts/check.sh and CI.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+
+import numpy as np
+
+from repro import RunConfig, run
+from repro.graphs import random_regular
+from repro.rng import derive_rng
+from repro.runtime import Session, serve_jsonl
+from repro.runtime.events import MemorySink
+
+N = 64
+SEED = 11
+REPLAY_REQUESTS = 100
+
+
+def _event_names(sink: MemorySink) -> list[str]:
+    return [event.name for event in sink.events]
+
+
+def main() -> int:
+    graph = random_regular(N, 6, derive_rng(SEED, N))
+    sources = np.arange(N)
+    destinations = derive_rng(SEED, N, 1).permutation(N)
+
+    # 1. Cold one-shot reference.
+    cold = run(
+        "route",
+        graph,
+        config=RunConfig(seed=SEED),
+        sources=sources,
+        destinations=destinations,
+    )
+    assert cold.result.delivered
+    print(
+        f"cold reference OK: {cold.result.num_packets} packets, "
+        f"{cold.result.cost_rounds:,.0f} rounds"
+    )
+
+    with tempfile.TemporaryDirectory() as cache_root:
+        # 2. Cache miss: build, persist, serve the reference workload.
+        miss_sink = MemorySink()
+        config = RunConfig(seed=SEED, cache=cache_root, trace=miss_sink)
+        with Session.open(graph, config) as session:
+            names = _event_names(miss_sink)
+            assert "serve/cache-miss" in names, names
+            assert "build/hierarchy" in names, names
+            first = session.request(
+                "route", sources=sources, destinations=destinations
+            )
+            assert first.result.cost_rounds == cold.result.cost_rounds, (
+                "warm-served route diverged from the cold reference"
+            )
+            first_rounds = first.ledger.total()
+        print(
+            f"build+serve    OK: cache miss, stored, request matches "
+            f"cold run ({first_rounds:,.0f} request rounds)"
+        )
+
+        # 3. Restart: the hit must skip the build phase entirely.
+        hit_sink = MemorySink()
+        config = RunConfig(seed=SEED, cache=cache_root, trace=hit_sink)
+        with Session.open(graph, config) as session:
+            names = _event_names(hit_sink)
+            assert session.from_cache, "re-open must hit the cache"
+            assert "serve/cache-hit" in names, names
+            assert "build/hierarchy" not in names, (
+                "a cache hit must not run the build phase"
+            )
+            again = session.request(
+                "route", sources=sources, destinations=destinations
+            )
+            assert again.result.cost_rounds == cold.result.cost_rounds
+            assert again.ledger.total() == first_rounds, (
+                "per-request ledger drifted across a cache-hit restart"
+            )
+            print(
+                "restart        OK: cache hit, no build phase, "
+                "request bit-identical"
+            )
+
+            # 4. Replay 100 requests (batched) through the JSONL front.
+            perm_rng = derive_rng(SEED, N, 2)
+            records = [
+                {
+                    "op": "route",
+                    "args": {
+                        "sources": list(range(N)),
+                        "destinations": [
+                            int(v) for v in perm_rng.permutation(N)
+                        ],
+                    },
+                    "id": f"req-{index}",
+                }
+                for index in range(REPLAY_REQUESTS)
+            ]
+            responses = list(serve_jsonl(session, records, batch=8))
+            assert len(responses) == REPLAY_REQUESTS, len(responses)
+            errors = [r for r in responses if "error" in r]
+            assert not errors, errors[:3]
+            assert all(r["rounds"] > 0 for r in responses)
+            assert session.served >= REPLAY_REQUESTS
+            print(
+                f"replay         OK: {len(responses)} responses, "
+                f"0 errors, batched"
+            )
+
+            # 5. One churn update: repair in place, re-key, still serve.
+            key_before = session.cache_key
+            u = 0
+            v = int(graph.indices[graph.indptr[u]])
+            report = session.apply_update(edges_removed=[(u, v)])
+            assert not report.rebuilt, (
+                "one removed edge must repair, not rebuild"
+            )
+            assert report.repaired or report.dropped, (
+                "removing an edge must repair its dead virtual nodes"
+            )
+            assert session.cache_key != key_before, (
+                "a repaired session must re-persist under a new key"
+            )
+            serve_total = sum(
+                rounds
+                for label, rounds in
+                session.context.ledger.by_prefix().items()
+                if label == "serve"
+            )
+            assert serve_total > 0, "churn repair must charge serve/"
+            after = session.request(
+                "route", sources=sources, destinations=destinations
+            )
+            assert after.result.delivered, (
+                "the session must still deliver after churn"
+            )
+            print(
+                f"churn update   OK: repaired (staleness "
+                f"{report.staleness:.3f}), re-keyed, still delivering"
+            )
+
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

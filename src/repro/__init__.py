@@ -49,7 +49,14 @@ from .core import build_hierarchy as _build_hierarchy
 from .core import emulate_clique as _emulate_clique
 from .core import minimum_spanning_tree as _minimum_spanning_tree
 from .params import Params
-from .runtime import RunConfig, RunContext, RunOutcome, make_backend, run
+from .runtime import (
+    RunConfig,
+    RunContext,
+    RunOutcome,
+    Session,
+    make_backend,
+    run,
+)
 from .system import ExpanderNetwork
 
 __version__ = "1.0.0"
@@ -119,6 +126,7 @@ __all__ = [
     "RunConfig",
     "RunContext",
     "RunOutcome",
+    "Session",
     "run",
     "make_backend",
     "Hierarchy",

@@ -55,6 +55,7 @@ __all__ = [
     "run_fault_suite",
     "run_pr7_suite",
     "run_recovery_suite",
+    "run_serve_suite",
     "validate_bench",
     "write_bench",
 ]
@@ -613,6 +614,128 @@ def run_pr7_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
     rows += _bench_walk_protocol_vec(seed, quick)
     rows += _bench_native_build_large(seed, quick)
     rows += _bench_sharded_delivery(seed, quick)
+    return rows
+
+
+def run_serve_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
+    """The session-layer kernel suite behind ``BENCH_PR8.json``.
+
+    The serve economics in four rows per size:
+
+    * ``serve_cold_single_shot`` — one ``repro.run("route", ...)``: the
+      full hierarchy build paid for a single routed instance;
+    * ``serve_session_build`` — opening a :class:`~repro.runtime.Session`
+      on a cold cache (one build, amortized by everything below);
+    * ``serve_warm_request`` — per-request wall time of the *same* route
+      served repeatedly from the warm session (total serve wall divided
+      by the request count) — the headline: this must beat the cold
+      single-shot by a wide margin, because it pays no build;
+    * ``serve_cache_hit_open`` — re-opening the session from the
+      content-addressed store (a process restart that skips the build).
+
+    The warm-served result is asserted bit-equal (``cost_rounds``,
+    delivered count) to the cold run before any row is reported — the
+    recorded speedup cannot come from serving something different.
+    """
+    import tempfile
+
+    from ..runtime import Request, RunConfig, Session
+    from ..runtime import run as run_op
+
+    n, requests = (64, 8) if quick else (512, 32)
+    rows: list[BenchRow] = []
+    graph = random_regular(n, 6, derive_rng(seed, n))
+    workload_rng = derive_rng(seed, n, 5)
+    sources = np.arange(n)
+    destinations = workload_rng.permutation(n)
+
+    wall_cold, outcome = _timed(
+        lambda: run_op(
+            "route",
+            graph,
+            config=RunConfig(seed=seed + n),
+            sources=sources,
+            destinations=destinations,
+        ),
+        repeats=1,
+    )
+    rows.append(
+        BenchRow(
+            "serve_cold_single_shot",
+            n,
+            seed,
+            wall_cold,
+            int(outcome.result.cost_rounds),
+        )
+    )
+
+    with tempfile.TemporaryDirectory() as cache_root:
+        config = RunConfig(seed=seed + n, cache=cache_root)
+        wall_build, session = _timed(
+            lambda: Session.open(graph, config), repeats=1
+        )
+        try:
+            request = Request(
+                op="route",
+                args={"sources": sources, "destinations": destinations},
+            )
+
+            def serve():
+                response = None
+                for _ in range(requests):
+                    response = session.submit(request)
+                return response
+
+            wall_serve, response = _timed(serve, repeats=1)
+            if (
+                float(response.result.cost_rounds)
+                != float(outcome.result.cost_rounds)
+                or response.result.delivered != outcome.result.delivered
+            ):
+                raise AssertionError(
+                    "warm-served route diverged from the cold run on the "
+                    "bench workload"
+                )
+            rows.append(
+                BenchRow(
+                    "serve_session_build",
+                    n,
+                    seed,
+                    wall_build,
+                    int(session.build_ledger.total()),
+                )
+            )
+            rows.append(
+                BenchRow(
+                    "serve_warm_request",
+                    n,
+                    seed,
+                    round(wall_serve / requests, 6),
+                    int(response.result.cost_rounds),
+                )
+            )
+        finally:
+            session.close()
+
+        wall_hit, reopened = _timed(
+            lambda: Session.open(graph, config), repeats=1
+        )
+        try:
+            if not reopened.from_cache:
+                raise AssertionError(
+                    "session re-open missed the content-addressed cache"
+                )
+            rows.append(
+                BenchRow(
+                    "serve_cache_hit_open",
+                    n,
+                    seed,
+                    wall_hit,
+                    int(reopened.build_ledger.total()),
+                )
+            )
+        finally:
+            reopened.close()
     return rows
 
 

@@ -7,6 +7,7 @@ Commands:
 * ``route`` — build the routing structure and route a random demand.
 * ``mst`` — run the distributed MST (random weights if none stored).
 * ``run`` — continue a run snapshotted with ``--checkpoint``.
+* ``serve`` — open a warm session and answer JSONL requests.
 * ``report`` — regenerate EXPERIMENTS.md from live runs.
 
 Pipeline commands (``route``/``mst``/``mincut``/``clique``) construct
@@ -30,6 +31,9 @@ through :func:`repro.run`:
   ``fail-fast`` reproduces pre-recovery runs bit-identically.
 * ``--checkpoint PATH`` — snapshot the run after the build phase;
   ``repro run --resume PATH`` continues it deterministically.
+* ``--cache {off,auto,PATH}`` — content-addressed hierarchy cache; a
+  hit restores the built structure and skips the build phase (see
+  ``docs/service.md``).
 
 Every random decision draws from a *named* stream of the context, so
 e.g. ``--packets`` changes only the ``"workload"`` stream and never
@@ -58,8 +62,10 @@ from .runtime import (
     RunConfig,
     RunContext,
     RunOutcome,
+    Session,
     UnsupportedOnBackend,
     run,
+    serve_jsonl,
 )
 from .walks import estimate_mixing_time
 
@@ -106,6 +112,12 @@ def _add_runtime_flags(sub: argparse.ArgumentParser) -> None:
         help="message-delivery shards for the native simulator; results "
         "and round accounting are identical at any worker count",
     )
+    sub.add_argument(
+        "--cache", metavar="MODE", default="off",
+        help="content-addressed hierarchy cache: 'off' (default), "
+        "'auto' ($REPRO_CACHE_DIR or the XDG cache dir), or a "
+        "directory path; a hit skips the build phase",
+    )
 
 
 def _make_config(args) -> RunConfig:
@@ -119,6 +131,7 @@ def _make_config(args) -> RunConfig:
         recovery=getattr(args, "recovery", "fail-fast"),
         checkpoint=getattr(args, "checkpoint", None),
         workers=getattr(args, "workers", 1),
+        cache=getattr(args, "cache", "off"),
     )
 
 
@@ -192,6 +205,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the resumed run's full trace (pre-snapshot events "
         "are replayed into it first) to this file",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="open a warm session and answer JSONL requests",
+    )
+    serve.add_argument("graph")
+    serve.add_argument(
+        "--requests", metavar="IN.JSONL", default="-",
+        help="JSONL request file ('-' = stdin); each line is "
+        '{"op": ..., "args": {...}, "id": ...} or '
+        '{"update": {"edges_added": [...], "edges_removed": [...], '
+        '"nodes_down": [...]}}',
+    )
+    serve.add_argument(
+        "-o", "--output", metavar="OUT.JSONL", default="-",
+        help="JSONL response file ('-' = stdout); one response per "
+        "request with per-request rounds and wall latency",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=0,
+        help="group up to N consecutive explicit-demand route requests "
+        "into one routing instance (batched admission; default off)",
+    )
+    _add_runtime_flags(serve)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
@@ -336,6 +373,48 @@ def _cmd_clique(args) -> int:
     return 0 if result.delivered else 1
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    graph = load_graph(args.graph)
+    config = _make_config(args)
+
+    def records(handle):
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+    in_handle = (
+        sys.stdin if args.requests == "-" else open(args.requests)
+    )
+    out_handle = (
+        sys.stdout if args.output == "-" else open(args.output, "w")
+    )
+    served = 0
+    try:
+        with Session.open(graph, config) as session:
+            print(
+                f"session ready: n={graph.num_nodes} "
+                f"backend={config.backend} "
+                f"cached={session.from_cache}",
+                file=sys.stderr,
+            )
+            for response in serve_jsonl(
+                session, records(in_handle), batch=args.batch
+            ):
+                out_handle.write(json.dumps(response) + "\n")
+                out_handle.flush()
+                served += 1
+    finally:
+        if in_handle is not sys.stdin:
+            in_handle.close()
+        if out_handle is not sys.stdout:
+            out_handle.close()
+    print(f"served {served} response(s)", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -344,6 +423,7 @@ _COMMANDS = {
     "mincut": _cmd_mincut,
     "clique": _cmd_clique,
     "run": _cmd_run,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

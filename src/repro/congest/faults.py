@@ -35,6 +35,7 @@ sampled nodes for the (1-based, inclusive) round window.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from math import ceil
 from typing import Callable, Optional
@@ -348,6 +349,34 @@ class FaultPlan:
     def count(self, kind: str) -> int:
         """How many faults of ``kind`` were injected/observed so far."""
         return self.stats.get(kind, 0)
+
+    # -- session support -----------------------------------------------------
+
+    def warm_state(self) -> dict:
+        """Snapshot the plan's mutable state (RNG positions + fault log).
+
+        The crash-set cache is *not* captured: it is a pure function of
+        the crash entropy, so replays repopulate it identically.
+        """
+        return {
+            "link_rng": copy.deepcopy(self._link_rng.bit_generator.state),
+            "model_rng": copy.deepcopy(self._model_rng.bit_generator.state),
+            "stats": dict(self.stats),
+            "records_len": len(self.records),
+        }
+
+    def restore_warm_state(self, state: dict) -> None:
+        """Rewind the plan to a :meth:`warm_state` snapshot, so each
+        session request samples faults from the same positions a cold
+        run would."""
+        self._link_rng.bit_generator.state = copy.deepcopy(
+            state["link_rng"]
+        )
+        self._model_rng.bit_generator.state = copy.deepcopy(
+            state["model_rng"]
+        )
+        self.stats = dict(state["stats"])
+        del self.records[state["records_len"]:]
 
     # -- wire-level faults (Network.run) -------------------------------------
 

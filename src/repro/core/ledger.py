@@ -49,6 +49,30 @@ class RoundLedger:
         """All entries, in charge order."""
         return list(self._charges)
 
+    def __len__(self) -> int:
+        return len(self._charges)
+
+    def slice_from(self, start: int) -> "RoundLedger":
+        """A new ledger holding the entries charged at index >= ``start``.
+
+        The session layer marks ``len(ledger)`` before serving a request
+        and slices afterwards, giving each request its own ledger view
+        without forking the accounting.
+        """
+        sliced = RoundLedger()
+        sliced._charges = list(self._charges[start:])
+        return sliced
+
+    def truncate(self, length: int) -> None:
+        """Drop every entry charged at index >= ``length``.
+
+        The warm-state restore: rewinding a component-local ledger (the
+        hierarchy's construction ledger, which per-request routers also
+        charge) to its post-build position, so one request's charges
+        can never leak into the next request's view.
+        """
+        del self._charges[max(0, int(length)):]
+
     def total(self) -> float:
         """Total base-graph rounds charged."""
         return sum(charge.rounds for charge in self._charges)

@@ -26,6 +26,7 @@ congestion.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -258,6 +259,40 @@ class Router:
         state = self.__dict__.copy()
         state["_walk_runner"] = None
         return state
+
+    # -- session support -----------------------------------------------------
+
+    def warm_state(self) -> dict:
+        """Snapshot the state that survives *across* ``route()`` calls.
+
+        ``route()`` resets its per-instance counters on entry, but the
+        re-election memo and the recovery stream advance monotonically
+        over a router's lifetime.  A warm session restores this snapshot
+        before each request so the k-th served request sees exactly the
+        state a cold run's first (and only) request would.
+        """
+        state: dict = {
+            "reelected": dict(self._reelected),
+            "warned_unmodeled": self._warned_unmodeled,
+            "recovery_rng": None,
+        }
+        if self._recovery_rng is not None:
+            state["recovery_rng"] = copy.deepcopy(
+                self._recovery_rng.bit_generator.state
+            )
+        return state
+
+    def restore_warm_state(self, state: dict) -> None:
+        """Rewind cross-call state to a :meth:`warm_state` snapshot."""
+        self._reelected = dict(state["reelected"])
+        self._warned_unmodeled = bool(state["warned_unmodeled"])
+        if (
+            self._recovery_rng is not None
+            and state["recovery_rng"] is not None
+        ):
+            self._recovery_rng.bit_generator.state = copy.deepcopy(
+                state["recovery_rng"]
+            )
 
     # -- public API ----------------------------------------------------------
 

@@ -1,5 +1,12 @@
-"""k-wise independent hashing for the pseudo-random partition."""
+"""k-wise independent hashing for the pseudo-random partition, plus
+content fingerprints for graphs (cache keys, checkpoint integrity)."""
 
+from .fingerprint import FINGERPRINT_VERSION, graph_fingerprint
 from .kwise import PRIME, KWiseHash
 
-__all__ = ["PRIME", "KWiseHash"]
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "PRIME",
+    "KWiseHash",
+    "graph_fingerprint",
+]

@@ -133,7 +133,7 @@ def _mentions(node: ast.AST, names: Set[str]) -> bool:
 
 @register_program
 class LedgerCoverageRule(ProgramRule):
-    """R009: rounds executed under ``congest/``/``core/`` reach a charge.
+    """R009: rounds under ``congest/``/``core/``/``runtime/`` reach a charge.
 
     A function that *executes rounds* — calls ``Network.run`` (directly,
     or transitively through the call graph) or ``replay_walk_run`` —
@@ -149,15 +149,25 @@ class LedgerCoverageRule(ProgramRule):
     rule_id = "R009"
     name = "ledger-coverage"
     description = (
-        "congest/core function executes CONGEST rounds but neither "
-        "charges a ledger nor returns the round count to its caller"
+        "congest/core/runtime function executes CONGEST rounds but "
+        "neither charges a ledger nor returns the round count to its "
+        "caller"
     )
 
-    _CHARGE_ATTRS = {"charge", "absorb_ledger"}
+    # ``slice_from`` is the session layer's accounting handoff: a
+    # request handler that marks ``len(ctx.ledger)`` before running an
+    # op and slices afterwards hands every executed round to the
+    # per-request ledger view — same contract as charging directly.
+    _CHARGE_ATTRS = {"charge", "absorb_ledger", "slice_from"}
     # simulate_walk_timing is the array engine's round executor: it plays
     # the queue/wire dynamics without a Network, so its rounds need the
     # same coverage as a simulator run.
     _RUN_EXECUTORS = ("replay_walk_run", "simulate_walk_timing")
+    # Serving ops invoked on a backend execute rounds behind an attribute
+    # call the call graph cannot resolve; treat them as round sites so
+    # session request handlers owe the same accounting (they pay it by
+    # slicing the run ledger per request — see _CHARGE_ATTRS).
+    _SERVE_OP_ATTRS = {"route", "mst", "min_cut", "clique"}
 
     def check(self, program: Program) -> Iterator[Finding]:
         direct: Dict[str, List[CallSite]] = {
@@ -194,7 +204,7 @@ class LedgerCoverageRule(ProgramRule):
             parts = _parts(fn.module.path)
             if _is_scaffold(fn.module.path):
                 continue
-            if not ({"congest", "core"} & parts):
+            if not ({"congest", "core", "runtime"} & parts):
                 continue
             round_sites = direct[qual] + [
                 site
@@ -261,6 +271,12 @@ class LedgerCoverageRule(ProgramRule):
         if site.attr == "run" and site.receiver is not None:
             root = site.receiver.split(".")[-1]
             return root in network_names
+        if site.attr in self._SERVE_OP_ATTRS and site.receiver is not None:
+            return site.receiver.split(".")[-1] == "backend"
+        # Op-table dispatch (`spec.runner(backend, ...)`): the runner
+        # executes whichever backend op the request named.
+        if site.attr == "runner":
+            return True
         return False
 
     @staticmethod

@@ -27,6 +27,7 @@ from .checkpoint import (
 )
 from .config import OPS, RunConfig, RunOutcome, run
 from .context import RECOVERY_MODES, RunContext
+from .ops import OP_TABLE, OpSpec, check_backend_support, validate_request
 from .events import (
     EVENT_KINDS,
     EventSink,
@@ -37,6 +38,14 @@ from .events import (
     read_jsonl_trace,
     sum_ledger_charges,
 )
+from .session import (
+    Request,
+    Session,
+    SessionResponse,
+    UpdateReport,
+    serve_jsonl,
+)
+from .store import HierarchyStore, StoreStats, open_store, store_key
 
 __all__ = [
     "BACKENDS",
@@ -45,6 +54,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointError",
     "EVENT_KINDS",
+    "HierarchyStore",
     "RECOVERY_MODES",
     "EventSink",
     "JsonlSink",
@@ -52,17 +62,29 @@ __all__ = [
     "NativeBackend",
     "NullSink",
     "OPS",
+    "OP_TABLE",
+    "OpSpec",
     "OracleBackend",
+    "Request",
     "RunConfig",
     "RunContext",
     "RunOutcome",
+    "Session",
+    "SessionResponse",
+    "StoreStats",
     "TraceEvent",
     "UnsupportedOnBackend",
+    "UpdateReport",
+    "check_backend_support",
     "load_checkpoint",
     "make_backend",
+    "open_store",
     "read_jsonl_trace",
     "resume",
     "run",
+    "serve_jsonl",
+    "store_key",
     "sum_ledger_charges",
+    "validate_request",
     "write_checkpoint",
 ]

@@ -77,6 +77,12 @@ class Backend:
 
     name = "abstract"
 
+    #: Backend methods this backend can actually execute; the op table
+    #: (:func:`repro.runtime.ops.check_backend_support`) consults this
+    #: *before* the build phase, so an unsupported (op, backend) pair
+    #: fails in milliseconds instead of after an expensive construction.
+    supported_ops: frozenset[str] = frozenset({"build", "route"})
+
     def __init__(
         self,
         graph: Graph,
@@ -88,6 +94,11 @@ class Backend:
         self._beta = beta
         self._hierarchy: Optional[Hierarchy] = None
         self._router: Optional[Router] = None
+
+    @property
+    def built(self) -> bool:
+        """Whether the hierarchy has been constructed (or adopted)."""
+        return self._hierarchy is not None
 
     # -- walk execution strategy (the backend difference) --------------------
 
@@ -165,6 +176,9 @@ class OracleBackend(Backend):
     """The vectorized `core/` pipeline with measured-schedule accounting."""
 
     name = "oracle"
+    supported_ops = frozenset(
+        {"build", "route", "mst", "min_cut", "clique"}
+    )
 
     def mst(self, weighted: WeightedGraph) -> MstResult:
         ctx = self.context

@@ -32,6 +32,7 @@ import tempfile
 from dataclasses import replace
 from typing import Union
 
+from ..hashing import graph_fingerprint
 from .events import EventSink, JsonlSink, NullSink
 
 __all__ = [
@@ -42,8 +43,9 @@ __all__ = [
     "write_checkpoint",
 ]
 
-#: Format version embedded in every checkpoint file.
-CHECKPOINT_VERSION = 1
+#: Format version embedded in every checkpoint file.  Version 2 added
+#: the mandatory ``graph_fingerprint`` integrity field.
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(RuntimeError):
@@ -72,6 +74,7 @@ def write_checkpoint(
         "op_args": dict(op_args),
         "config": replace(config, trace=None),
         "graph": graph,
+        "graph_fingerprint": graph_fingerprint(graph),
         "context": context,
         "backend": backend,
     }
@@ -89,9 +92,18 @@ def write_checkpoint(
         raise
 
 
-def load_checkpoint(path: str) -> dict:
+def load_checkpoint(path: str, expect_graph=None) -> dict:
     """Load and validate a checkpoint file written by
-    :func:`write_checkpoint`."""
+    :func:`write_checkpoint`.
+
+    Validation covers the format version, the required fields, and the
+    payload's content integrity: the recorded ``graph_fingerprint``
+    must match the pickled graph (a corrupted or hand-edited file fails
+    here, not as a downstream shape error), and — when ``expect_graph``
+    is given — must also match the graph the caller intends to resume
+    against, so a checkpoint can never be silently replayed onto a
+    different topology.
+    """
     try:
         with open(path, "rb") as stream:
             payload = pickle.load(stream)
@@ -110,12 +122,31 @@ def load_checkpoint(path: str) -> dict:
             f"{CHECKPOINT_VERSION}"
         )
     missing = {
-        "op", "op_args", "config", "graph", "context", "backend"
+        "op", "op_args", "config", "graph", "graph_fingerprint",
+        "context", "backend",
     } - set(payload)
     if missing:
         raise CheckpointError(
             f"checkpoint {path!r} is missing fields {sorted(missing)}"
         )
+    recorded = payload["graph_fingerprint"]
+    actual = graph_fingerprint(payload["graph"])
+    if recorded != actual:
+        raise CheckpointError(
+            f"checkpoint {path!r} failed integrity check: recorded "
+            f"graph fingerprint {recorded[:12]}... does not match the "
+            f"payload graph ({actual[:12]}...); the file is corrupt or "
+            "was tampered with"
+        )
+    if expect_graph is not None:
+        expected = graph_fingerprint(expect_graph)
+        if recorded != expected:
+            raise CheckpointError(
+                f"checkpoint {path!r} was written for a different "
+                f"graph (fingerprint {recorded[:12]}..., expected "
+                f"{expected[:12]}...); resume it against the graph it "
+                "snapshotted"
+            )
     return payload
 
 
@@ -138,7 +169,8 @@ def resume(
         results, ledger, and trace) to the outcome the uninterrupted
         run produced.
     """
-    from .config import _OP_RUNNERS, RunOutcome
+    from .config import RunOutcome
+    from .ops import lookup_op
 
     payload = load_checkpoint(path)
     op = payload["op"]
@@ -146,7 +178,7 @@ def resume(
     graph = payload["graph"]
     context = payload["context"]
     backend = payload["backend"]
-    runner = _OP_RUNNERS[op]
+    runner = lookup_op(op).runner
 
     owns_sink = isinstance(sink, str)
     resolved: EventSink

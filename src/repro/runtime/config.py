@@ -30,13 +30,13 @@ from typing import Any, Optional, Union
 import numpy as np
 
 from ..congest.faults import FaultSpec
-from ..graphs.generators import with_random_weights
-from ..graphs.graph import Graph, WeightedGraph
+from ..graphs.graph import Graph
 from ..params import Params
 from .backends import BACKENDS, Backend, make_backend
 from .checkpoint import write_checkpoint
 from .context import RECOVERY_MODES, RunContext
 from .events import EventSink, JsonlSink, MemorySink, TraceEvent
+from .ops import OP_TABLE, OPS, validate_request
 
 __all__ = ["OPS", "RunConfig", "RunOutcome", "run"]
 
@@ -78,6 +78,12 @@ class RunConfig:
             results, rounds and ledger charges are identical at any
             worker count — only wall-clock changes.  Ignored by the
             oracle backend.
+        cache: content-addressed hierarchy cache — ``"off"`` (default),
+            ``"auto"`` (``$REPRO_CACHE_DIR`` or the XDG cache dir), or
+            an explicit directory path.  With caching on, :func:`run`
+            opens a warm session from the store when the (graph, seed,
+            params, backend) content hash matches, skipping the build
+            phase entirely; misses build once and persist.
     """
 
     seed: int = 0
@@ -90,6 +96,7 @@ class RunConfig:
     recovery: str = "fail-fast"
     checkpoint: Optional[str] = None
     workers: int = 1
+    cache: Optional[str] = "off"
 
     def __post_init__(self):
         object.__setattr__(self, "seed", int(self.seed))
@@ -119,6 +126,13 @@ class RunConfig:
             raise TypeError(
                 "checkpoint must be None or a path string, "
                 f"got {type(self.checkpoint).__name__}"
+            )
+        if self.cache is None:
+            object.__setattr__(self, "cache", "off")
+        elif not isinstance(self.cache, str):
+            raise TypeError(
+                "cache must be 'off', 'auto', or a directory path, "
+                f"got {type(self.cache).__name__}"
             )
         if isinstance(self.faults, str):
             object.__setattr__(self, "faults", FaultSpec.parse(self.faults))
@@ -221,81 +235,10 @@ class RunOutcome:
         )
 
 
-def _op_build(backend: Backend, context: RunContext, graph: Graph, args):
-    _expect_no_args("build", args)
-    return backend.build()
-
-
-def _op_route(backend: Backend, context: RunContext, graph: Graph, args):
-    sources = args.pop("sources", None)
-    destinations = args.pop("destinations", None)
-    packets = args.pop("packets", None)
-    trace_hops = bool(args.pop("trace_hops", False))
-    _expect_no_args("route", args)
-    if (sources is None) != (destinations is None):
-        raise ValueError(
-            "route: provide both sources and destinations, or neither"
-        )
-    if sources is None:
-        # The demand comes from its own stream: changing the workload
-        # can never perturb the structure built from other streams.
-        n = graph.num_nodes
-        workload = context.stream("workload")
-        if packets:
-            sources = workload.integers(0, n, size=int(packets))
-            destinations = workload.integers(0, n, size=int(packets))
-        else:
-            sources = np.arange(n)
-            destinations = workload.permutation(n)
-    elif packets is not None:
-        raise ValueError("route: packets= conflicts with explicit demands")
-    backend.build()
-    return backend.route(
-        np.asarray(sources), np.asarray(destinations), trace=trace_hops
-    )
-
-
-def _op_mst(backend: Backend, context: RunContext, graph: Graph, args):
-    weights = args.pop("weights", None)
-    _expect_no_args("mst", args)
-    if weights is not None:
-        weighted = WeightedGraph(
-            graph.num_nodes, list(graph.edges()), weights
-        )
-    elif isinstance(graph, WeightedGraph):
-        weighted = graph
-    else:
-        weighted = with_random_weights(graph, context.stream("weights"))
-    return backend.mst(weighted)
-
-
-def _op_mincut(backend: Backend, context: RunContext, graph: Graph, args):
-    return backend.min_cut(**args)
-
-
-def _op_clique(backend: Backend, context: RunContext, graph: Graph, args):
-    sample_fraction = float(args.pop("sample_fraction", 1.0))
-    _expect_no_args("clique", args)
-    return backend.clique(sample_fraction=sample_fraction)
-
-
-def _expect_no_args(op: str, args: dict) -> None:
-    if args:
-        raise TypeError(
-            f"run({op!r}, ...) got unexpected arguments {sorted(args)}"
-        )
-
-
-_OP_RUNNERS = {
-    "build": _op_build,
-    "route": _op_route,
-    "mst": _op_mst,
-    "mincut": _op_mincut,
-    "clique": _op_clique,
-}
-
-#: The operations :func:`run` understands.
-OPS = tuple(sorted(_OP_RUNNERS))
+#: Compatibility alias: the op runners now live in
+#: :data:`repro.runtime.ops.OP_TABLE` (one dispatch surface for the
+#: one-shot, resume, and session paths); ``OPS`` is re-exported above.
+_OP_RUNNERS = {name: spec.runner for name, spec in OP_TABLE.items()}
 
 
 def run(
@@ -332,34 +275,27 @@ def run(
         DeliveryTimeout: if an active fault plan defeats reliable
             delivery (never a silent partial result).
     """
+    from .session import Request, Session
+
     if config is None:
         config = RunConfig()
-    try:
-        runner = _OP_RUNNERS[op]
-    except KeyError:
-        raise ValueError(
-            f"unknown operation {op!r}; choose from {OPS}"
-        ) from None
-    context = config.make_context()
+    # Fail on an unknown op or argument keyword before any work —
+    # session construction, context creation, or builds.
+    validate_request(op, op_args)
+    # One-shot = open a (possibly cached) session, serve one request.
+    # The session restores its warm RNG/router snapshot before the
+    # request, so the outcome is bit-identical to the historical
+    # build-inline path; ``quiet`` keeps the trace free of per-request
+    # session bookends.
+    session = Session.open(graph, config, announce=op)
+    context = session.context
+    backend = session.backend
     if config.checkpoint is not None:
-        # Every event must be replayable on resume, including run_start.
-        context.record_events = True
-    spec = context.fault_spec
-    context.emit(
-        "run_start",
-        op,
-        seed=context.seed,
-        backend=config.backend,
-        faults=spec.describe() if spec is not None else None,
-        recovery=config.recovery,
-    )
-    backend = config.make_backend(graph, context)
-    if config.checkpoint is not None:
-        # Snapshot at the build/operate phase boundary.  Pre-building
-        # here is stream-neutral: construction and workload sampling
-        # draw from independent named streams, so the outcome is
-        # bit-identical to a run without a checkpoint.
-        backend.build()
+        # Snapshot at the build/operate phase boundary.  The session
+        # warm-up pre-built the structure, which is stream-neutral:
+        # construction and workload sampling draw from independent
+        # named streams, so the outcome is bit-identical to a run
+        # without a checkpoint.
         write_checkpoint(
             config.checkpoint,
             op=op,
@@ -370,7 +306,10 @@ def run(
             backend=backend,
         )
     try:
-        result = runner(backend, context, graph, dict(op_args))
+        response = session.submit(
+            Request(op=op, args=op_args), quiet=True
+        )
+        result = response.result
     finally:
         context.emit(
             "run_end",

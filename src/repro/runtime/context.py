@@ -22,6 +22,7 @@ the pipeline.  :class:`RunContext` replaces all three:
 
 from __future__ import annotations
 
+import copy
 import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
@@ -114,6 +115,35 @@ class RunContext:
         (e.g. the cross-backend equivalence contract).
         """
         return derive_rng(self.seed, stream_entropy(name))
+
+    def stream_states(self) -> dict[str, dict]:
+        """Snapshot the position of every cached stream (deep copies).
+
+        The session layer captures this right after the warm-up build;
+        restoring it before each request puts every generator back at
+        the position a cold run would see after its own build, which is
+        what makes warm-served results bit-identical to cold runs.
+        """
+        return {
+            name: copy.deepcopy(generator.bit_generator.state)
+            for name, generator in self._streams.items()
+        }
+
+    def restore_streams(self, states: dict[str, dict]) -> None:
+        """Rewind cached streams to a :meth:`stream_states` snapshot.
+
+        Streams present in the snapshot are repositioned; streams
+        created *after* the snapshot are forgotten, so the next
+        :meth:`stream` call re-derives them at their origin — exactly
+        where a cold run would first meet them.
+        """
+        for name in list(self._streams):
+            if name in states:
+                self._streams[name].bit_generator.state = copy.deepcopy(
+                    states[name]
+                )
+            else:
+                del self._streams[name]
 
     # -- faults --------------------------------------------------------------
 

@@ -51,6 +51,8 @@ EVENT_KINDS = (
     "backend",        # payload: backend-specific execution stats
     "fault",          # payload: round, sender, target + fault detail
     "recovery",       # payload: detection/failover/repair accounting
+    "session",        # payload: session lifecycle + request bookends
+    "cache",          # payload: hierarchy-store hit/miss/store/evict
 )
 
 

@@ -1,0 +1,920 @@
+"""Build-once / serve-many: the warm-hierarchy session layer.
+
+The paper's headline claim is economic: pay ``2^O(sqrt(log n))`` rounds
+*once* for the expander-decomposition hierarchy, then answer routing
+(and MST / min-cut / clique) instances in ``~tau_mix`` each.  The
+one-shot :func:`repro.run` obscured that — every call rebuilt the
+structure.  A :class:`Session` makes the amortization real: it owns a
+built hierarchy + router + :class:`~repro.runtime.RunContext` and
+serves a stream of requests against the warm structure.
+
+**The equivalence oracle.**  Every served request is bit-identical to a
+cold ``repro.run()`` with the same (graph, seed, config): same result
+object, same ledger charges.  The mechanism is the named-stream
+discipline plus a warm snapshot:
+
+1. ``Session.open`` builds the hierarchy and router exactly as a cold
+   run would, then snapshots the position of every RNG stream, the
+   router's cross-call state, and the fault plan's RNG positions.
+2. Before each request the snapshot is restored, and streams created
+   *since* the snapshot are forgotten (so they re-derive at their
+   origin — where a cold run would first meet them).
+3. The request runs through the same :data:`~repro.runtime.ops.OP_TABLE`
+   runner the one-shot path uses, and its charges are sliced off the
+   session ledger as a per-request ledger.
+
+Streams are independent by name, so the restore is exact, not
+approximate: a request cannot observe how many requests ran before it.
+(One documented exception: under ``recovery="self-heal"`` with crash
+windows, the warm-up pays the one-time ``recovery/detection`` charge
+that a cold non-route run would never incur, because the session
+eagerly builds failover structures.)
+
+``Session.open`` also fronts the content-addressed
+:class:`~repro.runtime.store.HierarchyStore`: a hit adopts the stored
+context + backend and skips the build phase entirely;
+``Session.apply_update`` patches the warm structure around churn
+(overlay repair + portal re-election, charged under ``serve/``) and
+re-persists under the updated content hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.hierarchy import repair_overlay
+from ..core.ledger import RoundLedger
+from ..graphs.graph import Graph, WeightedGraph
+from ..hashing import graph_fingerprint
+from .backends import Backend
+from .context import RunContext
+from .events import EventSink, JsonlSink, NullSink
+from .ops import (
+    check_backend_support,
+    summarize_result,
+    validate_request,
+)
+from .store import HierarchyStore, open_store, store_key
+
+__all__ = [
+    "DEFAULT_STALENESS_BOUND",
+    "Request",
+    "Session",
+    "SessionResponse",
+    "UpdateReport",
+    "serve_jsonl",
+]
+
+#: Fraction of virtual nodes that may be touched by incremental updates
+#: before :meth:`Session.apply_update` falls back to a full rebuild.
+DEFAULT_STALENESS_BOUND = 0.25
+
+
+@dataclass(frozen=True)
+class Request:
+    """One operation request against a warm session.
+
+    Validation happens at *construction* — an unknown op raises
+    ``ValueError`` and an unknown argument keyword raises ``TypeError``
+    naming the offending key — so malformed requests never reach the
+    warm structure.
+    """
+
+    op: str
+    args: Mapping[str, Any] = field(default_factory=dict)
+    id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        validate_request(self.op, self.args)
+
+
+@dataclass(frozen=True)
+class SessionResponse:
+    """What one served request hands back.
+
+    Attributes:
+        op: the operation that ran.
+        result: the op's native result object (same type a cold
+            ``run()`` returns).
+        ledger: this request's own charges — the slice of the session
+            ledger between request start and end.
+        rounds: ``ledger.total()``.
+        wall_s: request wall-clock latency in seconds.
+        index: 0-based position in the session's request sequence.
+        request_id: the :attr:`Request.id`, echoed back.
+        batch_size: >1 when served as part of a batched admission
+            group (``rounds`` then covers the whole batch).
+    """
+
+    op: str
+    result: Any
+    ledger: RoundLedger
+    rounds: float
+    wall_s: float
+    index: int
+    request_id: Optional[str] = None
+    batch_size: int = 1
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe response payload (the serve wire format)."""
+        payload: dict[str, Any] = {
+            "index": self.index,
+            "op": self.op,
+            "result": summarize_result(self.op, self.result),
+            "rounds": float(self.rounds),
+            "wall_s": round(self.wall_s, 6),
+        }
+        if self.request_id is not None:
+            payload["id"] = self.request_id
+        if self.batch_size > 1:
+            payload["batch_size"] = self.batch_size
+            payload["rounds_amortized"] = float(
+                self.rounds / self.batch_size
+            )
+        return payload
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Outcome of one :meth:`Session.apply_update`.
+
+    Attributes:
+        edges_added / edges_removed / nodes_down: the applied churn.
+        rebuilt: ``True`` when the staleness bound forced a full
+            rebuild instead of an incremental repair.
+        staleness: stale-vnode fraction *after* this update.
+        repaired / dropped: overlay edges re-embedded / removed per
+            level (empty when ``rebuilt``).
+        reelected: portal slots re-elected (0 when ``rebuilt``).
+        cost_rounds: rounds charged under ``serve/`` (repair path) or
+            the fresh build's total (rebuild path).
+        cache_key: content hash the updated session persisted under
+            (``None`` when the session has no store).
+    """
+
+    edges_added: tuple
+    edges_removed: tuple
+    nodes_down: tuple
+    rebuilt: bool
+    staleness: float
+    repaired: dict[int, int]
+    dropped: dict[int, int]
+    reelected: int
+    cost_rounds: float
+    cache_key: Optional[str] = None
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe report payload (the serve wire format)."""
+        return {
+            "update": {
+                "edges_added": len(self.edges_added),
+                "edges_removed": len(self.edges_removed),
+                "nodes_down": len(self.nodes_down),
+                "rebuilt": self.rebuilt,
+                "staleness": round(self.staleness, 6),
+                "repaired": int(sum(self.repaired.values())),
+                "dropped": int(sum(self.dropped.values())),
+                "reelected": self.reelected,
+                "rounds": float(self.cost_rounds),
+            }
+        }
+
+
+class _ServeLedger:
+    """Charge adapter: books repair costs under ``serve/`` instead of
+    ``recovery/`` (same amounts, the serving category — a planned
+    update is maintenance, not failure recovery)."""
+
+    def __init__(self, context: RunContext) -> None:
+        self._context = context
+
+    def charge(self, label: str, rounds: float, **detail: Any) -> None:
+        if label.startswith("recovery/"):
+            label = "serve/" + label.split("/", 1)[1]
+        self._context.charge(label, rounds, **detail)
+
+
+class Session:
+    """A warm hierarchy + router serving many requests (use
+    :meth:`open`)."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Any,
+        context: RunContext,
+        backend: Backend,
+        *,
+        store: Optional[HierarchyStore] = None,
+        cache_key: Optional[str] = None,
+        from_cache: bool = False,
+        staleness_bound: float = DEFAULT_STALENESS_BOUND,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.context = context
+        self.backend = backend
+        self.store = store
+        self.cache_key = cache_key
+        self.from_cache = from_cache
+        self.staleness_bound = float(staleness_bound)
+        self.lineage = ""
+        self.served = 0
+        self.updates_applied = 0
+        self._closed = False
+        self._stale_vnodes = 0
+        self._warm_streams: dict[str, dict] = {}
+        self._warm_router: Optional[dict] = None
+        self._warm_plan: Optional[dict] = None
+        self._warm_ledger_len = 0
+        self._warm_hierarchy_ledger_len = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        graph: Graph,
+        config: Any = None,
+        *,
+        store: Optional[HierarchyStore] = None,
+        announce: Optional[str] = None,
+        staleness_bound: float = DEFAULT_STALENESS_BOUND,
+    ) -> "Session":
+        """Open a warm session: cache hit, or build + persist.
+
+        Args:
+            graph: the topology to serve.
+            config: a :class:`~repro.runtime.RunConfig` (default:
+                ``RunConfig()``); its ``cache`` field selects the store
+                unless ``store`` is passed explicitly.
+            store: explicit :class:`HierarchyStore` (overrides
+                ``config.cache``).
+            announce: operation name for the ``run_start`` trace event
+                (the one-shot path passes its op; servers leave the
+                default ``"session"``).  When given, backend support is
+                checked *before* any build work.
+            staleness_bound: see :meth:`apply_update`.
+        """
+        from .config import RunConfig
+
+        if config is None:
+            config = RunConfig()
+        if store is None:
+            store = open_store(config.cache)
+        key = store_key(graph, config) if store is not None else None
+        op_name = announce or "session"
+
+        payload = None
+        if store is not None and key is not None:
+            payload = store.load(key, graph)
+
+        if payload is not None:
+            context = payload["context"]
+            backend = payload["backend"]
+            sink: EventSink
+            if isinstance(config.trace, str):
+                sink = JsonlSink(config.trace)
+            else:
+                sink = config.trace or NullSink()
+            context.sink = sink
+            context.record_events = config.checkpoint is not None
+            context.recorded_events = []
+            try:
+                cls._emit_run_start(context, config, op_name)
+                context.emit(
+                    "cache",
+                    "serve/cache-hit",
+                    key=key,
+                    path=store.path_for(key),
+                )
+                if announce is not None:
+                    check_backend_support(backend, announce)
+                # Adopt the *current* config's execution-only knobs:
+                # they are excluded from the content key because they
+                # cannot change built state.
+                if hasattr(backend, "validate"):
+                    backend.validate = config.validate
+                if hasattr(backend, "workers"):
+                    backend.workers = config.workers
+                # Re-bind the walk-runner closure the pickle dropped.
+                runner = backend._walk_runner()
+                if backend._router is not None:
+                    backend._router._walk_runner = runner
+            except BaseException:
+                if isinstance(config.trace, str):
+                    context.close()
+                raise
+            session = cls(
+                graph,
+                config,
+                context,
+                backend,
+                store=store,
+                cache_key=key,
+                from_cache=True,
+                staleness_bound=staleness_bound,
+            )
+            session._take_warm_snapshot()
+            return session
+
+        context = config.make_context()
+        if config.checkpoint is not None:
+            # Every event must be replayable on resume, incl. run_start.
+            context.record_events = True
+        try:
+            cls._emit_run_start(context, config, op_name)
+            backend = config.make_backend(graph, context)
+            if announce is not None:
+                # Reject an impossible (op, backend) pair before paying
+                # for a build it could never use.
+                check_backend_support(backend, announce)
+            if store is not None:
+                context.emit("cache", "serve/cache-miss", key=key)
+            backend.build()
+            if "route" in backend.supported_ops:
+                # Warm the router too: portal election draws from the
+                # "router" stream, and the warm snapshot must sit after
+                # every construction-time draw.
+                backend.router
+        except BaseException:
+            if isinstance(config.trace, str):
+                context.close()
+            raise
+        session = cls(
+            graph,
+            config,
+            context,
+            backend,
+            store=store,
+            cache_key=key,
+            staleness_bound=staleness_bound,
+        )
+        session._take_warm_snapshot()
+        if store is not None and key is not None:
+            session._persist(key)
+        return session
+
+    @staticmethod
+    def _emit_run_start(
+        context: RunContext, config: Any, op_name: str
+    ) -> None:
+        spec = context.fault_spec
+        context.emit(
+            "run_start",
+            op_name,
+            seed=context.seed,
+            backend=config.backend,
+            faults=spec.describe() if spec is not None else None,
+            recovery=config.recovery,
+        )
+
+    def _take_warm_snapshot(self) -> None:
+        """Freeze the post-build state every request restarts from."""
+        self._warm_streams = self.context.stream_states()
+        router = self.backend._router
+        self._warm_router = (
+            router.warm_state() if router is not None else None
+        )
+        plan = self.context._fault_plan
+        self._warm_plan = plan.warm_state() if plan is not None else None
+        self._warm_ledger_len = len(self.context.ledger)
+        # Per-request routers (e.g. the clique op's dedicated one)
+        # charge their portal build to the hierarchy's own ledger;
+        # remember its post-build length so requests can rewind it.
+        hierarchy = self.backend._hierarchy
+        self._warm_hierarchy_ledger_len = (
+            len(hierarchy.ledger) if hierarchy is not None else 0
+        )
+
+    def _persist(self, key: str) -> None:
+        """Write the warm snapshot to the store (recorded events are
+        transient run state, not built state — kept out of the entry)."""
+        assert self.store is not None
+        context = self.context
+        saved = (context.record_events, context.recorded_events)
+        context.record_events = False
+        context.recorded_events = []
+        try:
+            path = self.store.save(
+                key,
+                config=self.config,
+                graph=self.graph,
+                context=context,
+                backend=self.backend,
+            )
+        finally:
+            context.record_events, context.recorded_events = saved
+        self.cache_key = key
+        context.emit("cache", "serve/cache-store", key=key, path=path)
+
+    @property
+    def build_ledger(self) -> RoundLedger:
+        """The warm-up's charges (everything before the first request;
+        on a cache hit these are the *stored* build charges)."""
+        ledger = RoundLedger()
+        charges = self.context.ledger.charges[: self._warm_ledger_len]
+        for charge in charges:
+            ledger.charge(charge.label, charge.rounds, **charge.detail)
+        return ledger
+
+    def close(self) -> None:
+        """Emit the session-close event; close the sink if we own it."""
+        if self._closed:
+            return
+        self._closed = True
+        self.context.emit(
+            "session",
+            "serve/close",
+            served=self.served,
+            updates=self.updates_applied,
+        )
+        if isinstance(self.config.trace, str):
+            self.context.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- request serving -----------------------------------------------------
+
+    def request(self, op: str, **args: Any) -> SessionResponse:
+        """Serve one operation (convenience wrapper over
+        :meth:`submit`)."""
+        return self.submit(Request(op=op, args=args))
+
+    def submit(
+        self, request: Request, *, quiet: bool = False
+    ) -> SessionResponse:
+        """Serve one :class:`Request` against the warm structure.
+
+        Restores the warm RNG/router/fault-plan snapshot first, so the
+        outcome is bit-identical to a cold ``repro.run()`` of the same
+        request — regardless of what was served before it.  ``quiet``
+        suppresses the per-request trace bookends (the one-shot path
+        uses it to keep traces identical to pre-session runs).
+        """
+        self._ensure_serving()
+        spec = validate_request(request.op, request.args)
+        check_backend_support(self.backend, request.op)
+        start = self._begin_request()
+        index = self.served
+        self.served += 1
+        if not quiet:
+            self.context.emit(
+                "session",
+                "serve/request",
+                op=request.op,
+                index=index,
+                id=request.id,
+            )
+        began = time.perf_counter()  # reprolint: disable=R003 (latency)
+        result = spec.runner(
+            self.backend, self.context, self.graph, dict(request.args)
+        )
+        wall_s = time.perf_counter() - began  # reprolint: disable=R003
+        ledger = self.context.ledger.slice_from(start)
+        rounds = float(ledger.total())
+        if not quiet:
+            self.context.emit(
+                "session",
+                "serve/response",
+                op=request.op,
+                index=index,
+                rounds=rounds,
+                wall_s=round(wall_s, 6),
+            )
+        return SessionResponse(
+            op=request.op,
+            result=result,
+            ledger=ledger,
+            rounds=rounds,
+            wall_s=wall_s,
+            index=index,
+            request_id=request.id,
+        )
+
+    def route_batch(
+        self, requests: Sequence[Request]
+    ) -> list[SessionResponse]:
+        """Serve several explicit-demand route requests as one instance.
+
+        Batched admission: the demands are concatenated and forwarded
+        through a single router invocation, so the batch pays one
+        preparation-walk phase instead of ``len(requests)`` — riding
+        the native backend's ``workers=`` sharding for the wall-clock
+        win.  Every request must be ``op="route"`` with explicit
+        ``sources``/``destinations`` (random demands need their own
+        stream draws and are served individually).  A batch is one
+        routing instance: per-request responses share the batch result
+        and report amortized rounds via :meth:`SessionResponse.summary`.
+        """
+        if not requests:
+            return []
+        if len(requests) == 1:
+            return [self.submit(requests[0])]
+        self._ensure_serving()
+        sources_parts: list[np.ndarray] = []
+        dest_parts: list[np.ndarray] = []
+        for request in requests:
+            if request.op != "route":
+                raise ValueError(
+                    "route_batch only serves route requests, got "
+                    f"{request.op!r}"
+                )
+            args = dict(request.args)
+            sources = args.pop("sources", None)
+            destinations = args.pop("destinations", None)
+            args.pop("trace_hops", None)
+            if args:
+                raise ValueError(
+                    "route_batch requests cannot carry "
+                    f"{sorted(args)} arguments"
+                )
+            if sources is None or destinations is None:
+                raise ValueError(
+                    "route_batch requires explicit sources and "
+                    "destinations on every request"
+                )
+            sources_parts.append(np.asarray(sources, dtype=np.int64))
+            dest_parts.append(np.asarray(destinations, dtype=np.int64))
+        start = self._begin_request()
+        first = self.served
+        self.served += len(requests)
+        self.context.emit(
+            "session",
+            "serve/batch",
+            size=len(requests),
+            packets=int(sum(part.size for part in sources_parts)),
+        )
+        began = time.perf_counter()  # reprolint: disable=R003 (latency)
+        self.backend.build()
+        result = self.backend.route(
+            np.concatenate(sources_parts), np.concatenate(dest_parts)
+        )
+        wall_s = time.perf_counter() - began  # reprolint: disable=R003
+        ledger = self.context.ledger.slice_from(start)
+        rounds = float(ledger.total())
+        return [
+            SessionResponse(
+                op="route",
+                result=result,
+                ledger=ledger,
+                rounds=rounds,
+                wall_s=wall_s,
+                index=first + position,
+                request_id=request.id,
+                batch_size=len(requests),
+            )
+            for position, request in enumerate(requests)
+        ]
+
+    def _begin_request(self) -> int:
+        """Restore the warm snapshot; return the ledger slice start."""
+        self.context.restore_streams(self._warm_streams)
+        router = self.backend._router
+        if router is not None and self._warm_router is not None:
+            router.restore_warm_state(self._warm_router)
+        plan = self.context._fault_plan
+        if plan is not None and self._warm_plan is not None:
+            plan.restore_warm_state(self._warm_plan)
+        hierarchy = self.backend._hierarchy
+        if hierarchy is not None:
+            hierarchy.ledger.truncate(self._warm_hierarchy_ledger_len)
+        return len(self.context.ledger)
+
+    def _ensure_serving(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    # -- incremental updates -------------------------------------------------
+
+    def apply_update(
+        self,
+        edges_added: Iterable = (),
+        edges_removed: Iterable = (),
+        nodes_down: Iterable = (),
+    ) -> UpdateReport:
+        """Patch the warm structure around graph churn.
+
+        Removed edges and downed nodes kill their virtual nodes; the
+        overlay is repaired around them
+        (:func:`~repro.core.hierarchy.repair_overlay`) and portal slots
+        pointing at dead virtual nodes are re-elected from live
+        boundary candidates — all charged under ``serve/``.  Added
+        edges only accrue staleness (the embedding does not carry
+        traffic over them until a rebuild).  When the cumulative stale
+        fraction exceeds :attr:`staleness_bound`, the session falls
+        back to a full rebuild on the updated graph — bit-identical to
+        a fresh ``Session.open`` of that graph.  Either way the session
+        re-persists under the updated content hash.
+        """
+        self._ensure_serving()
+        added = tuple(tuple(edge) for edge in edges_added)
+        removed = tuple(
+            (int(edge[0]), int(edge[1])) for edge in edges_removed
+        )
+        down = tuple(int(node) for node in nodes_down)
+        new_graph = self._updated_graph(added, removed)
+        removed_eids = self._edge_ids(removed)
+        virtual = self.backend.hierarchy.g0.virtual
+        dead_mask = np.isin(virtual.graph.arc_edge, removed_eids)
+        if down:
+            dead_mask |= np.isin(
+                virtual.host, np.asarray(down, dtype=np.int64)
+            )
+        dead_vnodes = np.flatnonzero(dead_mask)
+        self._stale_vnodes += int(dead_vnodes.size) + 2 * len(added)
+        staleness = self._stale_vnodes / max(1, virtual.count)
+        self.updates_applied += 1
+        self.context.emit(
+            "session",
+            "serve/update",
+            edges_added=len(added),
+            edges_removed=len(removed),
+            nodes_down=len(down),
+            staleness=round(staleness, 6),
+        )
+
+        if staleness > self.staleness_bound:
+            cost = self._rebuild(new_graph)
+            return UpdateReport(
+                edges_added=added,
+                edges_removed=removed,
+                nodes_down=down,
+                rebuilt=True,
+                staleness=0.0,
+                repaired={},
+                dropped={},
+                reelected=0,
+                cost_rounds=cost,
+                cache_key=self.cache_key,
+            )
+
+        start = len(self.context.ledger)
+        repair_rng = self.context.fresh_stream(
+            f"serve-update-{self.updates_applied}"
+        )
+        report = repair_overlay(
+            self.backend.hierarchy,
+            dead_vnodes,
+            repair_rng,
+            context=_ServeLedger(self.context),
+        )
+        reelected = self._reelect_dead_portals(dead_vnodes, repair_rng)
+        cost = float(
+            self.context.ledger.slice_from(start).total()
+        )
+        self.graph = new_graph
+        self._advance_lineage(added, removed, down)
+        if self.store is not None:
+            key = store_key(new_graph, self.config, lineage=self.lineage)
+            self._persist(key)
+        # The warm state moved: future requests restart from the
+        # repaired structure, not the pre-update snapshot.
+        self._take_warm_snapshot()
+        return UpdateReport(
+            edges_added=added,
+            edges_removed=removed,
+            nodes_down=down,
+            rebuilt=False,
+            staleness=staleness,
+            repaired=dict(report.replaced),
+            dropped=dict(report.dropped),
+            reelected=reelected,
+            cost_rounds=cost,
+            cache_key=self.cache_key,
+        )
+
+    def _updated_graph(
+        self, added: tuple, removed: tuple
+    ) -> Graph:
+        """The post-churn topology (same node count; edge list edited)."""
+        weighted = isinstance(self.graph, WeightedGraph)
+        edges = [
+            (int(u), int(v)) for u, v in self.graph.edge_array
+        ]
+        weights = (
+            [float(w) for w in self.graph.weights] if weighted else None
+        )
+        for u, v in removed:
+            try:
+                position = edges.index((u, v))
+            except ValueError:
+                try:
+                    position = edges.index((v, u))
+                except ValueError:
+                    raise ValueError(
+                        f"cannot remove edge ({u}, {v}): not present"
+                    ) from None
+            edges.pop(position)
+            if weights is not None:
+                weights.pop(position)
+        for edge in added:
+            if weighted:
+                if len(edge) != 3:
+                    raise ValueError(
+                        "weighted sessions need (u, v, weight) "
+                        f"additions, got {edge!r}"
+                    )
+                edges.append((int(edge[0]), int(edge[1])))
+                assert weights is not None
+                weights.append(float(edge[2]))
+            else:
+                edges.append((int(edge[0]), int(edge[1])))
+        if weighted:
+            return WeightedGraph(
+                self.graph.num_nodes, edges, np.asarray(weights)
+            )
+        return Graph(self.graph.num_nodes, edges)
+
+    def _edge_ids(self, removed: tuple) -> np.ndarray:
+        """Edge ids (in the *current* built graph) of removed edges."""
+        if not removed:
+            return np.empty(0, dtype=np.int64)
+        pairs = [
+            (int(u), int(v)) for u, v in self.graph.edge_array
+        ]
+        ids = []
+        used: set[int] = set()
+        for u, v in removed:
+            eid = None
+            for candidate, pair in enumerate(pairs):
+                if candidate in used:
+                    continue
+                if pair == (u, v) or pair == (v, u):
+                    eid = candidate
+                    break
+            if eid is None:
+                raise ValueError(
+                    f"cannot remove edge ({u}, {v}): not present"
+                )
+            used.add(eid)
+            ids.append(eid)
+        return np.asarray(ids, dtype=np.int64)
+
+    def _reelect_dead_portals(
+        self, dead_vnodes: np.ndarray, rng: np.random.Generator
+    ) -> int:
+        """Replace portal-table entries that point at dead vnodes."""
+        router = self.backend._router
+        if router is None or dead_vnodes.size == 0:
+            return 0
+        portals = router.portals
+        hierarchy = self.backend.hierarchy
+        dead = set(int(v) for v in dead_vnodes.tolist())
+
+        def is_dead(vnode: int) -> bool:
+            return int(vnode) in dead
+
+        reelected = 0
+        num_vnodes = hierarchy.g0.virtual.count
+        election_rounds = float(np.log2(max(2, num_vnodes)))
+        for level_index, table in enumerate(portals.tables, start=1):
+            stale = np.isin(table, np.asarray(sorted(dead)))
+            if not stale.any():
+                continue
+            parts = hierarchy.levels[level_index - 1].parts
+            rows, siblings = np.nonzero(stale)
+            picks: dict[tuple[int, int], int] = {}
+            for row, sibling in zip(rows.tolist(), siblings.tolist()):
+                part = int(parts[row])
+                slot = (part, int(sibling))
+                if slot not in picks:
+                    picks[slot] = portals.reelect(
+                        level_index,
+                        part,
+                        int(sibling),
+                        is_dead,
+                        rng=rng,
+                    )
+                    reelected += 1
+                    self.context.charge(
+                        "serve/reelect",
+                        election_rounds
+                        * hierarchy.emulation_to_g(level_index),
+                        level=level_index,
+                        part=part,
+                        sibling=int(sibling),
+                    )
+                table[row, sibling] = picks[slot]
+        return reelected
+
+    def _advance_lineage(
+        self, added: tuple, removed: tuple, down: tuple
+    ) -> None:
+        """Extend the content-hash lineage with this update's identity.
+
+        A repaired structure is a fresh build *plus* an update chain —
+        not a pure function of (graph, config) — so its store key must
+        never collide with a clean build of the updated graph."""
+        digest = hashlib.sha256()
+        digest.update(self.lineage.encode())
+        digest.update(graph_fingerprint(self.graph).encode())
+        digest.update(repr((added, removed, down)).encode())
+        self.lineage = digest.hexdigest()
+
+    def _rebuild(self, new_graph: Graph) -> float:
+        """Full rebuild on the updated graph (same seed, shared sink).
+
+        The new epoch is bit-identical to a fresh ``Session.open`` of
+        ``new_graph`` under the session's config — which is exactly
+        what the equivalence tests assert.
+        """
+        self.context.emit("session", "serve/rebuild", n=new_graph.num_nodes)
+        sink = self.context.sink
+        context = RunContext(
+            seed=self.config.seed,
+            params=self.config.params,
+            sink=sink,
+            faults=self.config.faults,
+            recovery=self.config.recovery,
+        )
+        context.record_events = self.context.record_events
+        backend = self.config.make_backend(new_graph, context)
+        backend.build()
+        if "route" in backend.supported_ops:
+            backend.router
+        self.graph = new_graph
+        self.context = context
+        self.backend = backend
+        self.lineage = ""
+        self._stale_vnodes = 0
+        self._take_warm_snapshot()
+        if self.store is not None:
+            self._persist(store_key(new_graph, self.config))
+        return float(context.ledger.total())
+
+
+def serve_jsonl(
+    session: Session,
+    records: Iterable[Mapping[str, Any]],
+    *,
+    batch: int = 0,
+) -> Iterator[dict[str, Any]]:
+    """Drive a session from decoded JSONL records; yield responses.
+
+    Request records are ``{"op": ..., "args": {...}, "id": ...}``;
+    update records are ``{"update": {"edges_added": [...],
+    "edges_removed": [...], "nodes_down": [...]}}``.  A malformed
+    record yields an ``{"error": ...}`` response and serving continues.
+    With ``batch > 0``, consecutive explicit-demand route requests are
+    grouped (up to ``batch``) into one routing instance.
+    """
+    pending: list[Request] = []
+
+    def flush() -> Iterator[dict[str, Any]]:
+        if pending:
+            group = list(pending)
+            pending.clear()
+            for response in session.route_batch(group):
+                yield response.summary()
+
+    for record in records:
+        if "update" in record:
+            yield from flush()
+            update = dict(record["update"])
+            try:
+                report = session.apply_update(
+                    edges_added=update.get("edges_added", ()),
+                    edges_removed=update.get("edges_removed", ()),
+                    nodes_down=update.get("nodes_down", ()),
+                )
+            except (ValueError, TypeError) as error:
+                yield {"error": str(error), "record": dict(record)}
+                continue
+            yield report.summary()
+            continue
+        try:
+            request = Request(
+                op=record.get("op", ""),
+                args=dict(record.get("args", {})),
+                id=record.get("id"),
+            )
+        except (ValueError, TypeError) as error:
+            yield {"error": str(error), "record": dict(record)}
+            continue
+        batchable = (
+            batch > 0
+            and request.op == "route"
+            and "sources" in request.args
+            and "destinations" in request.args
+        )
+        if batchable:
+            pending.append(request)
+            if len(pending) >= batch:
+                yield from flush()
+            continue
+        yield from flush()
+        try:
+            yield session.submit(request).summary()
+        except (ValueError, TypeError) as error:
+            yield {"error": str(error), "record": dict(record)}
+    yield from flush()

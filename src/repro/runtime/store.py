@@ -1,0 +1,250 @@
+"""Content-addressed cache of built hierarchies (the serve-layer store).
+
+The paper's economics are build-once/serve-many: the expander embedding
+costs ``2^O(sqrt(log n))`` rounds and every routed instance afterwards
+is nearly free.  This module persists that expensive build so even
+*process* restarts amortize it.  A :class:`HierarchyStore` maps a
+content key — SHA-256 over everything that determines the built
+structure bit for bit — to a snapshot in the PR 5 checkpoint format:
+
+    key = H(code salt, graph fingerprint, seed, params, backend, beta,
+            faults, recovery, lineage)
+
+Because the key covers *all* build inputs, a hit can simply adopt the
+stored context + backend: same seed and graph means the stored stream
+positions, ledger, and hierarchy are exactly what a fresh build would
+have produced.  Anything that could change the build without changing
+the key must instead bump :data:`CODE_EPOCH` (reviewed in PRs that
+touch construction code), which salts every digest.
+
+``lineage`` distinguishes *repaired* sessions: after
+``Session.apply_update`` the in-memory structure is no longer a pure
+function of (graph, config) — it is a fresh build plus a chain of
+incremental repairs — so each update extends the lineage hash and the
+session re-persists under the new key.  A fresh build always has the
+empty lineage, so repaired state can never shadow a clean build.
+
+Entries are written atomically (temp file + rename into place) and
+evicted LRU by file mtime, which doubles as the access clock: loads
+touch the file.  A corrupt or stale-format entry is treated as a miss
+and deleted, never an error — the cache must only ever make runs
+faster, not break them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from ..graphs.graph import Graph
+from ..hashing import FINGERPRINT_VERSION, graph_fingerprint
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    write_checkpoint,
+)
+
+__all__ = [
+    "CODE_EPOCH",
+    "HierarchyStore",
+    "StoreStats",
+    "open_store",
+    "resolve_cache_root",
+    "store_key",
+]
+
+#: Manually bumped whenever hierarchy/router construction changes in a
+#: way that alters built state for the same inputs.  Part of every
+#: cache key, so a new build epoch silently invalidates old entries
+#: (they age out via LRU) instead of serving stale structures.
+CODE_EPOCH = 1
+
+#: Default maximum number of cached hierarchies per store directory.
+DEFAULT_MAX_ENTRIES = 64
+
+_ENV_ROOT = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_root(cache: Optional[str]) -> Optional[str]:
+    """Map a ``RunConfig.cache`` value to a store directory (or None).
+
+    ``"off"`` / ``None`` disable caching; ``"auto"`` uses
+    ``$REPRO_CACHE_DIR`` or ``$XDG_CACHE_HOME/repro/hierarchies``
+    (falling back to ``~/.cache``); anything else is taken as an
+    explicit directory path.
+    """
+    if cache is None or cache == "off":
+        return None
+    if cache == "auto":
+        root = os.environ.get(_ENV_ROOT)
+        if root:
+            return root
+        xdg = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser(
+            "~/.cache"
+        )
+        return os.path.join(xdg, "repro", "hierarchies")
+    return cache
+
+
+def store_key(graph: Graph, config, lineage: str = "") -> str:
+    """The content address of a built hierarchy (64-char hex digest).
+
+    Covers every input the build is a deterministic function of; knobs
+    that only change *how* the same state is computed (``validate``,
+    ``workers``, ``trace``, ``checkpoint``, ``cache`` itself) are
+    deliberately excluded, so e.g. a single-worker and a four-worker
+    native build share one entry — they produce identical state.
+    """
+    params = config.params
+    if params is None:
+        from ..params import Params
+
+        params = Params.default()
+    fault_spec = config.faults
+    digest = hashlib.sha256()
+    for part in (
+        f"store-v{CHECKPOINT_VERSION}.{FINGERPRINT_VERSION}.{CODE_EPOCH}",
+        graph_fingerprint(graph),
+        f"seed={config.seed}",
+        f"backend={config.backend}",
+        f"beta={config.beta}",
+        "params=" + json.dumps(asdict(params), sort_keys=True),
+        "faults=" + (fault_spec.describe() if fault_spec else ""),
+        f"recovery={config.recovery}",
+        f"lineage={lineage}",
+    ):
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store's lifetime (observability, not policy)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+
+@dataclass
+class HierarchyStore:
+    """A directory of content-addressed hierarchy snapshots.
+
+    Attributes:
+        root: the store directory (created on first write).
+        max_entries: LRU eviction threshold (oldest-mtime first).
+        stats: hit/miss/eviction counters for this handle.
+    """
+
+    root: str
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def path_for(self, key: str) -> str:
+        """The entry file for ``key`` (may not exist)."""
+        return os.path.join(self.root, f"{key}.ckpt")
+
+    def load(self, key: str, graph: Optional[Graph] = None):
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        A corrupt, stale-format, or wrong-graph entry counts as a miss:
+        the file is deleted and ``None`` returned, so cache damage can
+        slow a run down but never fail it.  A hit touches the file's
+        mtime (the LRU clock).
+        """
+        path = self.path_for(key)
+        if not os.path.exists(path):
+            self.stats.misses += 1
+            return None
+        try:
+            payload = load_checkpoint(path, expect_graph=graph)
+        except CheckpointError:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._remove(path)
+            return None
+        os.utime(path)
+        self.stats.hits += 1
+        return payload
+
+    def save(self, key: str, *, config, graph, context, backend) -> str:
+        """Persist a warm session snapshot under ``key``; returns the
+        entry path.  Atomic (checkpoint writer), then LRU-evicts."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path_for(key)
+        write_checkpoint(
+            path,
+            op="session",
+            op_args={},
+            config=config,
+            graph=graph,
+            context=context,
+            backend=backend,
+        )
+        self.stats.stores += 1
+        self._evict(keep=path)
+        return path
+
+    def keys(self) -> list[str]:
+        """Keys currently stored, newest access first."""
+        return [
+            os.path.basename(path)[: -len(".ckpt")]
+            for path in self._entries()
+        ]
+
+    def clear(self) -> None:
+        """Delete every entry (the directory itself stays)."""
+        for path in self._entries():
+            self._remove(path)
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def _entries(self) -> list[str]:
+        if not os.path.isdir(self.root):
+            return []
+        paths = [
+            os.path.join(self.root, name)
+            for name in os.listdir(self.root)
+            if name.endswith(".ckpt")
+        ]
+        return sorted(paths, key=self._mtime, reverse=True)
+
+    def _evict(self, keep: Optional[str] = None) -> None:
+        entries = self._entries()
+        while len(entries) > max(1, int(self.max_entries)):
+            victim = entries.pop()
+            if victim == keep:
+                continue
+            self._remove(victim)
+            self.stats.evictions += 1
+
+    @staticmethod
+    def _mtime(path: str) -> float:
+        try:
+            return os.stat(path).st_mtime
+        except OSError:
+            return 0.0
+
+    @staticmethod
+    def _remove(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def open_store(cache: Optional[str]) -> Optional[HierarchyStore]:
+    """A :class:`HierarchyStore` for a ``RunConfig.cache`` value, or
+    ``None`` when caching is off."""
+    root = resolve_cache_root(cache)
+    if root is None:
+        return None
+    return HierarchyStore(root)

@@ -1,0 +1,50 @@
+"""Graph fingerprinting: the content identity under checkpoint + cache."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import random_regular, ring_graph, with_random_weights
+from repro.hashing import FINGERPRINT_VERSION, graph_fingerprint
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_regular(32, 4, np.random.default_rng(0))
+
+
+class TestGraphFingerprint:
+    def test_hex_digest_shape(self, graph):
+        digest = graph_fingerprint(graph)
+        assert isinstance(digest, str)
+        assert len(digest) == 64
+        int(digest, 16)  # valid hex
+
+    def test_deterministic_across_instances(self):
+        a = random_regular(32, 4, np.random.default_rng(5))
+        b = random_regular(32, 4, np.random.default_rng(5))
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_distinguishes_topologies(self, graph):
+        other = random_regular(32, 4, np.random.default_rng(1))
+        assert graph_fingerprint(graph) != graph_fingerprint(other)
+        assert graph_fingerprint(graph) != graph_fingerprint(ring_graph(32))
+
+    def test_distinguishes_sizes(self):
+        assert graph_fingerprint(ring_graph(16)) != graph_fingerprint(
+            ring_graph(17)
+        )
+
+    def test_weights_change_the_fingerprint(self, graph):
+        weighted = with_random_weights(graph, np.random.default_rng(2))
+        assert graph_fingerprint(weighted) != graph_fingerprint(graph)
+        other = with_random_weights(graph, np.random.default_rng(3))
+        assert graph_fingerprint(weighted) != graph_fingerprint(other)
+
+    def test_same_weights_same_fingerprint(self, graph):
+        a = with_random_weights(graph, np.random.default_rng(4))
+        b = with_random_weights(graph, np.random.default_rng(4))
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_version_constant_exported(self):
+        assert isinstance(FINGERPRINT_VERSION, int)
+        assert FINGERPRINT_VERSION >= 1

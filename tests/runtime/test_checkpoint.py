@@ -169,3 +169,33 @@ class TestResumeTrace:
             )
             resumed = resume(path)
             assert _charges(resumed) == _charges(direct)
+
+
+class TestFingerprintGuard:
+    """The graph fingerprint inside every checkpoint (v2 format)."""
+
+    def test_wrong_graph_rejected(self, graph64, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        _route(graph64, "oracle", checkpoint=path)
+        from repro.graphs import random_regular
+
+        other = random_regular(64, 6, np.random.default_rng(99))
+        with pytest.raises(CheckpointError, match="different graph"):
+            load_checkpoint(path, expect_graph=other)
+
+    def test_matching_graph_accepted(self, graph64, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        _route(graph64, "oracle", checkpoint=path)
+        payload = load_checkpoint(path, expect_graph=graph64)
+        assert payload["op"] == "route"
+
+    def test_tampered_payload_fails_integrity(self, graph64, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        _route(graph64, "oracle", checkpoint=path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["graph_fingerprint"] = "0" * 64
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(CheckpointError, match="integrity"):
+            load_checkpoint(path)

@@ -1,0 +1,279 @@
+"""The session layer: warm serving must be bit-identical to cold runs.
+
+The equivalence oracle of the build-once/serve-many refactor: for every
+(backend, op) pair, a request served from a warm :class:`Session` —
+regardless of what was served before it — must reproduce the cold
+``repro.run`` result exactly, and the cold ledger must equal the
+session's build ledger followed by the request's ledger slice.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import random_regular
+from repro.runtime import (
+    Request,
+    RunConfig,
+    Session,
+    UnsupportedOnBackend,
+    run,
+    serve_jsonl,
+)
+from repro.runtime.ops import summarize_result
+
+SEED = 9
+
+ORACLE_OPS = ("build", "route", "mst", "mincut", "clique")
+NATIVE_OPS = ("build", "route")
+
+
+def _charges(ledger):
+    return [(c.label, c.rounds) for c in ledger.charges]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_regular(48, 6, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def oracle_session(graph):
+    with Session.open(graph, RunConfig(seed=SEED)) as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def native_session(graph):
+    config = RunConfig(seed=SEED, backend="native", validate="first_round")
+    with Session.open(graph, config) as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def cold_outcomes(graph):
+    """One cold ``repro.run`` per (backend, op) — the reference."""
+    outcomes = {}
+    for backend, ops in (("oracle", ORACLE_OPS), ("native", NATIVE_OPS)):
+        for op in ops:
+            config = RunConfig(
+                seed=SEED,
+                backend=backend,
+                validate="first_round" if backend == "native" else "full",
+            )
+            outcomes[backend, op] = run(op, graph, config=config)
+    return outcomes
+
+
+class TestColdWarmEquivalence:
+    @pytest.mark.parametrize("op", ORACLE_OPS)
+    def test_oracle_request_matches_cold_run(
+        self, oracle_session, cold_outcomes, op
+    ):
+        cold = cold_outcomes["oracle", op]
+        response = oracle_session.request(op)
+        assert summarize_result(op, response.result) == summarize_result(
+            op, cold.result
+        )
+        assert _charges(cold.ledger) == _charges(
+            oracle_session.build_ledger
+        ) + _charges(response.ledger)
+
+    @pytest.mark.parametrize("op", NATIVE_OPS)
+    def test_native_request_matches_cold_run(
+        self, native_session, cold_outcomes, op
+    ):
+        cold = cold_outcomes["native", op]
+        response = native_session.request(op)
+        assert summarize_result(op, response.result) == summarize_result(
+            op, cold.result
+        )
+        assert _charges(cold.ledger) == _charges(
+            native_session.build_ledger
+        ) + _charges(response.ledger)
+
+    def test_repeated_requests_are_identical(self, oracle_session):
+        first = oracle_session.request("route")
+        second = oracle_session.request("route")
+        assert summarize_result(
+            "route", first.result
+        ) == summarize_result("route", second.result)
+        assert _charges(first.ledger) == _charges(second.ledger)
+
+    def test_explicit_demands_match_cold_run(self, graph, oracle_session):
+        sources = np.arange(graph.num_nodes)
+        destinations = np.roll(sources, 5)
+        cold = run(
+            "route",
+            graph,
+            config=RunConfig(seed=SEED),
+            sources=sources,
+            destinations=destinations,
+        )
+        response = oracle_session.request(
+            "route", sources=sources, destinations=destinations
+        )
+        assert response.result.cost_rounds == cold.result.cost_rounds
+        assert np.array_equal(
+            response.result.final_vnodes, cold.result.final_vnodes
+        )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(order=st.permutations(list(ORACLE_OPS)))
+def test_request_stream_order_is_irrelevant(
+    oracle_session, cold_outcomes, order
+):
+    """Serving the five ops in any order yields the same responses."""
+    for op in order:
+        cold = cold_outcomes["oracle", op]
+        response = oracle_session.request(op)
+        assert summarize_result(op, response.result) == summarize_result(
+            op, cold.result
+        )
+        assert _charges(response.ledger) == _charges(cold.ledger)[
+            len(_charges(oracle_session.build_ledger)):
+        ]
+
+
+class TestRequestValidation:
+    def test_unknown_op_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown operation"):
+            Request(op="frobnicate", args={})
+
+    def test_unknown_arg_rejected_naming_the_key(self):
+        with pytest.raises(TypeError, match="bogus"):
+            Request(op="route", args={"bogus": 1})
+
+    def test_session_request_validates_too(self, oracle_session):
+        with pytest.raises(ValueError, match="unknown operation"):
+            oracle_session.request("frobnicate")
+        with pytest.raises(TypeError, match="sample_fraction"):
+            oracle_session.request("route", sample_fraction=0.5)
+
+    def test_unsupported_op_on_native(self, native_session):
+        with pytest.raises(UnsupportedOnBackend):
+            native_session.request("mst")
+
+    def test_closed_session_refuses_requests(self, graph):
+        session = Session.open(graph, RunConfig(seed=SEED))
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.request("route")
+
+
+class TestRouteBatch:
+    def test_batch_equals_concatenated_route(self, graph, oracle_session):
+        n = graph.num_nodes
+        half = n // 2
+        first = Request(
+            op="route",
+            args={
+                "sources": list(range(half)),
+                "destinations": list(range(half, n)),
+            },
+        )
+        second = Request(
+            op="route",
+            args={
+                "sources": list(range(half, n)),
+                "destinations": list(range(half)),
+            },
+        )
+        responses = oracle_session.route_batch([first, second])
+        combined = oracle_session.request(
+            "route",
+            sources=np.arange(n),
+            destinations=np.roll(np.arange(n), half),
+        )
+        assert len(responses) == 2
+        assert all(r.batch_size == 2 for r in responses)
+        assert (
+            responses[0].result.cost_rounds == combined.result.cost_rounds
+        )
+        summary = responses[0].summary()
+        assert summary["rounds_amortized"] == pytest.approx(
+            summary["rounds"] / 2
+        )
+
+
+class TestApplyUpdate:
+    def test_repair_path_keeps_serving(self, graph):
+        with Session.open(graph, RunConfig(seed=SEED)) as session:
+            u = 0
+            v = int(graph.indices[graph.indptr[0]])
+            report = session.apply_update(edges_removed=[(u, v)])
+            assert not report.rebuilt
+            assert report.repaired or report.dropped
+            assert report.cost_rounds > 0
+            serve = session.context.ledger.by_prefix().get("serve", 0.0)
+            assert serve > 0, "repair must charge under serve/"
+            response = session.request("route")
+            assert response.result.delivered
+
+    def test_forced_rebuild_matches_fresh_session(self, graph):
+        config = RunConfig(seed=SEED)
+        with Session.open(
+            graph, config, staleness_bound=1e-9
+        ) as session:
+            u = 0
+            v = int(graph.indices[graph.indptr[0]])
+            report = session.apply_update(edges_removed=[(u, v)])
+            assert report.rebuilt
+            rebuilt = session.request("route")
+            with Session.open(session.graph, config) as fresh:
+                reference = fresh.request("route")
+                assert (
+                    rebuilt.result.cost_rounds
+                    == reference.result.cost_rounds
+                )
+                assert _charges(rebuilt.ledger) == _charges(
+                    reference.ledger
+                )
+
+    def test_update_on_cached_session_re_keys(self, graph, tmp_path):
+        config = RunConfig(seed=SEED, cache=str(tmp_path))
+        with Session.open(graph, config) as session:
+            key = session.cache_key
+            u = 0
+            v = int(graph.indices[graph.indptr[0]])
+            session.apply_update(edges_removed=[(u, v)])
+            assert session.cache_key != key
+
+
+class TestServeJsonl:
+    def test_stream_with_errors_keeps_serving(self, oracle_session):
+        records = [
+            {"op": "route", "id": "ok-1"},
+            {"op": "frobnicate", "id": "bad"},
+            {"op": "route", "args": {"bogus": 1}, "id": "bad-args"},
+            {"op": "route", "id": "ok-2"},
+        ]
+        responses = list(serve_jsonl(oracle_session, records))
+        assert len(responses) == 4
+        assert responses[0]["id"] == "ok-1"
+        assert "error" in responses[1]
+        assert "error" in responses[2]
+        assert responses[3]["id"] == "ok-2"
+        assert responses[0]["rounds"] == responses[3]["rounds"]
+
+    def test_batching_groups_explicit_routes(self, graph, oracle_session):
+        n = graph.num_nodes
+        record = {
+            "op": "route",
+            "args": {
+                "sources": list(range(n)),
+                "destinations": list(np.roll(np.arange(n), 3)),
+            },
+        }
+        records = [dict(record, id=f"r{i}") for i in range(4)]
+        responses = list(
+            serve_jsonl(oracle_session, records, batch=2)
+        )
+        assert len(responses) == 4
+        assert all(r["batch_size"] == 2 for r in responses)

@@ -216,3 +216,101 @@ class TestRecoveryFlags:
         err = capsys.readouterr().err
         assert "delivery failed" in err
         assert "exhausted:" in err
+
+
+class TestServe:
+    def _expander(self, tmp_path):
+        path = str(tmp_path / "expander.json")
+        main(["generate", "expander", "48", "-o", path, "--seed", "3"])
+        return path
+
+    def _requests_file(self, tmp_path, count=3):
+        import json
+
+        path = str(tmp_path / "requests.jsonl")
+        with open(path, "w") as handle:
+            for index in range(count):
+                handle.write(
+                    json.dumps({"op": "route", "id": f"r{index}"}) + "\n"
+                )
+        return path
+
+    def test_serve_requests_file(self, tmp_path, capsys):
+        import json
+
+        graph = self._expander(tmp_path)
+        requests = self._requests_file(tmp_path)
+        out = str(tmp_path / "responses.jsonl")
+        assert main(
+            ["serve", graph, "--requests", requests, "-o", out,
+             "--seed", "1"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "session ready" in err
+        assert "served 3 response(s)" in err
+        responses = [
+            json.loads(line) for line in open(out) if line.strip()
+        ]
+        assert [r["id"] for r in responses] == ["r0", "r1", "r2"]
+        assert all(r["result"]["delivered"] for r in responses)
+        # Identical requests from one warm session cost identical rounds.
+        assert len({r["rounds"] for r in responses}) == 1
+
+    def test_serve_with_cache_and_update(self, tmp_path, capsys):
+        import json
+
+        graph = self._expander(tmp_path)
+        cache = str(tmp_path / "cache")
+        requests = str(tmp_path / "requests.jsonl")
+        with open(requests, "w") as handle:
+            handle.write(json.dumps({"op": "route", "id": "a"}) + "\n")
+            handle.write(
+                json.dumps({"update": {"edges_added": [[0, 25]]}}) + "\n"
+            )
+            handle.write(json.dumps({"op": "route", "id": "b"}) + "\n")
+        out = str(tmp_path / "responses.jsonl")
+        assert main(
+            ["serve", graph, "--requests", requests, "-o", out,
+             "--seed", "1", "--cache", cache]
+        ) == 0
+        assert "cached=False" in capsys.readouterr().err
+        responses = [
+            json.loads(line) for line in open(out) if line.strip()
+        ]
+        assert len(responses) == 3
+        assert "update" in responses[1]
+
+        # A second serve run over the same graph+config hits the cache.
+        assert main(
+            ["serve", graph, "--requests", requests, "-o", out,
+             "--seed", "1", "--cache", cache]
+        ) == 0
+        assert "cached=True" in capsys.readouterr().err
+
+    def test_serve_batched(self, tmp_path, capsys):
+        import json
+
+        graph = self._expander(tmp_path)
+        requests = str(tmp_path / "requests.jsonl")
+        demands = {
+            "sources": list(range(48)),
+            "destinations": [(v + 7) % 48 for v in range(48)],
+        }
+        with open(requests, "w") as handle:
+            for index in range(4):
+                handle.write(
+                    json.dumps(
+                        {"op": "route", "args": demands, "id": str(index)}
+                    ) + "\n"
+                )
+        out = str(tmp_path / "responses.jsonl")
+        assert main(
+            ["serve", graph, "--requests", requests, "-o", out,
+             "--seed", "1", "--batch", "4"]
+        ) == 0
+        responses = [
+            json.loads(line) for line in open(out) if line.strip()
+        ]
+        assert len(responses) == 4
+        assert all(r["batch_size"] == 4 for r in responses)
+        assert all("rounds_amortized" in r for r in responses)
