@@ -7,7 +7,8 @@ routing baselines).  This benchmark times the vectorized scheduler
 against the retained scalar oracle on the PR-2 acceptance workload
 (4096 packets over `random_regular(1024, 8)`) and asserts their results
 stay identical while the speedup stays ~10x.  The committed baseline
-numbers live in BENCH_PR2.json (see docs/performance.md).
+numbers live in benchmarks/results/kernels.json (see
+docs/performance.md).
 """
 
 import time
@@ -61,5 +62,5 @@ def test_scheduler_speedup(benchmark):
 
     emit(format_table(rows, title="E17: scheduler vectorized vs reference"))
     # Loose floor: the vectorized path must stay clearly ahead; the
-    # committed >= 10x evidence is BENCH_PR2.json.
+    # committed >= 10x evidence is benchmarks/results/kernels.json.
     assert all(row["speedup"] > 3.0 for row in rows)

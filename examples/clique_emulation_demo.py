@@ -15,7 +15,8 @@ import sys
 
 import numpy as np
 
-from repro import Params, build_hierarchy, emulate_clique
+from repro import Params
+from repro.core import build_hierarchy, emulate_clique
 from repro.baselines import two_hop_relay_emulation
 from repro.graphs import erdos_renyi
 from repro.theory import balliu_emulation_bound, clique_emulation_er_bound

@@ -13,7 +13,8 @@ import sys
 
 import numpy as np
 
-from repro import Params, Router, build_hierarchy
+from repro import Params
+from repro.core import Router, build_hierarchy
 from repro.congest import Network, run_walk_protocol
 from repro.graphs import from_networkx, spectral_gap, to_networkx
 from repro.walks import estimate_mixing_time

@@ -15,7 +15,8 @@ import sys
 
 import numpy as np
 
-from repro import Params, minimum_spanning_tree
+from repro import Params
+from repro.core import minimum_spanning_tree
 from repro.baselines import ghs_mst, gkp_mst, kruskal
 from repro.graphs import random_regular, with_random_weights
 from repro.theory import das_sarma_lower_bound

@@ -12,7 +12,8 @@ import sys
 
 import numpy as np
 
-from repro import Params, Router, build_hierarchy
+from repro import Params
+from repro.core import Router, build_hierarchy
 from repro.graphs import random_regular
 
 

@@ -13,7 +13,8 @@ import sys
 
 import numpy as np
 
-from repro import Params, approximate_min_cut
+from repro import Params
+from repro.core import approximate_min_cut
 from repro.graphs import Graph, cut_size, random_regular
 
 

@@ -1,44 +1,25 @@
 #!/usr/bin/env python
-"""Record the performance baseline (``BENCH_PR2.json``).
+"""DEPRECATED shim — use ``python -m repro bench`` instead.
 
-Runs the pinned kernel suite of :mod:`repro.analysis.perf` and writes one
-JSON row per ``(kernel, size)`` measurement.  The committed file is the
-reference later perf PRs diff against; refresh it only in a PR whose
-point is performance, and say so in the PR description.
+The flag pile this script accreted (``--faults`` / ``--recovery`` /
+``--pr7`` / ``--serve``) is now the benchmark registry
+(:mod:`repro.bench.registry`); each flag maps to a named suite:
 
-Usage::
+===============  ==============================
+legacy flag      ``repro bench`` suite
+===============  ==============================
+(none)           ``kernels``
+``--faults``     ``faults``
+``--recovery``   ``recovery``
+``--pr7``        ``engine``
+``--serve``      ``serve``
+===============  ==============================
 
-    PYTHONPATH=src python scripts/bench_baseline.py              # full suite
-    PYTHONPATH=src python scripts/bench_baseline.py --seed 1 --out BENCH.json
-    PYTHONPATH=src python scripts/bench_baseline.py --check      # CI smoke
-
-``--check`` runs every kernel once at a small size and asserts the JSON
-schema — no thresholds, no file written.  See docs/performance.md.
-
-``--faults`` switches to the fault-injection suite
-(:func:`repro.analysis.perf.run_fault_suite`) and writes
-``BENCH_PR4.json`` instead: clean vs. drop=0.01 reliable forwarding, so
-the committed delta records the retry overhead.  Combine with
-``--check`` for the CI smoke of that suite.
-
-``--recovery`` switches to the self-healing suite
-(:func:`repro.analysis.perf.run_recovery_suite`) and writes
-``BENCH_PR5.json``: heartbeat detection, token parking, re-homing,
-live-subgraph walks, and end-to-end portal failover, so the committed
-rows record what each recovery mechanism costs.
-
-``--pr7`` switches to the vectorized-engine suite
-(:func:`repro.analysis.perf.run_pr7_suite`) and writes
-``BENCH_PR7.json``: scalar-vs-array walk protocol (verified bit-equal
-before reporting), the native hierarchy build at n = 512/1024, and a
-sharded-delivery worker sweep.
-
-``--serve`` switches to the session-layer suite
-(:func:`repro.analysis.perf.run_serve_suite`) and writes
-``BENCH_PR8.json``: cold single-shot vs. warm-served requests
-(verified bit-equal before reporting) plus the session build and the
-cache-hit re-open, so the committed rows record the build-once/
-serve-many amortization.
+``--check`` gates the suite's quick tier against the committed
+``benchmarks/results/<suite>.quick.json`` baseline (the old --check
+only validated the JSON schema); plain runs write the unified
+``repro-bench/v1`` record to ``benchmarks/results/<suite>.json``.
+This shim will be removed next release.
 """
 
 from __future__ import annotations
@@ -51,69 +32,21 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if os.path.isdir(os.path.join(ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(ROOT, "src"))
 
-from dataclasses import asdict
-
-from repro.analysis.perf import (
-    run_bench_suite,
-    run_fault_suite,
-    run_pr7_suite,
-    run_recovery_suite,
-    run_serve_suite,
-    validate_bench,
-    write_bench,
-)
+from repro.cli import main as repro_main
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--out",
-        default=None,
-        help="output path (default: BENCH_PR2.json at the repo root, "
-        "BENCH_PR4.json with --faults, BENCH_PR5.json with --recovery)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=0, help="suite seed (default: 0)"
-    )
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="smoke mode: small sizes, schema assertion, nothing written",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="use the small quick-mode sizes even when writing a file "
-        "(CI uses --quick --check; --check alone already implies quick "
-        "sizes)",
-    )
-    parser.add_argument(
-        "--faults",
-        action="store_true",
-        help="run the fault-injection suite (clean vs drop=0.01 reliable "
-        "forwarding) instead of the main kernel suite",
-    )
-    parser.add_argument(
-        "--recovery",
-        action="store_true",
-        help="run the self-healing suite (detection, parking, re-homing, "
-        "portal failover) instead of the main kernel suite",
-    )
-    parser.add_argument(
-        "--pr7",
-        action="store_true",
-        help="run the vectorized-engine suite (scalar-vs-array walk "
-        "protocol, native build at n=512/1024, sharded-delivery worker "
-        "sweep) instead of the main kernel suite",
-    )
-    parser.add_argument(
-        "--serve",
-        action="store_true",
-        help="run the session-layer suite (cold single-shot vs warm "
-        "serving, session build, cache-hit re-open) instead of the "
-        "main kernel suite",
-    )
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--faults", action="store_true")
+    parser.add_argument("--recovery", action="store_true")
+    parser.add_argument("--pr7", action="store_true")
+    parser.add_argument("--serve", action="store_true")
     args = parser.parse_args(argv)
+
     chosen = [
         flag
         for flag in ("faults", "recovery", "pr7", "serve")
@@ -123,39 +56,27 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             "--" + " and --".join(chosen) + " are mutually exclusive"
         )
-    if args.serve:
-        suite, default_out = run_serve_suite, "BENCH_PR8.json"
-    elif args.pr7:
-        suite, default_out = run_pr7_suite, "BENCH_PR7.json"
-    elif args.recovery:
-        suite, default_out = run_recovery_suite, "BENCH_PR5.json"
-    elif args.faults:
-        suite, default_out = run_fault_suite, "BENCH_PR4.json"
-    else:
-        suite, default_out = run_bench_suite, "BENCH_PR2.json"
-    if args.out is None:
-        args.out = os.path.join(ROOT, default_out)
+    suite = {
+        "faults": "faults",
+        "recovery": "recovery",
+        "pr7": "engine",
+        "serve": "serve",
+    }.get(chosen[0] if chosen else "", "kernels")
 
+    forwarded = ["bench", suite, "--seed", str(args.seed)]
     if args.check:
-        rows = suite(seed=args.seed, quick=True)
-        validate_bench([asdict(row) for row in rows])
-        kernels = sorted({row.kernel for row in rows})
-        print(
-            f"bench --check OK: {len(rows)} rows, "
-            f"{len(kernels)} kernels ({', '.join(kernels)})"
-        )
-        return 0
-
-    rows = suite(seed=args.seed, quick=args.quick)
-    write_bench(rows, args.out)
-    width = max(len(row.kernel) for row in rows)
-    for row in rows:
-        print(
-            f"{row.kernel:<{width}}  n={row.n:<5d} "
-            f"wall={row.wall_s:>9.4f}s  rounds={row.rounds}"
-        )
-    print(f"wrote {len(rows)} rows to {args.out}")
-    return 0
+        forwarded.append("--check")
+    else:
+        if args.quick:
+            forwarded.append("--quick")
+        if args.out is not None:
+            forwarded += ["--out", args.out]
+    print(
+        "bench_baseline.py is deprecated; use "
+        f"`python -m repro {' '.join(forwarded)}`",
+        file=sys.stderr,
+    )
+    return repro_main(forwarded)
 
 
 if __name__ == "__main__":

@@ -32,15 +32,13 @@ else
     echo "== mypy not installed; skipping type check (pip install mypy)"
 fi
 
-echo "== bench harness smoke (schema only, no thresholds)"
-python scripts/bench_baseline.py --check
-python scripts/bench_baseline.py --check --faults
-python scripts/bench_baseline.py --check --recovery
-python scripts/bench_baseline.py --check --pr7
-python scripts/bench_baseline.py --check --serve
-
-echo "== perf tripwire (native_build n=256 within pinned budget)"
-python scripts/perf_tripwire.py
+echo "== bench regression gate (quick tier vs committed baselines)"
+# Runs every registry suite at quick sizes and compares the
+# seed-deterministic columns (rounds, served/error counts, round
+# percentiles) exactly against benchmarks/results/<suite>.quick.json;
+# the tripwire suite also enforces the native-build wall budget.
+# Refresh a baseline with: python -m repro bench <suite> --quick
+python -m repro bench --check
 
 echo "== fault-matrix smoke (reliable delivery under injected faults)"
 python scripts/fault_smoke.py

@@ -1,18 +1,10 @@
 #!/usr/bin/env python
-"""Perf tripwire: fail if the native build regresses past its budget.
+"""DEPRECATED shim — use ``python -m repro bench tripwire --check``.
 
-Runs the ``native_build`` kernel (G0 + level-1, the PR 2 pinned
-workload) at n = 256 once and exits nonzero if the wall time exceeds
-the budget.  The budget is pinned at 5.4 s — 20% of the 27 s the
-scalar per-node pipeline took before the array-native walk engine
-(PR 7) — with enough slack over the current ~0.5 s that only a real
-regression (e.g. the inner loop going scalar again) trips it, not CI
-jitter.
-
-Usage::
-
-    PYTHONPATH=src python scripts/perf_tripwire.py
-    PYTHONPATH=src python scripts/perf_tripwire.py --budget 2.0 --n 256
+The native-build wall-budget canary now lives in the benchmark registry
+as the ``tripwire`` suite (same n=256 G0 + level-1 workload, same 5.4 s
+budget, gated uniformly with every other suite).  This shim keeps the
+old invocation working for one release and will then be removed.
 """
 
 from __future__ import annotations
@@ -20,57 +12,36 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if os.path.isdir(os.path.join(ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(ROOT, "src"))
 
-from repro.congest.native import build_native_g0, build_native_level1
-from repro.graphs import mixing_time, random_regular
-from repro.rng import derive_rng
+from repro.bench import TRIPWIRE_BUDGET_S, tripwire_measurement
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--n", type=int, default=256, help="base-graph size (default 256)"
-    )
-    parser.add_argument(
-        "--budget",
-        type=float,
-        default=5.4,
-        help="wall-time budget in seconds (default 5.4)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=0, help="suite seed (default 0)"
-    )
+    parser.add_argument("--n", type=int, default=256)
+    parser.add_argument("--budget", type=float, default=TRIPWIRE_BUDGET_S)
+    parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
-    graph = random_regular(args.n, 6, derive_rng(args.seed, args.n))
-    tau = mixing_time(graph)
-    begin = time.perf_counter()
-    g0 = build_native_g0(
-        graph,
-        walks_per_vnode=12,
-        degree=6,
-        length=2 * tau,
-        seed=args.seed + args.n,
-    )
-    level1 = build_native_level1(
-        g0, beta=3, degree=4, length=8, seed=args.seed + args.n + 1
-    )
-    wall = time.perf_counter() - begin
-    rounds = g0.build_rounds + level1.build_rounds
     print(
-        f"native_build n={args.n}: wall={wall:.3f}s "
-        f"(budget {args.budget:.1f}s), rounds={rounds}"
+        "perf_tripwire.py is deprecated; use "
+        "`python -m repro bench tripwire --check`",
+        file=sys.stderr,
     )
-    if wall > args.budget:
+    row = tripwire_measurement(seed=args.seed, n=args.n)
+    print(
+        f"native_build n={row['n']}: wall={row['wall_s']:.3f}s "
+        f"(budget {args.budget:.1f}s), rounds={row['rounds']}"
+    )
+    if row["wall_s"] > args.budget:
         print(
-            f"PERF TRIPWIRE: native_build n={args.n} took {wall:.3f}s, "
-            f"over the {args.budget:.1f}s budget — the array-native walk "
-            "engine has regressed",
+            f"PERF TRIPWIRE: native_build n={row['n']} took "
+            f"{row['wall_s']:.3f}s, over the {args.budget:.1f}s budget "
+            "— the array-native walk engine has regressed",
             file=sys.stderr,
         )
         return 1

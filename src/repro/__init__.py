@@ -22,11 +22,14 @@ Public API tour:
   (:class:`~repro.congest.FaultPlan`) and reliable delivery
   (:mod:`repro.congest.reliable`).
 
-The original per-function entry points (:func:`build_hierarchy`,
-:class:`Router`, :func:`minimum_spanning_tree`,
-:func:`emulate_clique`, :func:`approximate_min_cut`) still work but are
-deprecated in favour of :func:`repro.run`; importing them from
-:mod:`repro.core` keeps the un-deprecated originals.
+Two legacy per-function entry points remain as deprecated shims —
+:func:`build_hierarchy` and :func:`minimum_spanning_tree` — and both
+now dispatch through :func:`repro.run` (the op table in
+:mod:`repro.runtime.ops` is the only dispatch site).  The other PR-1
+entry points (``repro.Router``, ``repro.emulate_clique``,
+``repro.approximate_min_cut``) were removed after five releases of
+deprecation warnings: use ``repro.run("route" / "clique" / "mincut",
+graph)`` or import the un-deprecated originals from :mod:`repro.core`.
 """
 
 import warnings as _warnings
@@ -43,11 +46,6 @@ from .core import (
     build_partition,
     build_portals,
 )
-from .core import Router as _CoreRouter
-from .core import approximate_min_cut as _approximate_min_cut
-from .core import build_hierarchy as _build_hierarchy
-from .core import emulate_clique as _emulate_clique
-from .core import minimum_spanning_tree as _minimum_spanning_tree
 from .params import Params
 from .runtime import (
     RunConfig,
@@ -72,48 +70,45 @@ def _deprecated(name: str, hint: str) -> None:
     )
 
 
-def build_hierarchy(*args, **kwargs):
-    """Deprecated shim over :func:`repro.core.build_hierarchy`."""
-    _deprecated("build_hierarchy", "'build', graph")
-    return _build_hierarchy(*args, **kwargs)
+def _reject_rng(name: str, rng) -> None:
+    if rng is not None:
+        raise TypeError(
+            f"repro.{name} now dispatches through repro.run and takes "
+            "seed= instead of rng= (named streams derive from the "
+            f"seed); pass seed=, or use repro.core.{name} for the "
+            "rng-based original"
+        )
 
 
-def minimum_spanning_tree(*args, **kwargs):
-    """Deprecated shim over :func:`repro.core.minimum_spanning_tree`."""
-    _deprecated("minimum_spanning_tree", "'mst', graph")
-    return _minimum_spanning_tree(*args, **kwargs)
+def build_hierarchy(graph, params=None, *, seed=0, rng=None):
+    """Deprecated shim: ``repro.run("build", graph)`` via the op table.
 
-
-def emulate_clique(*args, **kwargs):
-    """Deprecated shim over :func:`repro.core.emulate_clique`."""
-    _deprecated("emulate_clique", "'clique', graph")
-    return _emulate_clique(*args, **kwargs)
-
-
-def approximate_min_cut(*args, **kwargs):
-    """Deprecated shim over :func:`repro.core.approximate_min_cut`."""
-    _deprecated("approximate_min_cut", "'mincut', graph")
-    return _approximate_min_cut(*args, **kwargs)
-
-
-class Router(_CoreRouter):
-    """Deprecated alias of :class:`repro.core.router.Router`.
-
-    Constructing it warns; behaviour is identical (it *is* the core
-    router).  New code routes via ``repro.run("route", graph,
-    config=RunConfig(...))``.
+    Returns the built :class:`~repro.core.hierarchy.Hierarchy`, exactly
+    as ``run("build", graph, config=RunConfig(seed=seed,
+    params=params)).result`` would.  The historical ``rng=`` argument
+    is gone — runs are configured by seed; :func:`repro.core.\
+build_hierarchy` keeps the rng-based signature.
     """
+    _deprecated("build_hierarchy", "'build', graph")
+    _reject_rng("build_hierarchy", rng)
+    config = RunConfig(seed=seed, params=params)
+    return run("build", graph, config=config).result
 
-    def __init__(self, *args, **kwargs):
-        _deprecated("Router", "'route', graph")
-        super().__init__(*args, **kwargs)
 
+def minimum_spanning_tree(graph, params=None, *, seed=0, rng=None):
+    """Deprecated shim: ``repro.run("mst", graph)`` via the op table.
 
-# Keep docstrings/introspection close to the originals.
-build_hierarchy.__wrapped__ = _build_hierarchy
-minimum_spanning_tree.__wrapped__ = _minimum_spanning_tree
-emulate_clique.__wrapped__ = _emulate_clique
-approximate_min_cut.__wrapped__ = _approximate_min_cut
+    Returns the :class:`~repro.core.mst.MstResult`; unweighted graphs
+    get i.i.d. uniform weights from the config's ``"weights"`` stream,
+    exactly as the front door does.  ``rng=`` is gone (see
+    :func:`build_hierarchy`); :func:`repro.core.minimum_spanning_tree`
+    keeps the rng-based original.
+    """
+    _deprecated("minimum_spanning_tree", "'mst', graph")
+    _reject_rng("minimum_spanning_tree", rng)
+    config = RunConfig(seed=seed, params=params)
+    return run("mst", graph, config=config).result
+
 
 __all__ = [
     "baselines",
@@ -133,15 +128,12 @@ __all__ = [
     "MstResult",
     "MstRunner",
     "RoundLedger",
-    "Router",
     "RoutingError",
     "RoutingResult",
-    "approximate_min_cut",
     "build_g0",
     "build_hierarchy",
     "build_partition",
     "build_portals",
-    "emulate_clique",
     "minimum_spanning_tree",
     "Params",
     "ExpanderNetwork",

@@ -1,11 +1,12 @@
 """Perf-baseline harness: a pinned kernel suite with a committed record.
 
-``scripts/bench_baseline.py`` runs this suite and writes ``BENCH_PR2.json``
-at the repo root — one row per ``(kernel, problem size)`` with the wall
-time and the round count of the run.  Later performance PRs re-run the
-suite and diff against the committed file, so speedups are *recorded*
-rather than asserted.  See ``docs/performance.md`` for the kernel
-inventory and the refresh procedure.
+``python -m repro bench kernels`` runs this suite (via the registry in
+:mod:`repro.bench.registry`) and writes ``benchmarks/results/kernels.json``
+— one row per ``(kernel, problem size)`` with the wall time and the
+round count of the run.  Later performance PRs re-run the suite and
+diff against the committed record, so speedups are *recorded* rather
+than asserted.  See ``docs/performance.md`` for the kernel inventory
+and the refresh procedure.
 
 Two deliberate design points:
 
@@ -343,7 +344,7 @@ def delivery_curve(
 
 
 def run_fault_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
-    """The fault-injection kernel suite behind ``BENCH_PR4.json``.
+    """The fault-injection suite behind ``benchmarks/results/faults.json``.
 
     Times the reliable forwarder on a random regular expander with the
     per-link drop rate off (``reliable_forward_clean``) and at the
@@ -382,7 +383,7 @@ def _crash_plan(text: str, seed: int, n: int, label: int) -> FaultPlan:
 
 
 def run_recovery_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
-    """The self-healing kernel suite behind ``BENCH_PR5.json``.
+    """The self-healing suite behind ``benchmarks/results/recovery.json``.
 
     One row per recovery mechanism, at each pinned size:
 
@@ -603,7 +604,7 @@ def _bench_sharded_delivery(seed: int, quick: bool) -> list[BenchRow]:
 
 
 def run_pr7_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
-    """The vectorized-engine kernel suite behind ``BENCH_PR7.json``.
+    """The vectorized-engine suite behind ``benchmarks/results/engine.json``.
 
     Three groups: the scalar-vs-array walk protocol (verified equal
     before reporting), the native hierarchy build at n = 512/1024 (the
@@ -618,7 +619,7 @@ def run_pr7_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
 
 
 def run_serve_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
-    """The session-layer kernel suite behind ``BENCH_PR8.json``.
+    """The session-layer suite behind ``benchmarks/results/serve.json``.
 
     The serve economics in four rows per size:
 
@@ -744,7 +745,7 @@ def run_bench_suite(seed: int = 0, quick: bool = False) -> list[BenchRow]:
 
     Args:
         seed: single seed every kernel derives its randomness from.
-        quick: smoke mode for ``scripts/bench_baseline.py --check`` —
+        quick: smoke mode for ``repro bench --check`` —
             one small size per kernel, single repetition, no thresholds.
 
     Returns one :class:`BenchRow` per kernel/size measurement.

@@ -1,0 +1,59 @@
+"""Unified benchmark registry, record schema, and regression gate.
+
+One front door for every benchmark in the repo:
+
+* :mod:`repro.bench.schema` — the versioned ``repro-bench/v1`` JSON
+  record every suite writes (and a loader that still reads the legacy
+  ``BENCH_PR*.json`` bare-list format);
+* :mod:`repro.bench.gate` — the uniform regression gate: exact
+  comparison of seed-deterministic columns, row coverage, and absolute
+  wall budgets;
+* :mod:`repro.bench.registry` — the declarative suite table behind
+  ``repro bench SUITE [--check] [--quick]``.
+
+Committed baselines live under ``benchmarks/results/`` — ``<suite>.json``
+for the full tier, ``<suite>.quick.json`` for the quick tier CI gates
+against.  See ``docs/performance.md`` and ``docs/workloads.md``.
+"""
+
+from .gate import GatePolicy, GateResult, compare_records
+from .registry import (
+    SUITES,
+    TRIPWIRE_BUDGET_S,
+    Suite,
+    baseline_path,
+    check_suite,
+    default_results_dir,
+    get_suite,
+    run_suite,
+    tripwire_measurement,
+)
+from .schema import (
+    ROW_KEYS,
+    SCHEMA_VERSION,
+    load_record,
+    make_record,
+    validate_record,
+    write_record,
+)
+
+__all__ = [
+    "ROW_KEYS",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "TRIPWIRE_BUDGET_S",
+    "GatePolicy",
+    "GateResult",
+    "Suite",
+    "baseline_path",
+    "check_suite",
+    "compare_records",
+    "default_results_dir",
+    "get_suite",
+    "load_record",
+    "make_record",
+    "run_suite",
+    "tripwire_measurement",
+    "validate_record",
+    "write_record",
+]

@@ -8,6 +8,8 @@ Commands:
 * ``mst`` — run the distributed MST (random weights if none stored).
 * ``run`` — continue a run snapshotted with ``--checkpoint``.
 * ``serve`` — open a warm session and answer JSONL requests.
+* ``bench`` — run registry benchmark suites / gate them against
+  committed baselines (``repro bench SUITE [--check] [--quick]``).
 * ``report`` — regenerate EXPERIMENTS.md from live runs.
 
 Pipeline commands (``route``/``mst``/``mincut``/``clique``) construct
@@ -230,6 +232,42 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_runtime_flags(serve)
 
+    bench = sub.add_parser(
+        "bench",
+        help="run benchmark suites from the registry / gate them "
+        "against committed baselines",
+    )
+    bench.add_argument(
+        "suites", nargs="*", metavar="SUITE",
+        help="registry suites to run (default: all; see --list)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_suites",
+        help="list the registered suites and exit",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="run each suite's quick tier and gate it against the "
+        "committed benchmarks/results/<suite>.quick.json baseline; "
+        "exit 1 on any regression",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="run the small quick-tier sizes and write the "
+        "<suite>.quick.json baseline instead of <suite>.json",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the record here instead of the results directory "
+        "(single suite only)",
+    )
+    bench.add_argument(
+        "--results", metavar="DIR", default=None,
+        help="baseline/results directory "
+        "(default: benchmarks/results under the cwd)",
+    )
+
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
     return parser
@@ -415,6 +453,64 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import os
+
+    from .bench import (
+        SUITES,
+        baseline_path,
+        check_suite,
+        default_results_dir,
+        run_suite,
+        write_record,
+    )
+
+    if args.list_suites:
+        width = max(len(name) for name in SUITES)
+        for name in sorted(SUITES):
+            print(f"{name:<{width}}  {SUITES[name].title}")
+        return 0
+
+    names = args.suites or sorted(SUITES)
+    for name in names:
+        if name not in SUITES:
+            raise ValueError(
+                f"unknown bench suite {name!r}; choose from "
+                f"{tuple(sorted(SUITES))}"
+            )
+    if args.out is not None and len(names) != 1:
+        raise ValueError("--out needs exactly one SUITE")
+
+    if args.check:
+        failed = False
+        for name in names:
+            result = check_suite(
+                name, seed=args.seed, results_dir=args.results
+            )
+            print(result.describe())
+            failed = failed or not result.ok
+        return 1 if failed else 0
+
+    results_dir = (
+        args.results
+        if args.results is not None
+        else default_results_dir()
+    )
+    for name in names:
+        record = run_suite(name, seed=args.seed, quick=args.quick)
+        path = args.out or baseline_path(
+            name, quick=args.quick, results_dir=results_dir
+        )
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        write_record(record, path)
+        tier = "quick" if args.quick else "full"
+        print(
+            f"{name}: wrote {len(record['rows'])} rows ({tier} tier) "
+            f"to {path}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -424,6 +520,7 @@ _COMMANDS = {
     "clique": _cmd_clique,
     "run": _cmd_run,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
     "report": _cmd_report,
 }
 

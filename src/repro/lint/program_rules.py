@@ -575,9 +575,10 @@ class MessageSizeFlowRule(ProgramRule):
 class InternalShimRule(ProgramRule):
     """R012: library code must not call the deprecated ``repro.*`` shims.
 
-    The top-level shims (``repro.build_hierarchy``, ``repro.Router``,
-    ...) exist for downstream users mid-migration; they warn on every
-    call and add a layer of indirection.  Internal modules calling them
+    The surviving top-level shims (``repro.build_hierarchy``,
+    ``repro.minimum_spanning_tree``) exist for downstream users
+    mid-migration; they warn on every call and add a layer of
+    indirection.  Internal modules calling them
     would warn at import time, re-enter the package root, and couple
     the implementation to its own deprecation surface — import the
     originals from ``repro.core`` instead.  The shim list is discovered

@@ -864,17 +864,31 @@ def serve_jsonl(
     Request records are ``{"op": ..., "args": {...}, "id": ...}``;
     update records are ``{"update": {"edges_added": [...],
     "edges_removed": [...], "nodes_down": [...]}}``.  A malformed
-    record yields an ``{"error": ...}`` response and serving continues.
-    With ``batch > 0``, consecutive explicit-demand route requests are
-    grouped (up to ``batch``) into one routing instance.
+    record — and a request a live fault plan defeats
+    (:class:`~repro.congest.faults.DeliveryTimeout`) — yields an
+    ``{"error": ...}`` response and serving continues: the loop
+    outlives any single record.  With ``batch > 0``, consecutive
+    explicit-demand route requests are grouped (up to ``batch``) into
+    one routing instance.
     """
+    from ..congest.faults import DeliveryTimeout
+
+    recoverable = (ValueError, TypeError, DeliveryTimeout)
     pending: list[Request] = []
 
     def flush() -> Iterator[dict[str, Any]]:
         if pending:
             group = list(pending)
             pending.clear()
-            for response in session.route_batch(group):
+            try:
+                responses = session.route_batch(group)
+            except recoverable as error:
+                yield {
+                    "error": str(error),
+                    "ids": [request.id for request in group],
+                }
+                return
+            for response in responses:
                 yield response.summary()
 
     for record in records:
@@ -887,7 +901,7 @@ def serve_jsonl(
                     edges_removed=update.get("edges_removed", ()),
                     nodes_down=update.get("nodes_down", ()),
                 )
-            except (ValueError, TypeError) as error:
+            except recoverable as error:
                 yield {"error": str(error), "record": dict(record)}
                 continue
             yield report.summary()
@@ -915,6 +929,6 @@ def serve_jsonl(
         yield from flush()
         try:
             yield session.submit(request).summary()
-        except (ValueError, TypeError) as error:
+        except recoverable as error:
             yield {"error": str(error), "record": dict(record)}
     yield from flush()

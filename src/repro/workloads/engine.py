@@ -1,0 +1,395 @@
+"""Drive an open-loop stream against a warm session; report percentiles.
+
+The engine is the measurement half of the workload package: it takes a
+:class:`~repro.workloads.scenarios.Scenario`, generates its
+deterministic request stream, serves the stream against one warm
+:class:`~repro.runtime.Session` (built once, amortized across the whole
+run), and reduces the per-request outcomes to what a service under load
+cares about:
+
+* **delivery rounds** — the paper's currency, seed-deterministic and
+  therefore gateable across machines;
+* **wall latency** — per-request service seconds (machine-dependent,
+  reported but never gated);
+* **sojourn latency** — open-loop queueing delay: the stream's arrival
+  schedule does not wait for the server, so a request's latency is
+  ``completion - arrival`` with ``completion = max(arrival,
+  previous_completion) + service``.
+
+Two serving modes exercise the two public surfaces: ``"session"`` calls
+:meth:`Session.submit` / :meth:`Session.route_batch` directly;
+``"jsonl"`` replays the stream through :func:`~repro.runtime.serve_jsonl`
+(the wire path, error records and all).  Both tolerate per-request
+failures — a :class:`~repro.congest.faults.DeliveryTimeout` under an
+injected fault plan becomes an error record, never a dead serving loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Iterator, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..congest.faults import DeliveryTimeout
+from ..graphs.graph import Graph
+from ..runtime.config import RunConfig
+from ..runtime.session import Request, Session, serve_jsonl
+from .generator import Workload, WorkloadSpec, generate_workload
+from .scenarios import Scenario, get_scenario
+
+__all__ = [
+    "MODES",
+    "PERCENTILES",
+    "WorkloadReport",
+    "fault_rate_curve",
+    "offered_load_curve",
+    "percentile_summary",
+    "run_workload",
+]
+
+#: The reported latency/round percentiles.
+PERCENTILES = (50, 95, 99)
+
+#: Serving modes: direct session API, or the serve_jsonl wire path.
+MODES = ("session", "jsonl")
+
+
+def percentile_summary(values: Sequence[float]) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over ``values``.
+
+    Linear-interpolated percentiles (``numpy.percentile`` default), so
+    the summary of a deterministic series is itself deterministic.
+    Empty input reports zeros rather than NaNs — a run where every
+    request errored still writes a well-formed record.
+    """
+    if len(values) == 0:
+        return {f"p{p}": 0.0 for p in PERCENTILES}
+    data = np.asarray(values, dtype=np.float64)
+    return {
+        f"p{p}": float(np.percentile(data, p)) for p in PERCENTILES
+    }
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """What one sustained run measured.
+
+    Attributes:
+        scenario / mode / n / seed / epochs / batch: run identity.
+        requests: route requests the generator scheduled.
+        served: requests that produced a response.
+        errors: requests (or updates) that produced an error record.
+        updates / rebuilds: churn updates applied / of those, full
+            rebuilds forced by the staleness bound.
+        total_rounds: delivery rounds across all served requests
+            (amortized per batch, so a batch's cost counts once).
+        total_wall_s: server busy seconds (sum of service times).
+        makespan_s: completion second of the last served request under
+            the open-loop clock.
+        offered_rps: the generator's scheduled load.
+        achieved_rps: ``served / makespan_s``.
+        rounds / wall_s / sojourn_s: p50/p95/p99 summaries of
+            per-request delivery rounds, service wall seconds, and
+            open-loop sojourn seconds.
+    """
+
+    scenario: str
+    mode: str
+    n: int
+    seed: int
+    epochs: int
+    batch: int
+    requests: int
+    served: int
+    errors: int
+    updates: int
+    rebuilds: int
+    total_rounds: float
+    total_wall_s: float
+    makespan_s: float
+    offered_rps: float
+    achieved_rps: float
+    rounds: dict[str, float]
+    wall_s: dict[str, float]
+    sojourn_s: dict[str, float]
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe report payload (the bench record's metrics shape).
+
+        Deterministic fields (gateable): ``served``, ``errors``,
+        ``updates``, ``rebuilds``, ``total_rounds``, ``rounds_p*``.
+        Wall-clock fields are reported for humans, never gated.
+        """
+        payload: dict[str, Any] = {
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "n": self.n,
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "batch": self.batch,
+            "requests": self.requests,
+            "served": self.served,
+            "errors": self.errors,
+            "updates": self.updates,
+            "rebuilds": self.rebuilds,
+            "total_rounds": float(self.total_rounds),
+            "total_wall_s": round(self.total_wall_s, 6),
+            "makespan_s": round(self.makespan_s, 6),
+            "offered_rps": round(self.offered_rps, 3),
+            "achieved_rps": round(self.achieved_rps, 3),
+        }
+        for name, pcts in (
+            ("rounds", self.rounds),
+            ("wall_s", self.wall_s),
+            ("sojourn_s", self.sojourn_s),
+        ):
+            for key in sorted(pcts):
+                payload[f"{name}_{key}"] = (
+                    float(pcts[key])
+                    if name == "rounds"
+                    else round(pcts[key], 6)
+                )
+        return payload
+
+
+def _as_scenario(
+    scenario: Union[str, Scenario, WorkloadSpec]
+) -> Scenario:
+    """Coerce any accepted scenario spelling to a :class:`Scenario`."""
+    if isinstance(scenario, str):
+        return get_scenario(scenario)
+    if isinstance(scenario, Scenario):
+        return scenario
+    if isinstance(scenario, WorkloadSpec):
+        values = {
+            spec_field.name: getattr(scenario, spec_field.name)
+            for spec_field in fields(WorkloadSpec)
+        }
+        return Scenario(name="custom", **values)
+    raise TypeError(
+        "scenario must be a catalogue name, Scenario, or WorkloadSpec, "
+        f"got {type(scenario).__name__}"
+    )
+
+
+def _drive(
+    session: Session,
+    workload: Workload,
+    *,
+    batch: int,
+    mode: str,
+) -> Iterator[dict[str, Any]]:
+    """Serve the stream; yield response/update/error summary dicts."""
+    if mode == "jsonl":
+        yield from serve_jsonl(session, workload.records, batch=batch)
+        return
+
+    pending: list[Request] = []
+
+    def flush() -> Iterator[dict[str, Any]]:
+        if pending:
+            group = list(pending)
+            pending.clear()
+            try:
+                responses = session.route_batch(group)
+            except DeliveryTimeout as error:
+                yield {
+                    "error": str(error),
+                    "ids": [request.id for request in group],
+                }
+                return
+            for response in responses:
+                yield response.summary()
+
+    for record in workload.records:
+        if "update" in record:
+            yield from flush()
+            update = dict(record["update"])
+            try:
+                report = session.apply_update(
+                    edges_added=update.get("edges_added", ()),
+                    edges_removed=update.get("edges_removed", ()),
+                    nodes_down=update.get("nodes_down", ()),
+                )
+            except (ValueError, TypeError, DeliveryTimeout) as error:
+                yield {"error": str(error), "record": dict(record)}
+                continue
+            yield report.summary()
+            continue
+        request = Request(
+            op=record["op"],
+            args=dict(record["args"]),
+            id=record.get("id"),
+        )
+        if batch > 0 and request.op == "route":
+            pending.append(request)
+            if len(pending) >= batch:
+                yield from flush()
+            continue
+        yield from flush()
+        try:
+            yield session.submit(request).summary()
+        except DeliveryTimeout as error:
+            yield {"error": str(error), "id": request.id}
+    yield from flush()
+
+
+def run_workload(
+    graph: Graph,
+    scenario: Union[str, Scenario, WorkloadSpec],
+    *,
+    seed: int = 0,
+    mode: str = "session",
+    backend: str = "oracle",
+    workers: int = 1,
+    config: Optional[RunConfig] = None,
+) -> WorkloadReport:
+    """One sustained multi-epoch run of ``scenario`` over ``graph``.
+
+    Builds the hierarchy once (``Session.open``), then serves the
+    scenario's full deterministic stream against the warm structure.
+    The scenario's ``faults`` / ``recovery`` / ``batch`` knobs configure
+    the serving side unless an explicit ``config`` overrides them.
+    """
+    if mode not in MODES:
+        raise ValueError(
+            f"mode must be one of {MODES}, got {mode!r}"
+        )
+    resolved = _as_scenario(scenario)
+    if config is None:
+        config = RunConfig(
+            seed=seed,
+            backend=backend,
+            faults=resolved.faults,
+            recovery=resolved.recovery,
+            workers=workers,
+        )
+    workload = generate_workload(graph, resolved, seed=seed)
+
+    arrivals: dict[Optional[str], float] = {}
+    for record, second in zip(workload.records, workload.arrivals):
+        if "op" in record:
+            arrivals[record.get("id")] = float(second)
+
+    rounds_values: list[float] = []
+    wall_values: list[float] = []
+    sojourn_values: list[float] = []
+    served = errors = updates = rebuilds = 0
+    total_rounds = 0.0
+    total_wall = 0.0
+    clock = 0.0
+
+    with Session.open(graph, config) as session:
+        summaries = _drive(
+            session, workload, batch=resolved.batch, mode=mode
+        )
+        for summary in summaries:
+            if "error" in summary:
+                errors += 1
+                continue
+            if "update" in summary:
+                updates += 1
+                rebuilds += int(bool(summary["update"]["rebuilt"]))
+                continue
+            served += 1
+            size = int(summary.get("batch_size", 1))
+            rounds = float(
+                summary.get("rounds_amortized", summary["rounds"])
+            )
+            service = float(summary["wall_s"]) / size
+            rounds_values.append(rounds)
+            wall_values.append(service)
+            total_rounds += rounds
+            total_wall += service
+            arrival = arrivals.get(summary.get("id"), clock)
+            clock = max(clock, arrival) + service
+            sojourn_values.append(clock - arrival)
+
+    makespan = max(clock, 1e-9)
+    return WorkloadReport(
+        scenario=resolved.name,
+        mode=mode,
+        n=graph.num_nodes,
+        seed=seed,
+        epochs=resolved.epochs,
+        batch=resolved.batch,
+        requests=workload.requests,
+        served=served,
+        errors=errors,
+        updates=updates,
+        rebuilds=rebuilds,
+        total_rounds=total_rounds,
+        total_wall_s=total_wall,
+        makespan_s=clock,
+        offered_rps=workload.offered_rps,
+        achieved_rps=served / makespan,
+        rounds=percentile_summary(rounds_values),
+        wall_s=percentile_summary(wall_values),
+        sojourn_s=percentile_summary(sojourn_values),
+    )
+
+
+def fault_rate_curve(
+    graph: Graph,
+    scenario: Union[str, Scenario, WorkloadSpec],
+    rates: Sequence[float],
+    *,
+    seed: int = 0,
+    mode: str = "session",
+    backend: str = "oracle",
+) -> list[dict[str, Any]]:
+    """Throughput vs. wire fault rate: one run per drop probability.
+
+    Each point reruns the *same* deterministic request stream under a
+    ``drop=<rate>`` fault plan (rate 0 = clean wire), so the curve
+    isolates the fault knob.  Deterministic columns (served, errors,
+    delivery-round percentiles) are gateable; throughput is wall-clock.
+    """
+    resolved = _as_scenario(scenario)
+    points = []
+    for rate in rates:
+        spec = None if rate == 0 else f"drop={rate:g}"
+        report = run_workload(
+            graph,
+            replace(resolved, faults=spec),
+            seed=seed,
+            mode=mode,
+            backend=backend,
+        )
+        point = {"fault_rate": float(rate)}
+        point.update(report.summary())
+        points.append(point)
+    return points
+
+
+def offered_load_curve(
+    graph: Graph,
+    scenario: Union[str, Scenario, WorkloadSpec],
+    rates_rps: Sequence[float],
+    *,
+    seed: int = 0,
+    mode: str = "session",
+    backend: str = "oracle",
+) -> list[dict[str, Any]]:
+    """Throughput and sojourn latency vs. offered load.
+
+    Each point reruns the scenario with a different open-loop arrival
+    rate; as the offered rate passes the server's capacity, achieved
+    throughput saturates and sojourn percentiles blow up — the classic
+    open-loop hockey stick.
+    """
+    resolved = _as_scenario(scenario)
+    points = []
+    for rate in rates_rps:
+        report = run_workload(
+            graph,
+            replace(resolved, rate=float(rate)),
+            seed=seed,
+            mode=mode,
+            backend=backend,
+        )
+        point = {"offered_rate": float(rate)}
+        point.update(report.summary())
+        points.append(point)
+    return points

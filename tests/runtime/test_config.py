@@ -155,48 +155,48 @@ class TestRun:
 
 
 class TestDeprecatedShims:
-    """The legacy entry points keep working — loudly."""
+    """The surviving legacy entry points warn and dispatch via run().
 
-    @pytest.mark.parametrize(
-        "invoke",
-        [
-            lambda g: repro.build_hierarchy(
-                g, rng=np.random.default_rng(1)
-            ),
-            lambda g: repro.minimum_spanning_tree(
-                repro.graphs.with_random_weights(
-                    g, np.random.default_rng(2)
-                ),
-                rng=np.random.default_rng(3),
-            ),
-            lambda g: repro.emulate_clique(
-                repro.core.build_hierarchy(
-                    g, rng=np.random.default_rng(4)
-                ),
-                rng=np.random.default_rng(5),
-            ),
-            lambda g: repro.approximate_min_cut(
-                g, rng=np.random.default_rng(6)
-            ),
-        ],
-        ids=["build_hierarchy", "minimum_spanning_tree",
-             "emulate_clique", "approximate_min_cut"],
-    )
-    def test_functions_warn_but_work(self, graph, invoke):
+    PR 9 removed the dead shims (``repro.Router``,
+    ``repro.emulate_clique``, ``repro.approximate_min_cut``) and routed
+    the two survivors through the op table, so a shim call is
+    bit-identical to the equivalent ``repro.run``.
+    """
+
+    def test_build_hierarchy_matches_run(self, graph):
         with pytest.warns(DeprecationWarning, match="repro.run"):
-            result = invoke(graph)
-        assert result is not None
+            hierarchy = repro.build_hierarchy(graph, seed=3)
+        direct = run("build", graph, config=RunConfig(seed=3)).result
+        assert hierarchy.depth == direct.depth
+        assert hierarchy.ledger.total() == direct.ledger.total()
 
-    def test_router_class_warns(self, graph):
-        hierarchy = repro.core.build_hierarchy(
-            graph, rng=np.random.default_rng(7)
+    def test_minimum_spanning_tree_matches_run(self, graph):
+        weighted = repro.graphs.with_random_weights(
+            graph, np.random.default_rng(2)
         )
         with pytest.warns(DeprecationWarning, match="repro.run"):
-            router = repro.Router(hierarchy)
-        n = graph.num_nodes
-        assert router.route(
-            np.arange(n), np.roll(np.arange(n), 1)
-        ).delivered
+            result = repro.minimum_spanning_tree(weighted, seed=4)
+        direct = run("mst", weighted, config=RunConfig(seed=4)).result
+        assert result.edge_ids == direct.edge_ids
+        assert result.total_weight == direct.total_weight
+
+    @pytest.mark.parametrize(
+        "name", ["build_hierarchy", "minimum_spanning_tree"]
+    )
+    def test_survivors_reject_rng(self, graph, name):
+        shim = getattr(repro, name)
+        with pytest.warns(DeprecationWarning, match="repro.run"):
+            with pytest.raises(TypeError, match="seed="):
+                shim(graph, rng=np.random.default_rng(1))
+
+    @pytest.mark.parametrize(
+        "name", ["Router", "emulate_clique", "approximate_min_cut"]
+    )
+    def test_dead_shims_are_gone(self, name):
+        assert not hasattr(repro, name)
+        assert name not in repro.__all__
+        # The un-deprecated originals live on in repro.core.
+        assert hasattr(repro.core, name)
 
     def test_core_originals_do_not_warn(self, graph):
         with warnings.catch_warnings():

@@ -314,3 +314,50 @@ class TestServe:
         assert len(responses) == 4
         assert all(r["batch_size"] == 4 for r in responses)
         assert all("rounds_amortized" in r for r in responses)
+
+
+class TestBench:
+    def test_list_names_every_suite(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("kernels", "tripwire", "serve-soak", "load-curve"):
+            assert name in out
+
+    def test_unknown_suite_exits_2(self, capsys):
+        assert main(["bench", "warp-speed"]) == 2
+        assert "unknown bench suite" in capsys.readouterr().err
+
+    def test_out_with_many_suites_exits_2(self, tmp_path, capsys):
+        out = str(tmp_path / "x.json")
+        assert main(["bench", "faults", "kernels", "--out", out]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_quick_run_then_check_round_trips(self, tmp_path, capsys):
+        import json
+
+        results = str(tmp_path / "results")
+        assert main(
+            ["bench", "faults", "--quick", "--results", results]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out and "quick tier" in out
+        path = f"{results}/faults.quick.json"
+        record = json.load(open(path))
+        assert record["schema"] == "repro-bench/v1"
+        assert record["quick"] is True
+        # The freshly written baseline gates clean against itself.
+        assert main(
+            ["bench", "faults", "--check", "--results", results]
+        ) == 0
+        assert "faults: OK" in capsys.readouterr().out
+
+    def test_check_without_baseline_fails_naming_the_fix(
+        self, tmp_path, capsys
+    ):
+        results = str(tmp_path / "empty")
+        assert main(
+            ["bench", "faults", "--check", "--results", results]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "no committed baseline" in out
+        assert "repro bench faults --quick" in out
