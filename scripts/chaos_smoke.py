@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Chaos smoke: the kill → damage → recover → replay lifecycle, via CLI.
+
+One n=48 expander through a simulated crash with maximum damage:
+
+1. **Reference run** — ``repro serve`` answers a 9-record stream (8
+   route requests + 1 churn update that removes a real edge and adds a
+   new one) in a single uninterrupted session.  Its responses are the
+   bit-identity target.
+2. **Partial run** — a second store serves only the first 5 records
+   (through the update) with ``--journal``: the journal now holds the
+   write-ahead update (stamped with its record index) and the served
+   high-water mark.
+3. **Kill + damage** — the "process" is dead; we then corrupt every
+   store entry with a torn write (truncate to half) and chop the
+   journal's final high-water line off, the worst crash the design
+   claims to survive.
+4. **Recover** — ``repro serve --recover`` must rebuild from scratch
+   (every snapshot is corrupt), replay the journaled update exactly
+   once (the update's record stamp advances the resume point even
+   though its mark line is gone), and serve exactly the remaining 4
+   records.
+5. **Bit-identity** — partial responses + recovered responses must
+   equal the reference run on every deterministic field.
+
+Exit code 0 = all assertions hold.  Wired into scripts/check.sh and CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.graphs import load_graph
+from repro.rng import derive_rng
+from repro.runtime import read_journal
+from repro.runtime.chaos import truncate_journal_tail
+
+N = 48
+SEED = 3
+ROUTES = 8
+
+#: Wall-clock / machine-dependent response fields, never compared.
+TRANSIENT = ("wall_s", "service_s", "sojourn_s", "retry_backoff_s")
+
+
+def repro(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        raise AssertionError(
+            f"repro {' '.join(args)} exited {proc.returncode}"
+        )
+    return proc
+
+
+def scrub(response: dict) -> dict:
+    return {k: v for k, v in response.items() if k not in TRANSIENT}
+
+
+def read_responses(path: str) -> list[dict]:
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as tmp:
+        graph_path = os.path.join(tmp, "graph.json")
+        repro(
+            "generate", "expander", str(N), "--seed", "0",
+            "-o", graph_path,
+        )
+        graph = load_graph(graph_path)
+
+        # A churn update must touch *real* topology: remove an edge the
+        # graph actually has, add one it does not.
+        u = 0
+        neighbours = set(
+            int(v) for v in graph.indices[graph.indptr[u]:graph.indptr[u + 1]]
+        )
+        v = min(neighbours)
+        w = next(
+            node for node in range(1, N)
+            if node != u and node not in neighbours
+        )
+
+        rng = derive_rng(SEED, N)
+        records = []
+        for index in range(ROUTES):
+            records.append({
+                "op": "route",
+                "args": {
+                    "sources": list(range(N)),
+                    "destinations": [int(x) for x in rng.permutation(N)],
+                },
+                "id": f"req-{index}",
+            })
+        update = {
+            "update": {
+                "edges_removed": [[u, v]],
+                "edges_added": [[u, w]],
+            }
+        }
+        records.insert(4, update)  # 9 records: 4 routes, update, 4 routes
+
+        requests_path = os.path.join(tmp, "requests.jsonl")
+        with open(requests_path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        partial_path = os.path.join(tmp, "partial-requests.jsonl")
+        with open(partial_path, "w") as handle:
+            for record in records[:5]:
+                handle.write(json.dumps(record) + "\n")
+
+        # 1. Uninterrupted reference run.
+        full_out = os.path.join(tmp, "full.jsonl")
+        repro(
+            "serve", graph_path, "--requests", requests_path,
+            "--cache", os.path.join(tmp, "store-ref"),
+            "--seed", str(SEED), "-o", full_out,
+        )
+        full = read_responses(full_out)
+        assert len(full) == len(records), (len(full), len(records))
+        assert full[4].get("update", {}).get("edges_removed") == 1, (
+            full[4]
+        )
+        print(f"reference      OK: {len(full)} responses, update applied")
+
+        # 2. Partial run with a journal: crash after record 5.
+        store = os.path.join(tmp, "store")
+        journal = os.path.join(tmp, "journal.jsonl")
+        part_out = os.path.join(tmp, "partial.jsonl")
+        repro(
+            "serve", graph_path, "--requests", partial_path,
+            "--cache", store, "--journal", journal,
+            "--seed", str(SEED), "-o", part_out,
+        )
+        partial = read_responses(part_out)
+        assert len(partial) == 5, len(partial)
+        print(f"partial        OK: {len(partial)} responses journaled")
+
+        # 3. Maximum damage: every snapshot torn, the final high-water
+        # mark line chopped off the journal tail.
+        damaged = 0
+        for name in os.listdir(store):
+            if not name.endswith(".ckpt"):
+                continue
+            path = os.path.join(store, name)
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(size // 2)
+            damaged += 1
+        assert damaged >= 1, "partial run persisted no snapshots"
+        with open(journal, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        assert truncate_journal_tail(journal, len(lines[-1]))
+        _, updates, stamps, _, mark = read_journal(journal)
+        assert len(updates) == 1, updates
+        assert stamps == [5], stamps
+        assert mark == 5, (
+            f"resume mark {mark}: the update's record stamp must cover "
+            "its lost high-water line (exactly-once replay)"
+        )
+        print(
+            f"damage         OK: {damaged} snapshot(s) torn, journal "
+            f"tail chopped, resume mark {mark}"
+        )
+
+        # 4. Recover: rebuild, replay the update once, serve the rest.
+        rest_out = os.path.join(tmp, "rest.jsonl")
+        proc = repro(
+            "serve", graph_path, "--requests", requests_path,
+            "--cache", store, "--journal", journal, "--recover",
+            "--seed", str(SEED), "-o", rest_out,
+        )
+        assert "replayed 1 update(s)" in proc.stderr, proc.stderr
+        rest = read_responses(rest_out)
+        assert len(rest) == len(records) - mark, (len(rest), mark)
+        assert all("error" not in r for r in rest), rest
+        assert rest[0].get("id") == "req-4", (
+            f"first recovered response must be the first unserved "
+            f"route, got {rest[0]}"
+        )
+        print(
+            f"recover        OK: replayed 1 update, served "
+            f"{len(rest)} remaining"
+        )
+
+        # 5. Bit-identity on deterministic fields.
+        merged = [scrub(r) for r in partial + rest]
+        reference = [scrub(r) for r in full]
+        assert merged == reference, (
+            "recovered stream diverged from the uninterrupted run:\n"
+            + "\n".join(
+                f"  {m}\n  != {r}"
+                for m, r in zip(merged, reference)
+                if m != r
+            )
+        )
+        print("bit-identity   OK: partial + recovered == reference")
+
+    print("chaos smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,9 @@ python scripts/fault_smoke.py
 echo "== serve smoke (session lifecycle: build, cache hit, replay, churn)"
 python scripts/serve_smoke.py
 
+echo "== chaos smoke (kill, damage, recover, replay: bit-identical)"
+python scripts/chaos_smoke.py
+
 echo "== pytest"
 python -m pytest -x -q
 

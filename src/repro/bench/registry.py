@@ -21,7 +21,11 @@ Suites:
   open-loop run with concurrent churn + wire faults against one warm
   session, in both serving modes, plus the throughput-vs-fault-rate
   curve;
-* ``load-curve`` — throughput and sojourn latency vs. offered load.
+* ``load-curve`` — throughput and sojourn latency vs. offered load;
+* ``chaos`` — the PR 10 resilience gate: a seeded kill/corrupt/truncate
+  campaign over a journaled session (recovery must keep served rounds
+  bit-identical), a governed burst (deadlines + admission), and
+  mid-stream fault windows under a retry budget.
 """
 
 from __future__ import annotations
@@ -33,6 +37,8 @@ from typing import Any, Callable, Optional, Sequence
 from ..analysis import perf
 from ..graphs import random_regular
 from ..rng import derive_rng
+from ..runtime.chaos import ChaosSpec
+from ..runtime.resilience import ResiliencePolicy
 from ..workloads import fault_rate_curve, get_scenario, run_workload
 from ..workloads.engine import WorkloadReport
 from .gate import GatePolicy, GateResult, compare_records
@@ -238,6 +244,94 @@ _WORKLOAD_GATE = GatePolicy(
     exact=("rounds",), exact_metrics=_WORKLOAD_EXACT_METRICS
 )
 
+#: The chaos suite additionally gates the governed/chaos counters —
+#: all seed-deterministic under the virtual clock.  Time-to-recover
+#: percentiles (``recover_s_p*``) are wall-clock: reported, never
+#: gated.
+_CHAOS_EXACT_METRICS = _WORKLOAD_EXACT_METRICS + (
+    "goodput",
+    "deadline_miss",
+    "shed",
+    "circuit_open",
+    "timeouts",
+    "retries",
+    "breaker_trips",
+    "kills",
+    "recoveries",
+    "corruptions",
+    "truncations",
+    "fault_windows",
+)
+
+_CHAOS_GATE = GatePolicy(
+    exact=("rounds",), exact_metrics=_CHAOS_EXACT_METRICS
+)
+
+
+def _chaos_runner(seed: int, quick: bool) -> list[dict]:
+    """The resilience acceptance run (see ``docs/robustness.md``).
+
+    Three rows, all seed-deterministic:
+
+    * ``chaos_lifecycle`` — churn traffic over a journaled session
+      while a seeded campaign kills the process, corrupts the store
+      entry, and truncates the journal tail; recovery must keep every
+      served round bit-identical (gated via ``rounds``/``total_rounds``
+      equality with the committed baseline, which matches a clean run).
+    * ``chaos_burst_governed`` — the burst scenario under deadlines +
+      admission control; shed/deadline-miss/goodput counts are exact.
+    * ``chaos_fault_windows`` — mid-stream drop windows against a
+      retry budget; retries and timeouts are exact.
+    """
+    n = 32 if quick else 64
+    graph = random_regular(n, 6, derive_rng(seed, n))
+    rows = []
+
+    lifecycle_policy = ResiliencePolicy(
+        retry_budget=2, max_inflight=16, round_time_s=1e-6
+    )
+    lifecycle_chaos = ChaosSpec(
+        kill_rate=0.15,
+        max_kills=2,
+        corrupt_store=1.0,
+        truncate_journal=1.0,
+    )
+    report = run_workload(
+        graph,
+        get_scenario("churn").scaled(quick=quick),
+        seed=seed,
+        policy=lifecycle_policy,
+        chaos=lifecycle_chaos,
+    )
+    rows.append(_workload_row("chaos_lifecycle", report))
+
+    burst_policy = ResiliencePolicy(
+        deadline_rounds=2e6,
+        max_inflight=4,
+        round_time_s=1e-6,
+    )
+    report = run_workload(
+        graph,
+        get_scenario("burst").scaled(quick=quick),
+        seed=seed,
+        policy=burst_policy,
+    )
+    rows.append(_workload_row("chaos_burst_governed", report))
+
+    window_policy = ResiliencePolicy(retry_budget=2, round_time_s=1e-6)
+    window_chaos = ChaosSpec(
+        fault_rate=0.2, fault_spec="drop=0.3", fault_window=3
+    )
+    report = run_workload(
+        graph,
+        get_scenario("steady").scaled(quick=quick),
+        seed=seed,
+        policy=window_policy,
+        chaos=window_chaos,
+    )
+    rows.append(_workload_row("chaos_fault_windows", report))
+    return rows
+
 SUITES: dict[str, Suite] = {
     suite.name: suite
     for suite in (
@@ -299,6 +393,13 @@ SUITES: dict[str, Suite] = {
             "(open-loop hockey stick)",
             runner=_load_curve_runner,
             gate=_WORKLOAD_GATE,
+        ),
+        Suite(
+            name="chaos",
+            title="resilience gate: kill/corrupt/truncate recovery, "
+            "governed burst, mid-stream fault windows",
+            runner=_chaos_runner,
+            gate=_CHAOS_GATE,
         ),
     )
 }

@@ -7,7 +7,12 @@ Commands:
 * ``route`` — build the routing structure and route a random demand.
 * ``mst`` — run the distributed MST (random weights if none stored).
 * ``run`` — continue a run snapshotted with ``--checkpoint``.
-* ``serve`` — open a warm session and answer JSONL requests.
+* ``serve`` — open a warm session and answer JSONL requests; with
+  ``--deadline-rounds/--retry-budget/--max-inflight`` the stream is
+  governed by a :class:`~repro.runtime.ResiliencePolicy`, with
+  ``--journal PATH`` every applied update is journaled crash-safely,
+  and ``--recover`` reopens from that journal (replaying updates and
+  skipping already-served records).
 * ``bench`` — run registry benchmark suites / gate them against
   committed baselines (``repro bench SUITE [--check] [--quick]``).
 * ``report`` — regenerate EXPERIMENTS.md from live runs.
@@ -61,6 +66,7 @@ from .graphs import (
 )
 from .runtime import (
     CheckpointError,
+    ResiliencePolicy,
     RunConfig,
     RunContext,
     RunOutcome,
@@ -229,6 +235,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=0,
         help="group up to N consecutive explicit-demand route requests "
         "into one routing instance (batched admission; default off)",
+    )
+    serve.add_argument(
+        "--deadline-rounds", type=float, default=None,
+        help="per-request delivery-round budget; exceeding it yields a "
+        "structured deadline_exceeded error record",
+    )
+    serve.add_argument(
+        "--deadline-wall", type=float, default=None, metavar="SECONDS",
+        help="per-request wall-clock budget in seconds "
+        "(machine-dependent; never gated)",
+    )
+    serve.add_argument(
+        "--retry-budget", type=int, default=0,
+        help="retries (with exponential backoff) for DeliveryTimeout-"
+        "recoverable requests before the error record is emitted",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=0,
+        help="admission bound: requests arriving while this many are "
+        "in flight are shed with a structured record (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--breaker-failures", type=int, default=0,
+        help="consecutive failures that trip the circuit breaker "
+        "(fast-fail circuit_open records while repair completes)",
+    )
+    serve.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="crash-safe write-ahead journal: applied updates and the "
+        "served high-water mark are fsync'd here so --recover can "
+        "rebuild the session after a crash",
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="recover from --journal: warm snapshot + deterministic "
+        "update replay, then serve the remaining (unserved) records",
     )
     _add_runtime_flags(serve)
 
@@ -411,16 +453,31 @@ def _cmd_clique(args) -> int:
     return 0 if result.delivered else 1
 
 
+def _serve_policy(args) -> "ResiliencePolicy | None":
+    """A ResiliencePolicy from the serve flags, or None if all unset."""
+    policy = ResiliencePolicy(
+        deadline_rounds=args.deadline_rounds,
+        deadline_wall_s=args.deadline_wall,
+        retry_budget=args.retry_budget,
+        max_inflight=args.max_inflight,
+        breaker_failures=args.breaker_failures,
+    )
+    return None if policy.is_null else policy
+
+
 def _cmd_serve(args) -> int:
     import json
 
     graph = load_graph(args.graph)
     config = _make_config(args)
+    policy = _serve_policy(args)
+    if args.recover and args.journal is None:
+        raise ValueError("--recover needs --journal PATH")
 
-    def records(handle):
-        for line in handle:
+    def records(handle, skip: int):
+        for index, line in enumerate(handle):
             line = line.strip()
-            if line:
+            if line and index >= skip:
                 yield json.loads(line)
 
     in_handle = (
@@ -430,8 +487,24 @@ def _cmd_serve(args) -> int:
         sys.stdout if args.output == "-" else open(args.output, "w")
     )
     served = 0
+    skip = 0
     try:
-        with Session.open(graph, config) as session:
+        if args.recover:
+            session = Session.recover(
+                graph, config, journal=args.journal, policy=policy
+            )
+            assert session.journal is not None
+            skip = session.journal.record_mark
+            print(
+                f"recovered: replayed {session.updates_applied} "
+                f"update(s), resuming at record {skip}",
+                file=sys.stderr,
+            )
+        else:
+            session = Session.open(
+                graph, config, policy=policy, journal=args.journal
+            )
+        with session:
             print(
                 f"session ready: n={graph.num_nodes} "
                 f"backend={config.backend} "
@@ -439,7 +512,7 @@ def _cmd_serve(args) -> int:
                 file=sys.stderr,
             )
             for response in serve_jsonl(
-                session, records(in_handle), batch=args.batch
+                session, records(in_handle, skip), batch=args.batch
             ):
                 out_handle.write(json.dumps(response) + "\n")
                 out_handle.flush()

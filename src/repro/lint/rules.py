@@ -657,6 +657,72 @@ class CrashStateRule(Rule):
                 )
 
 
+@register
+class ChaosStreamRule(Rule):
+    """R013: a ChaosPlan built off the named ``"chaos"`` stream.
+
+    The chaos harness promises that enabling a failure campaign cannot
+    perturb the run it attacks: kills, corruption, and fault windows
+    are decided by draws from the dedicated ``"chaos"`` stream and
+    nothing else.  A ``ChaosPlan`` constructed from any other generator
+    — an unmanaged RNG, or a managed stream with a different name —
+    breaks that isolation: the campaign would either consume another
+    stream's draws (changing the structure under test, the failure
+    mode R007 guards for fault plans) or stop being a pure function of
+    the seed.  The rng argument must therefore be a
+    :func:`repro.rng.derive_rng` or ``.stream(...)``/
+    ``.fresh_stream(...)`` call whose arguments name the ``"chaos"``
+    stream literally.
+    """
+
+    rule_id = "R013"
+    name = "chaos-stream-hygiene"
+    description = (
+        "ChaosPlan constructed from an RNG that is not a "
+        "derive_rng/.stream/.fresh_stream call naming the 'chaos' "
+        "stream"
+    )
+
+    _STREAM_METHODS = FaultStreamRule._STREAM_METHODS
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = qualified_name(node.func)
+            if callee is None or callee.split(".")[-1] != "ChaosPlan":
+                continue
+            rng_arg = self._rng_argument(node)
+            if rng_arg is None:
+                yield self.finding(
+                    module, node,
+                    "ChaosPlan constructed without an explicit rng — "
+                    "pass derive_rng(seed, stream_entropy('chaos')) or "
+                    "context.stream('chaos')",
+                )
+            elif not self._is_chaos_stream(rng_arg):
+                yield self.finding(
+                    module, node,
+                    "ChaosPlan rng must come straight from the named "
+                    "'chaos' stream (derive_rng with "
+                    "stream_entropy('chaos'), or a context "
+                    ".stream('chaos')/.fresh_stream('chaos') call), so "
+                    "a failure campaign never perturbs the run it "
+                    "attacks",
+                )
+
+    _rng_argument = staticmethod(FaultStreamRule._rng_argument)
+
+    @classmethod
+    def _is_chaos_stream(cls, node: ast.AST) -> bool:
+        if not FaultStreamRule._is_managed_stream(node):
+            return False
+        return any(
+            isinstance(child, ast.Constant) and child.value == "chaos"
+            for child in ast.walk(node)
+        )
+
+
 def _walk_own_body(
     fn: ast.FunctionDef | ast.AsyncFunctionDef,
 ) -> Iterator[ast.AST]:

@@ -25,8 +25,10 @@ from .checkpoint import (
     resume,
     write_checkpoint,
 )
+from .chaos import ChaosPlan, ChaosSpec
 from .config import OPS, RunConfig, RunOutcome, run
 from .context import RECOVERY_MODES, RunContext
+from .journal import JOURNAL_VERSION, Journal, read_journal
 from .ops import OP_TABLE, OpSpec, check_backend_support, validate_request
 from .events import (
     EVENT_KINDS,
@@ -37,6 +39,15 @@ from .events import (
     TraceEvent,
     read_jsonl_trace,
     sum_ledger_charges,
+)
+from .resilience import (
+    BREAKER_STATES,
+    CircuitOpen,
+    DeadlineExceeded,
+    Governor,
+    LoadShed,
+    ResiliencePolicy,
+    ServeRejection,
 )
 from .session import (
     Request,
@@ -49,12 +60,21 @@ from .store import HierarchyStore, StoreStats, open_store, store_key
 
 __all__ = [
     "BACKENDS",
+    "BREAKER_STATES",
     "Backend",
     "BackendMismatch",
     "CHECKPOINT_VERSION",
+    "ChaosPlan",
+    "ChaosSpec",
     "CheckpointError",
+    "CircuitOpen",
+    "DeadlineExceeded",
     "EVENT_KINDS",
+    "Governor",
     "HierarchyStore",
+    "JOURNAL_VERSION",
+    "Journal",
+    "LoadShed",
     "RECOVERY_MODES",
     "EventSink",
     "JsonlSink",
@@ -66,9 +86,11 @@ __all__ = [
     "OpSpec",
     "OracleBackend",
     "Request",
+    "ResiliencePolicy",
     "RunConfig",
     "RunContext",
     "RunOutcome",
+    "ServeRejection",
     "Session",
     "SessionResponse",
     "StoreStats",
@@ -79,6 +101,7 @@ __all__ = [
     "load_checkpoint",
     "make_backend",
     "open_store",
+    "read_journal",
     "read_jsonl_trace",
     "resume",
     "run",

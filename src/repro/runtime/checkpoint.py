@@ -62,7 +62,7 @@ def write_checkpoint(
     context,
     backend,
 ) -> None:
-    """Snapshot a run into ``path`` (atomic: temp file + rename).
+    """Snapshot a run into ``path`` (atomic: temp file + fsync + rename).
 
     The config's ``trace`` member may hold an open sink, so it is
     stripped (the context's recorded events carry the trace across the
@@ -85,6 +85,12 @@ def write_checkpoint(
     try:
         with os.fdopen(handle, "wb") as stream:
             pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            # fsync before the rename: os.replace is atomic in the
+            # namespace but says nothing about the *data* reaching the
+            # disk — a crash after the rename could otherwise leave a
+            # torn pickle behind the final name.
+            stream.flush()
+            os.fsync(stream.fileno())
         os.replace(temp_path, path)
     except BaseException:
         if os.path.exists(temp_path):

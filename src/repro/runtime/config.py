@@ -37,6 +37,7 @@ from .checkpoint import write_checkpoint
 from .context import RECOVERY_MODES, RunContext
 from .events import EventSink, JsonlSink, MemorySink, TraceEvent
 from .ops import OP_TABLE, OPS, validate_request
+from .resilience import ResiliencePolicy
 
 __all__ = ["OPS", "RunConfig", "RunOutcome", "run"]
 
@@ -84,6 +85,12 @@ class RunConfig:
             opens a warm session from the store when the (graph, seed,
             params, backend) content hash matches, skipping the build
             phase entirely; misses build once and persist.
+        resilience: optional
+            :class:`~repro.runtime.resilience.ResiliencePolicy` the
+            serving layer governs requests under (deadlines, retry
+            budget, admission control, circuit breaker).  ``None``
+            (default) serves ungoverned — bit-identical to configs
+            from before the policy existed.
     """
 
     seed: int = 0
@@ -97,6 +104,7 @@ class RunConfig:
     checkpoint: Optional[str] = None
     workers: int = 1
     cache: Optional[str] = "off"
+    resilience: Optional[ResiliencePolicy] = None
 
     def __post_init__(self):
         object.__setattr__(self, "seed", int(self.seed))
@@ -142,6 +150,13 @@ class RunConfig:
             raise TypeError(
                 "faults must be None, a spec string, or a FaultSpec, "
                 f"got {type(self.faults).__name__}"
+            )
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResiliencePolicy
+        ):
+            raise TypeError(
+                "resilience must be None or a ResiliencePolicy, "
+                f"got {type(self.resilience).__name__}"
             )
 
     def make_context(self) -> RunContext:

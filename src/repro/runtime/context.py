@@ -167,6 +167,37 @@ class RunContext:
             )
         return self._fault_plan
 
+    def push_faults(
+        self, spec: FaultSpec, *, entropy: int
+    ) -> "tuple[Optional[FaultPlan], Optional[FaultSpec]]":
+        """Temporarily replace the run's fault plan with a fresh one.
+
+        Builds a :class:`FaultPlan` for ``spec`` seeded from
+        ``derive_rng(entropy)`` — chaos windows pass entropy minted
+        from their own named stream, so a window cannot perturb the
+        ``"faults"`` stream — installs it as the active plan, and
+        returns a token (the displaced plan and spec) that
+        :meth:`pop_faults` takes.  Crash views are invalidated both
+        ways because they cache per-plan state.
+        """
+        token = (self._fault_plan, self.fault_spec)
+        self.fault_spec = spec
+        self._fault_plan = FaultPlan(
+            spec,
+            rng=derive_rng(entropy),
+            on_fault=self._emit_fault,
+        )
+        self._crash_views.clear()
+        return token
+
+    def pop_faults(
+        self,
+        token: "tuple[Optional[FaultPlan], Optional[FaultSpec]]",
+    ) -> None:
+        """Restore the plan/spec that :meth:`push_faults` displaced."""
+        self._fault_plan, self.fault_spec = token
+        self._crash_views.clear()
+
     def crash_view_for(self, num_nodes: int) -> Optional[CrashView]:
         """The failure detector's crash view for an ``num_nodes`` wire.
 

@@ -53,6 +53,9 @@ EVENT_KINDS = (
     "recovery",       # payload: detection/failover/repair accounting
     "session",        # payload: session lifecycle + request bookends
     "cache",          # payload: hierarchy-store hit/miss/store/evict
+    "resilience",     # payload: governor verdicts (retry/shed/trip/...)
+    "journal",        # payload: write-ahead journal lifecycle + recovery
+    "chaos",          # payload: injected chaos actions (kill/corrupt/...)
 )
 
 

@@ -1,0 +1,226 @@
+"""Crash-safe write-ahead journal for live sessions.
+
+A :class:`~repro.runtime.Session` is warm state: applied churn updates
+and the served-request high-water mark live only in process memory (the
+content-addressed store persists *snapshots*, not the request stream).
+A crashed ``repro serve`` therefore used to lose everything since the
+last snapshot.  The :class:`Journal` closes that gap with the classic
+database recipe, sized for this codebase:
+
+* **append-only JSONL** — one JSON object per line, human-inspectable;
+* **write-ahead** — an update is journaled *before* it is applied, so
+  the journal is always a superset of the applied state;
+* **fsync'd appends** — every append is flushed and fsync'd before the
+  caller proceeds, so an acknowledged write survives the process;
+* **torn-tail tolerance** — a crash mid-append leaves a truncated last
+  line; the reader stops at the first malformed line and discards the
+  tail, never refusing the journal.
+
+The line vocabulary::
+
+    {"journal": 1, "fingerprint": ..., "seed": ..., "backend": ...}
+    {"update": {"edges_added": [...], "edges_removed": [...],
+                "nodes_down": [...]}, "record": <input record index>}
+    {"served": <session.served>, "record": <records consumed>}
+
+An update's ``record`` stamp (0 when the update came through the Python
+API rather than a record stream) makes replay *exactly-once*: if a torn
+tail loses the high-water mark that followed an update but keeps the
+update line itself, recovery still advances the resume point past the
+update's input record — replaying the update **and** re-consuming its
+record would double-apply it.
+
+Recovery (:meth:`repro.runtime.Session.recover`) = warm snapshot (store
+hit or rebuild) + deterministic replay of the journaled updates.  Replay
+is bit-identical because update ``k`` repairs from the
+``serve-update-k`` fresh stream — a pure function of (seed, k), not of
+when or in which process the update ran.  A torn tail can only lose the
+*latest* entries, so recovery converges to a prefix of the dead
+session's state and the serve loop simply re-serves from the journaled
+high-water mark (at-least-once, with deterministic responses).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Optional, TextIO
+
+__all__ = ["JOURNAL_VERSION", "Journal", "read_journal"]
+
+#: Format version stamped into every journal header line.
+JOURNAL_VERSION = 1
+
+
+JournalState = tuple[
+    Optional[dict[str, Any]], list[dict[str, Any]], list[int], int, int
+]
+
+
+def read_journal(path: str) -> JournalState:
+    """Parse a journal file, tolerating a torn tail.
+
+    Returns ``(header, updates, update_records, served_high_water,
+    record_high_water)``.  The header is ``None`` for an empty/new
+    file; ``update_records[i]`` is the input-record stamp of
+    ``updates[i]`` (0 = applied outside a record stream).  Parsing
+    stops at the first malformed line (a crash mid-append), discarding
+    the tail — a journal is never *invalid*, only shorter than hoped.
+    The record high-water mark covers update stamps, so a replayed
+    update's input record is never re-consumed (exactly-once).
+    """
+    header: Optional[dict[str, Any]] = None
+    updates: list[dict[str, Any]] = []
+    update_records: list[int] = []
+    served = 0
+    record_mark = 0
+    if not os.path.exists(path):
+        return header, updates, update_records, served, record_mark
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = handle.read()
+    for index, line in enumerate(raw.split("\n")):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            break  # torn tail: keep the intact prefix
+        if not isinstance(entry, dict):
+            break
+        if index == 0 and "journal" in entry:
+            header = entry
+        elif "update" in entry:
+            updates.append(dict(entry["update"]))
+            update_records.append(int(entry.get("record", 0)))
+            record_mark = max(record_mark, update_records[-1])
+        elif "served" in entry:
+            served = int(entry["served"])
+            record_mark = max(
+                record_mark, int(entry.get("record", record_mark))
+            )
+        else:
+            break  # unknown vocabulary: treat like corruption
+    return header, updates, update_records, served, record_mark
+
+
+class Journal:
+    """One session's write-ahead journal, open for appending.
+
+    Opening an existing file replays its intact prefix into
+    :attr:`updates` / :attr:`served` / :attr:`record_mark` (and
+    truncates a torn tail in place, so the file ends on a line
+    boundary); opening a fresh file writes the identity header.  The
+    ``identity`` mapping (graph fingerprint, seed, backend) guards
+    against replaying a journal onto the wrong session — a mismatch
+    raises ``ValueError`` instead of deterministically corrupting it.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        identity: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.path = path
+        header, updates, update_records, served, record_mark = (
+            read_journal(path)
+        )
+        self.updates = updates
+        self.update_records = update_records
+        self.served = served
+        self.record_mark = record_mark
+        if header is not None and identity is not None:
+            for key, value in identity.items():
+                if key in header and header[key] != value:
+                    raise ValueError(
+                        f"journal {path!r} was written for a different "
+                        f"session ({key}={header[key]!r}, expected "
+                        f"{value!r})"
+                    )
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        # Rewrite the intact prefix so a torn tail never precedes new
+        # appends; then keep the handle for fsync'd appends.
+        intact_lines = self._intact_lines(header, identity)
+        self._handle: TextIO = open(path, "w", encoding="utf-8")
+        for line in intact_lines:
+            self._handle.write(line + "\n")
+        self._sync()
+
+    def _intact_lines(
+        self,
+        header: Optional[dict[str, Any]],
+        identity: Optional[dict[str, Any]],
+    ) -> list[str]:
+        if header is None:
+            header = {"journal": JOURNAL_VERSION}
+            header.update(identity or {})
+        lines = [json.dumps(header, separators=(",", ":"))]
+        for update, record in zip(self.updates, self.update_records):
+            entry: dict[str, Any] = {"update": update}
+            if record:
+                entry["record"] = record
+            lines.append(json.dumps(entry, separators=(",", ":")))
+        if self.served or self.record_mark:
+            lines.append(
+                json.dumps(
+                    {"served": self.served, "record": self.record_mark},
+                    separators=(",", ":"),
+                )
+            )
+        return lines
+
+    # -- appends -------------------------------------------------------------
+
+    def append_update(
+        self, update: dict[str, Any], *, record: int = 0
+    ) -> None:
+        """Journal one churn update (write-ahead: call *before* apply).
+
+        ``record`` stamps the input record the update came from so
+        replaying it also advances the resume point past that record
+        (0 = not part of a record stream).
+        """
+        self.updates.append(dict(update))
+        self.update_records.append(int(record))
+        entry: dict[str, Any] = {"update": update}
+        if record:
+            entry["record"] = int(record)
+            self.record_mark = max(self.record_mark, int(record))
+        self._append(entry)
+
+    def mark_served(self, served: int, *, record: int) -> None:
+        """Advance the high-water mark: ``served`` requests submitted,
+        ``record`` input records fully consumed."""
+        self.served = int(served)
+        self.record_mark = int(record)
+        self._append({"served": self.served, "record": self.record_mark})
+
+    def _append(self, entry: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        self._sync()
+
+    def _sync(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._handle.closed:
+            self._sync()
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Journal({self.path!r}, updates={len(self.updates)}, "
+            f"served={self.served}, record={self.record_mark})"
+        )

@@ -36,17 +36,36 @@ context + backend and skips the build phase entirely;
 ``Session.apply_update`` patches the warm structure around churn
 (overlay repair + portal re-election, charged under ``serve/``) and
 re-persists under the updated content hash.
+
+Two optional robustness layers ride on top (see ``docs/robustness.md``):
+a :class:`~repro.runtime.resilience.ResiliencePolicy` (deadlines, retry
+budget, admission control, circuit breaker — enforced by
+:meth:`Session.serve`), and a :class:`~repro.runtime.journal.Journal`
+(crash-safe write-ahead log of applied updates + the served high-water
+mark) that :meth:`Session.recover` replays deterministically.  Both are
+strictly additive: with neither attached, serving is bit-identical to a
+session without this machinery.
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import (
+    Any,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
+from ..congest.faults import FaultSpec
 from ..core.hierarchy import repair_overlay
 from ..core.ledger import RoundLedger
 from ..graphs.graph import Graph, WeightedGraph
@@ -54,11 +73,13 @@ from ..hashing import graph_fingerprint
 from .backends import Backend
 from .context import RunContext
 from .events import EventSink, JsonlSink, NullSink
+from .journal import Journal
 from .ops import (
     check_backend_support,
     summarize_result,
     validate_request,
 )
+from .resilience import Governor, ResiliencePolicy
 from .store import HierarchyStore, open_store, store_key
 
 __all__ = [
@@ -214,6 +235,8 @@ class Session:
         cache_key: Optional[str] = None,
         from_cache: bool = False,
         staleness_bound: float = DEFAULT_STALENESS_BOUND,
+        policy: Optional[ResiliencePolicy] = None,
+        journal: Optional[Journal] = None,
     ) -> None:
         self.graph = graph
         self.config = config
@@ -223,9 +246,16 @@ class Session:
         self.cache_key = cache_key
         self.from_cache = from_cache
         self.staleness_bound = float(staleness_bound)
+        self.policy = policy
+        self.governor = Governor(policy) if policy is not None else None
+        self.journal = journal
         self.lineage = ""
         self.served = 0
         self.updates_applied = 0
+        # Input-record stamp for the next journaled update (set by
+        # serve_jsonl so replay advances the resume point past the
+        # update's record; 0 = update applied outside a record stream).
+        self._journal_record = 0
         self._closed = False
         self._stale_vnodes = 0
         self._warm_streams: dict[str, dict] = {}
@@ -245,6 +275,8 @@ class Session:
         store: Optional[HierarchyStore] = None,
         announce: Optional[str] = None,
         staleness_bound: float = DEFAULT_STALENESS_BOUND,
+        policy: Optional[ResiliencePolicy] = None,
+        journal: "Union[None, str, Journal]" = None,
     ) -> "Session":
         """Open a warm session: cache hit, or build + persist.
 
@@ -260,11 +292,24 @@ class Session:
                 default ``"session"``).  When given, backend support is
                 checked *before* any build work.
             staleness_bound: see :meth:`apply_update`.
+            policy: serve-path SLO governance (defaults to
+                ``config.resilience``); see :meth:`serve`.
+            journal: crash-safe write-ahead journal — a
+                :class:`~repro.runtime.journal.Journal` or a path to
+                open one at.  Applied updates and the served high-water
+                mark are journaled so :meth:`recover` can rebuild this
+                session after a crash.
         """
         from .config import RunConfig
 
         if config is None:
             config = RunConfig()
+        if policy is None:
+            policy = getattr(config, "resilience", None)
+        if isinstance(journal, str):
+            journal = Journal(
+                journal, identity=cls._journal_identity(graph, config)
+            )
         if store is None:
             store = open_store(config.cache)
         key = store_key(graph, config) if store is not None else None
@@ -319,6 +364,8 @@ class Session:
                 cache_key=key,
                 from_cache=True,
                 staleness_bound=staleness_bound,
+                policy=policy,
+                journal=journal,
             )
             session._take_warm_snapshot()
             return session
@@ -354,10 +401,86 @@ class Session:
             store=store,
             cache_key=key,
             staleness_bound=staleness_bound,
+            policy=policy,
+            journal=journal,
         )
         session._take_warm_snapshot()
         if store is not None and key is not None:
             session._persist(key)
+        return session
+
+    @staticmethod
+    def _journal_identity(graph: Graph, config: Any) -> dict[str, Any]:
+        """The identity fields a journal is checked against on reopen."""
+        return {
+            "fingerprint": graph_fingerprint(graph),
+            "seed": int(config.seed),
+            "backend": str(config.backend),
+        }
+
+    @classmethod
+    def recover(
+        cls,
+        graph: Graph,
+        config: Any = None,
+        *,
+        journal: "Union[str, Journal]",
+        store: Optional[HierarchyStore] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        staleness_bound: float = DEFAULT_STALENESS_BOUND,
+    ) -> "Session":
+        """Rebuild a crashed session from its write-ahead journal.
+
+        Opens a fresh session (store hit on the clean-build key when one
+        survives, full rebuild otherwise), then replays the journaled
+        updates in order with the journal detached.  Replay is
+        deterministic — update ``k`` repairs from the ``serve-update-k``
+        fresh stream, a pure function of (seed, k) — so the recovered
+        session is bit-identical to the uninterrupted one: same warm
+        structure, same store keys, same responses to the remaining
+        requests.  The served high-water mark is restored so response
+        indices continue where the dead process stopped.
+        """
+        from .config import RunConfig
+
+        if config is None:
+            config = RunConfig()
+        if isinstance(journal, str):
+            journal = Journal(
+                journal, identity=cls._journal_identity(graph, config)
+            )
+        session = cls.open(
+            graph,
+            config,
+            store=store,
+            staleness_bound=staleness_bound,
+            policy=policy,
+        )
+        from ..congest.faults import DeliveryTimeout
+
+        replayed = failed = 0
+        for update in list(journal.updates):
+            try:
+                session.apply_update(
+                    edges_added=update.get("edges_added", ()),
+                    edges_removed=update.get("edges_removed", ()),
+                    nodes_down=update.get("nodes_down", ()),
+                )
+                replayed += 1
+            except (ValueError, TypeError, DeliveryTimeout):
+                # The original session saw the same deterministic
+                # failure; the update changed nothing then either.
+                failed += 1
+        session.served = journal.served
+        session.journal = journal
+        session.context.emit(
+            "journal",
+            "serve/recovered",
+            updates=replayed,
+            failed_updates=failed,
+            served=journal.served,
+            record=journal.record_mark,
+        )
         return session
 
     @staticmethod
@@ -434,6 +557,8 @@ class Session:
             served=self.served,
             updates=self.updates_applied,
         )
+        if self.journal is not None:
+            self.journal.close()
         if isinstance(self.config.trace, str):
             self.context.close()
 
@@ -449,6 +574,31 @@ class Session:
         """Serve one operation (convenience wrapper over
         :meth:`submit`)."""
         return self.submit(Request(op=op, args=args))
+
+    def serve(
+        self,
+        request: Request,
+        *,
+        arrival_s: Optional[float] = None,
+        quiet: bool = False,
+    ) -> dict[str, Any]:
+        """Serve one request under the session's resilience policy.
+
+        With a :class:`~repro.runtime.resilience.ResiliencePolicy`
+        attached, the request runs through the governor — breaker
+        fast-fail, admission control, the retry loop, and the deadline
+        check — and the return value is either a response summary or a
+        structured error record (``kind`` in ``{"shed",
+        "deadline_exceeded", "circuit_open", "delivery_timeout"}``).
+        Without a policy this is exactly ``submit(...).summary()``.
+        ``arrival_s`` is the request's open-loop arrival second, which
+        admission control and the deterministic sojourn clock need.
+        """
+        if self.governor is not None:
+            return self.governor.serve(
+                self, request, arrival_s=arrival_s, quiet=quiet
+            )
+        return self.submit(request, quiet=quiet).summary()
 
     def submit(
         self, request: Request, *, quiet: bool = False
@@ -596,6 +746,51 @@ class Session:
 
     # -- incremental updates -------------------------------------------------
 
+    @property
+    def staleness(self) -> float:
+        """Stale-vnode fraction accumulated by updates since the last
+        (re)build — what :meth:`apply_update` compares against
+        :attr:`staleness_bound` and the circuit breaker's
+        ``staleness_trip`` watches."""
+        virtual = self.backend.hierarchy.g0.virtual
+        return self._stale_vnodes / max(1, virtual.count)
+
+    def refresh(self) -> float:
+        """Proactively rebuild the warm structure on the current graph.
+
+        The explicit repair the circuit breaker triggers when staleness
+        approaches the bound: bit-identical to a fresh
+        ``Session.open`` of the current graph (same contract as the
+        staleness-forced rebuild inside :meth:`apply_update`).  Returns
+        the rebuild's total rounds.
+        """
+        self._ensure_serving()
+        return self._rebuild(self.graph)
+
+    @contextmanager
+    def fault_window(
+        self, spec: "FaultSpec", *, entropy: int
+    ) -> Iterator[None]:
+        """Serve requests inside the block under an extra fault spec.
+
+        Pushes a fresh :class:`~repro.congest.faults.FaultPlan` seeded
+        from ``entropy`` (chaos windows mint it from their own named
+        stream) onto the context and swaps the warm-plan snapshot to
+        the new plan's origin, so every request in the window restores
+        *its* RNG positions — requests outside the window are untouched
+        and stay bit-identical.
+        """
+        self._ensure_serving()
+        token = self.context.push_faults(spec, entropy=entropy)
+        saved_warm = self._warm_plan
+        plan = self.context._fault_plan
+        self._warm_plan = plan.warm_state() if plan is not None else None
+        try:
+            yield
+        finally:
+            self._warm_plan = saved_warm
+            self.context.pop_faults(token)
+
     def apply_update(
         self,
         edges_added: Iterable = (),
@@ -617,11 +812,28 @@ class Session:
         re-persists under the updated content hash.
         """
         self._ensure_serving()
+        # Start from the canonical warm snapshot, exactly like a
+        # request: the repair must be a pure function of (seed, update
+        # index), not of whatever stream state the previous request
+        # left behind — otherwise a journal replay (which serves no
+        # requests first) diverges from the live session it rebuilds.
+        self._begin_request()
         added = tuple(tuple(edge) for edge in edges_added)
         removed = tuple(
             (int(edge[0]), int(edge[1])) for edge in edges_removed
         )
         down = tuple(int(node) for node in nodes_down)
+        if self.journal is not None:
+            # Write-ahead: the journal always holds a superset of the
+            # applied churn, so a crash mid-apply replays this update.
+            self.journal.append_update(
+                {
+                    "edges_added": [list(edge) for edge in added],
+                    "edges_removed": [list(edge) for edge in removed],
+                    "nodes_down": list(down),
+                },
+                record=self._journal_record,
+            )
         new_graph = self._updated_graph(added, removed)
         removed_eids = self._edge_ids(removed)
         virtual = self.backend.hierarchy.g0.virtual
@@ -861,20 +1073,38 @@ def serve_jsonl(
 ) -> Iterator[dict[str, Any]]:
     """Drive a session from decoded JSONL records; yield responses.
 
-    Request records are ``{"op": ..., "args": {...}, "id": ...}``;
-    update records are ``{"update": {"edges_added": [...],
-    "edges_removed": [...], "nodes_down": [...]}}``.  A malformed
-    record — and a request a live fault plan defeats
-    (:class:`~repro.congest.faults.DeliveryTimeout`) — yields an
-    ``{"error": ...}`` response and serving continues: the loop
-    outlives any single record.  With ``batch > 0``, consecutive
-    explicit-demand route requests are grouped (up to ``batch``) into
-    one routing instance.
+    Request records are ``{"op": ..., "args": {...}, "id": ...}``
+    (optionally carrying ``"arrival_s"``, the open-loop arrival second
+    the admission controller keys on); update records are ``{"update":
+    {"edges_added": [...], "edges_removed": [...], "nodes_down":
+    [...]}}``.  A malformed record — and a request a live fault plan
+    defeats (:class:`~repro.congest.faults.DeliveryTimeout`) — yields
+    an ``{"error": ...}`` response carrying the request ``id`` (and,
+    for delivery timeouts, the ``culprits`` triples) and serving
+    continues: the loop outlives any single record.  With ``batch >
+    0``, consecutive explicit-demand route requests are grouped (up to
+    ``batch``) into one routing instance; a session governed by a
+    :class:`~repro.runtime.resilience.ResiliencePolicy` serves requests
+    individually instead (admission is per-request).  When the session
+    carries a journal, the served high-water mark is advanced after
+    every fully consumed record.
     """
     from ..congest.faults import DeliveryTimeout
 
     recoverable = (ValueError, TypeError, DeliveryTimeout)
     pending: list[Request] = []
+
+    def error_record(
+        error: Exception, **identity: Any
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"error": str(error)}
+        payload.update(identity)
+        if isinstance(error, DeliveryTimeout):
+            payload["kind"] = "delivery_timeout"
+            payload["culprits"] = [
+                list(culprit) for culprit in error.culprits
+            ]
+        return payload
 
     def flush() -> Iterator[dict[str, Any]]:
         if pending:
@@ -883,18 +1113,35 @@ def serve_jsonl(
             try:
                 responses = session.route_batch(group)
             except recoverable as error:
-                yield {
-                    "error": str(error),
-                    "ids": [request.id for request in group],
-                }
+                yield error_record(
+                    error, ids=[request.id for request in group]
+                )
                 return
             for response in responses:
                 yield response.summary()
 
+    # After a recovery the caller skips the already-consumed records,
+    # so this generator's local count continues from the journal's
+    # existing high-water mark instead of regressing to zero.
+    base_record = (
+        session.journal.record_mark if session.journal is not None else 0
+    )
+
+    def mark(consumed: int) -> None:
+        if session.journal is not None and not pending:
+            session.journal.mark_served(
+                session.served, record=base_record + consumed
+            )
+
+    consumed = 0
     for record in records:
+        consumed += 1
         if "update" in record:
             yield from flush()
             update = dict(record["update"])
+            # Stamp the journaled update with this record's index so a
+            # torn tail can never double-apply it (replay + re-consume).
+            session._journal_record = base_record + consumed
             try:
                 report = session.apply_update(
                     edges_added=update.get("edges_added", ()),
@@ -902,9 +1149,13 @@ def serve_jsonl(
                     nodes_down=update.get("nodes_down", ()),
                 )
             except recoverable as error:
-                yield {"error": str(error), "record": dict(record)}
+                yield error_record(error, record=dict(record))
+                mark(consumed)
                 continue
+            finally:
+                session._journal_record = 0
             yield report.summary()
+            mark(consumed)
             continue
         try:
             request = Request(
@@ -913,7 +1164,19 @@ def serve_jsonl(
                 id=record.get("id"),
             )
         except (ValueError, TypeError) as error:
-            yield {"error": str(error), "record": dict(record)}
+            yield error_record(
+                error, id=record.get("id"), record=dict(record)
+            )
+            mark(consumed)
+            continue
+        if session.governor is not None:
+            yield from flush()
+            arrival = record.get("arrival_s")
+            yield session.serve(
+                request,
+                arrival_s=float(arrival) if arrival is not None else None,
+            )
+            mark(consumed)
             continue
         batchable = (
             batch > 0
@@ -925,10 +1188,15 @@ def serve_jsonl(
             pending.append(request)
             if len(pending) >= batch:
                 yield from flush()
+                mark(consumed)
             continue
         yield from flush()
         try:
             yield session.submit(request).summary()
         except recoverable as error:
-            yield {"error": str(error), "record": dict(record)}
+            yield error_record(
+                error, id=request.id, record=dict(record)
+            )
+        mark(consumed)
     yield from flush()
+    mark(consumed)

@@ -26,15 +26,30 @@ injected fault plan becomes an error record, never a dead serving loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+import os
+import tempfile
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterator, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from ..congest.faults import DeliveryTimeout
 from ..graphs.graph import Graph
+from ..rng import derive_rng, stream_entropy
+from ..runtime.chaos import (
+    ChaosPlan,
+    ChaosSpec,
+    corrupt_store_entry,
+    kill_session,
+    truncate_journal_tail,
+)
 from ..runtime.config import RunConfig
+from ..runtime.journal import Journal
+from ..runtime.resilience import ResiliencePolicy
 from ..runtime.session import Request, Session, serve_jsonl
+from ..runtime.store import HierarchyStore
 from .generator import Workload, WorkloadSpec, generate_workload
 from .scenarios import Scenario, get_scenario
 
@@ -113,13 +128,32 @@ class WorkloadReport:
     rounds: dict[str, float]
     wall_s: dict[str, float]
     sojourn_s: dict[str, float]
+    # Governed/chaos extension (PR 10) — all defaulted so ungoverned
+    # reports (and their committed baselines) are byte-identical to
+    # PR 9: summary() only emits these keys when ``governed`` is set.
+    governed: bool = False
+    goodput: int = 0
+    deadline_miss: int = 0
+    shed: int = 0
+    circuit_open: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    kills: int = 0
+    recoveries: int = 0
+    corruptions: int = 0
+    truncations: int = 0
+    fault_windows: int = 0
+    recover_s: dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> dict[str, Any]:
         """JSON-safe report payload (the bench record's metrics shape).
 
         Deterministic fields (gateable): ``served``, ``errors``,
-        ``updates``, ``rebuilds``, ``total_rounds``, ``rounds_p*``.
-        Wall-clock fields are reported for humans, never gated.
+        ``updates``, ``rebuilds``, ``total_rounds``, ``rounds_p*`` —
+        plus, on governed runs, the goodput/shed/deadline-miss/chaos
+        counters.  Wall-clock fields (including time-to-recover) are
+        reported for humans, never gated.
         """
         payload: dict[str, Any] = {
             "scenario": self.scenario,
@@ -149,6 +183,31 @@ class WorkloadReport:
                     float(pcts[key])
                     if name == "rounds"
                     else round(pcts[key], 6)
+                )
+        if self.governed:
+            attempted = max(1, self.requests)
+            payload.update(
+                goodput=self.goodput,
+                deadline_miss=self.deadline_miss,
+                shed=self.shed,
+                circuit_open=self.circuit_open,
+                timeouts=self.timeouts,
+                retries=self.retries,
+                breaker_trips=self.breaker_trips,
+                deadline_miss_rate=round(
+                    self.deadline_miss / attempted, 6
+                ),
+                shed_rate=round(self.shed / attempted, 6),
+                goodput_rate=round(self.goodput / attempted, 6),
+                kills=self.kills,
+                recoveries=self.recoveries,
+                corruptions=self.corruptions,
+                truncations=self.truncations,
+                fault_windows=self.fault_windows,
+            )
+            for key in sorted(self.recover_s):
+                payload[f"recover_s_{key}"] = round(
+                    self.recover_s[key], 6
                 )
         return payload
 
@@ -244,6 +303,8 @@ def run_workload(
     backend: str = "oracle",
     workers: int = 1,
     config: Optional[RunConfig] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    chaos: Optional[ChaosSpec] = None,
 ) -> WorkloadReport:
     """One sustained multi-epoch run of ``scenario`` over ``graph``.
 
@@ -251,6 +312,17 @@ def run_workload(
     scenario's full deterministic stream against the warm structure.
     The scenario's ``faults`` / ``recovery`` / ``batch`` knobs configure
     the serving side unless an explicit ``config`` overrides them.
+
+    With a ``policy``
+    (:class:`~repro.runtime.resilience.ResiliencePolicy`, or
+    ``config.resilience``) and/or a ``chaos``
+    (:class:`~repro.runtime.chaos.ChaosSpec`) campaign, serving runs
+    through the governed loop: requests pass the breaker / admission /
+    retry / deadline pipeline individually, chaos kills sever and
+    recover the session through its write-ahead journal, and the
+    report grows goodput, shed, deadline-miss, and time-to-recover
+    columns.  Without either knob the classic ungoverned loop runs —
+    bit-identical reports to before the resilience layer existed.
     """
     if mode not in MODES:
         raise ValueError(
@@ -265,7 +337,24 @@ def run_workload(
             recovery=resolved.recovery,
             workers=workers,
         )
+    if policy is None:
+        policy = config.resilience
     workload = generate_workload(graph, resolved, seed=seed)
+    if policy is not None or (chaos is not None and not chaos.is_null):
+        if mode != "session":
+            raise ValueError(
+                "governed/chaos runs serve requests individually; "
+                f"use mode='session', got {mode!r}"
+            )
+        return _run_governed(
+            graph,
+            resolved,
+            workload,
+            config=config,
+            policy=policy,
+            chaos=chaos,
+            seed=seed,
+        )
 
     arrivals: dict[Optional[str], float] = {}
     for record, second in zip(workload.records, workload.arrivals):
@@ -327,6 +416,251 @@ def run_workload(
         rounds=percentile_summary(rounds_values),
         wall_s=percentile_summary(wall_values),
         sojourn_s=percentile_summary(sojourn_values),
+    )
+
+
+def _error_summary(
+    error: Exception, request_id: Optional[str]
+) -> dict[str, Any]:
+    """A structured error record for an ungoverned serve failure."""
+    payload: dict[str, Any] = {"error": str(error), "id": request_id}
+    if isinstance(error, DeliveryTimeout):
+        payload["kind"] = "delivery_timeout"
+        payload["culprits"] = [list(c) for c in error.culprits]
+    return payload
+
+
+def _run_governed(
+    graph: Graph,
+    resolved: Scenario,
+    workload: Workload,
+    *,
+    config: RunConfig,
+    policy: Optional[ResiliencePolicy],
+    chaos: Optional[ChaosSpec],
+    seed: int,
+) -> WorkloadReport:
+    """The governed serving loop: per-request SLO pipeline + chaos.
+
+    Requests are served individually through :meth:`Session.serve`
+    (batched admission would blur per-request deadlines and arrival
+    accounting).  When the chaos campaign can kill, the session runs
+    over a temporary store + write-ahead journal so each kill can be
+    recovered from durable state; the governor object is carried
+    across recoveries, because the SLO timeline (virtual clock,
+    in-flight completions, breaker state) belongs to the *service*,
+    not to any single process incarnation.
+    """
+    plan: Optional[ChaosPlan] = None
+    if chaos is not None and not chaos.is_null:
+        plan = ChaosPlan(
+            chaos,
+            rng=derive_rng(int(config.seed), stream_entropy("chaos")),
+        )
+
+    arrivals: dict[Optional[str], float] = {}
+    for record, second in zip(workload.records, workload.arrivals):
+        if "op" in record:
+            arrivals[record.get("id")] = float(second)
+
+    rounds_values: list[float] = []
+    wall_values: list[float] = []
+    sojourn_values: list[float] = []
+    recover_samples: list[float] = []
+    served = errors = updates = rebuilds = 0
+    kills = recoveries = corruptions = truncations = windows = 0
+    timeouts_seen = 0
+    total_rounds = 0.0
+    total_wall = 0.0
+    clock = 0.0
+
+    recoverable = (ValueError, TypeError, DeliveryTimeout)
+    with ExitStack() as stack:
+        store: Optional[HierarchyStore] = None
+        journal_path: Optional[str] = None
+        if plan is not None and chaos is not None and chaos.kill_rate > 0:
+            tmp = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-chaos-")
+            )
+            store = HierarchyStore(os.path.join(tmp, "store"))
+            journal_path = os.path.join(tmp, "journal.jsonl")
+        session = Session.open(
+            graph,
+            config,
+            store=store,
+            journal=journal_path,
+            policy=policy,
+        )
+        governor = session.governor
+        window_left = 0
+        window_stack = stack.enter_context(ExitStack())
+        request_index = 0
+        try:
+            for record in workload.records:
+                if "update" in record:
+                    update = dict(record["update"])
+                    try:
+                        report = session.apply_update(
+                            edges_added=update.get("edges_added", ()),
+                            edges_removed=update.get("edges_removed", ()),
+                            nodes_down=update.get("nodes_down", ()),
+                        )
+                    except recoverable:
+                        errors += 1
+                        continue
+                    updates += 1
+                    rebuilds += int(bool(report.rebuilt))
+                    continue
+
+                index = request_index
+                request_index += 1
+                action = plan.action(index) if plan is not None else None
+                if (
+                    action is not None
+                    and action.kill
+                    and journal_path is not None
+                    and chaos is not None
+                ):
+                    window_stack.close()
+                    window_left = 0
+                    cache_key = session.cache_key
+                    kill_session(session)
+                    kills += 1
+                    if action.corrupt and store is not None and cache_key:
+                        corruptions += int(
+                            corrupt_store_entry(store, cache_key)
+                        )
+                    if action.truncate:
+                        truncations += int(
+                            truncate_journal_tail(
+                                journal_path, chaos.truncate_bytes
+                            )
+                        )
+                    began = time.perf_counter()  # reprolint: disable=R003
+                    session = Session.recover(
+                        graph,
+                        config,
+                        journal=journal_path,
+                        store=store,
+                        policy=policy,
+                    )
+                    recover_samples.append(
+                        time.perf_counter() - began  # reprolint: disable=R003
+                    )
+                    recoveries += 1
+                    if governor is not None:
+                        # The SLO timeline survives the crash.
+                        session.governor = governor
+                if (
+                    action is not None
+                    and action.open_window
+                    and chaos is not None
+                    and chaos.fault_spec is not None
+                ):
+                    window_stack.close()
+                    window_stack = stack.enter_context(ExitStack())
+                    window_stack.enter_context(
+                        session.fault_window(
+                            chaos.fault_spec, entropy=action.entropy
+                        )
+                    )
+                    window_left = chaos.fault_window
+                    windows += 1
+
+                request = Request(
+                    op=record["op"],
+                    args=dict(record["args"]),
+                    id=record.get("id"),
+                )
+                arrival = arrivals.get(request.id)
+                try:
+                    summary = session.serve(request, arrival_s=arrival)
+                except recoverable as error:
+                    summary = _error_summary(error, request.id)
+
+                if "error" in summary:
+                    errors += 1
+                    if summary.get("kind") == "delivery_timeout":
+                        timeouts_seen += 1
+                else:
+                    served += 1
+                    rounds = float(summary["rounds"])
+                    service = float(
+                        summary.get("service_s", summary["wall_s"])
+                    )
+                    rounds_values.append(rounds)
+                    wall_values.append(service)
+                    total_rounds += rounds
+                    total_wall += service
+                    if "sojourn_s" in summary:
+                        sojourn_values.append(float(summary["sojourn_s"]))
+                    else:
+                        start = arrival if arrival is not None else clock
+                        clock = max(clock, start) + service
+                        sojourn_values.append(clock - start)
+
+                if window_left > 0:
+                    window_left -= 1
+                    if window_left == 0:
+                        window_stack.close()
+                        window_stack = stack.enter_context(ExitStack())
+        finally:
+            window_stack.close()
+            session.close()
+
+    if governor is not None:
+        counts = governor.counters
+        goodput = counts["goodput"]
+        shed = counts["shed"]
+        deadline_miss = counts["deadline_miss"]
+        circuit_open = counts["circuit_open"]
+        timeouts = counts["timeouts"]
+        retries = counts["retries"]
+        breaker_trips = counts["breaker_trips"]
+        clock = max(clock, governor.clock)
+    else:
+        goodput = served
+        shed = deadline_miss = circuit_open = 0
+        retries = breaker_trips = 0
+        timeouts = timeouts_seen
+
+    makespan = max(clock, 1e-9)
+    return WorkloadReport(
+        scenario=resolved.name,
+        mode="session",
+        n=graph.num_nodes,
+        seed=seed,
+        epochs=resolved.epochs,
+        batch=resolved.batch,
+        requests=workload.requests,
+        served=served,
+        errors=errors,
+        updates=updates,
+        rebuilds=rebuilds,
+        total_rounds=total_rounds,
+        total_wall_s=total_wall,
+        makespan_s=clock,
+        offered_rps=workload.offered_rps,
+        achieved_rps=served / makespan,
+        rounds=percentile_summary(rounds_values),
+        wall_s=percentile_summary(wall_values),
+        sojourn_s=percentile_summary(sojourn_values),
+        governed=True,
+        goodput=int(goodput),
+        deadline_miss=int(deadline_miss),
+        shed=int(shed),
+        circuit_open=int(circuit_open),
+        timeouts=int(timeouts),
+        retries=int(retries),
+        breaker_trips=int(breaker_trips),
+        kills=kills,
+        recoveries=recoveries,
+        corruptions=corruptions,
+        truncations=truncations,
+        fault_windows=windows,
+        recover_s=(
+            percentile_summary(recover_samples) if recover_samples else {}
+        ),
     )
 
 

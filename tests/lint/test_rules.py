@@ -584,6 +584,91 @@ class TestR008RawCrashState:
         )
 
 
+class TestR013ChaosStream:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # raw constructor-made generator
+            """
+            import numpy as np
+            from repro.runtime.chaos import ChaosPlan
+
+            def plan(spec):
+                return ChaosPlan(spec, rng=np.random.default_rng(0))
+            """,
+            # a generator variable: provenance unknown at the call site
+            """
+            from repro.runtime.chaos import ChaosPlan
+
+            def plan(spec, rng):
+                return ChaosPlan(spec, rng)
+            """,
+            # managed derivation, but not the named "chaos" stream —
+            # the campaign would consume another stream's draws
+            """
+            from repro.runtime.chaos import ChaosPlan
+            from repro.rng import derive_rng
+
+            def plan(spec, seed):
+                return ChaosPlan(spec, rng=derive_rng(seed, 7))
+            """,
+            # context stream with the wrong name
+            """
+            from repro.runtime.chaos import ChaosPlan
+
+            def plan(spec, context):
+                return ChaosPlan(spec, context.stream("faults"))
+            """,
+            # no rng at all
+            """
+            from repro.runtime.chaos import ChaosPlan
+
+            def plan(spec):
+                return ChaosPlan(spec)
+            """,
+        ],
+    )
+    def test_fires(self, source):
+        assert "R013" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # the sanctioned derivation (how the workload engine mints it)
+            """
+            from repro.rng import derive_rng, stream_entropy
+            from repro.runtime.chaos import ChaosPlan
+
+            def plan(spec, seed):
+                return ChaosPlan(
+                    spec, rng=derive_rng(seed, stream_entropy("chaos"))
+                )
+            """,
+            # the context's named stream
+            """
+            from repro.runtime.chaos import ChaosPlan
+
+            def plan(spec, context):
+                return ChaosPlan(spec, rng=context.stream("chaos"))
+            """,
+            # fresh_stream is a managed stream too
+            """
+            from repro.runtime.chaos import ChaosPlan
+
+            def plan(spec, context):
+                return ChaosPlan(spec, context.fresh_stream("chaos"))
+            """,
+            # unrelated call named similarly must not trigger
+            """
+            def describe_chaos_plan(spec):
+                return str(spec)
+            """,
+        ],
+    )
+    def test_quiet(self, source):
+        assert "R013" not in rule_ids(source)
+
+
 class TestEngineMechanics:
     def test_syntax_error_reported_not_raised(self):
         findings = lint_source("def broken(:\n", "bad.py")

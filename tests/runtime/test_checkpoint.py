@@ -1,5 +1,6 @@
 """Checkpoint/resume: a resumed run is the uninterrupted run, bit for bit."""
 
+import os
 import pickle
 
 import numpy as np
@@ -132,6 +133,19 @@ class TestCheckpointFile:
         )
         with pytest.raises(CheckpointError):
             load_checkpoint(str(path))
+
+    def test_truncated_pickle_rejected(self, graph64, tmp_path):
+        """A torn write (partial flush before a crash) must surface as
+        CheckpointError at load time, never as a downstream shape
+        error — the write path fsyncs before the atomic rename
+        precisely so a renamed file can only be torn by later damage."""
+        path = str(tmp_path / "run.ckpt")
+        _route(graph64, "oracle", checkpoint=path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(path)
 
     def test_no_tmp_litter(self, graph64, tmp_path):
         path = str(tmp_path / "run.ckpt")
