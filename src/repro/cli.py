@@ -475,9 +475,16 @@ def _cmd_serve(args) -> int:
         raise ValueError("--recover needs --journal PATH")
 
     def records(handle, skip: int):
-        for index, line in enumerate(handle):
+        # The journal's record mark counts *parsed* records consumed by
+        # serve_jsonl, so only non-blank lines may count against the
+        # resume skip — blank input lines must not shift the point.
+        parsed = 0
+        for line in handle:
             line = line.strip()
-            if line and index >= skip:
+            if not line:
+                continue
+            parsed += 1
+            if parsed > skip:
                 yield json.loads(line)
 
     in_handle = (

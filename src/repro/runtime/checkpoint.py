@@ -34,6 +34,7 @@ from typing import Union
 
 from ..hashing import graph_fingerprint
 from .events import EventSink, JsonlSink, NullSink
+from .journal import _fsync_directory
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -62,7 +63,8 @@ def write_checkpoint(
     context,
     backend,
 ) -> None:
-    """Snapshot a run into ``path`` (atomic: temp file + fsync + rename).
+    """Snapshot a run into ``path`` (atomic: temp file + fsync +
+    rename + parent-directory fsync).
 
     The config's ``trace`` member may hold an open sink, so it is
     stripped (the context's recorded events carry the trace across the
@@ -92,6 +94,9 @@ def write_checkpoint(
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(temp_path, path)
+        # ... and the rename itself is only durable once the parent
+        # directory's entry is synced.
+        _fsync_directory(directory)
     except BaseException:
         if os.path.exists(temp_path):
             os.unlink(temp_path)

@@ -57,38 +57,52 @@ JournalState = tuple[
 ]
 
 
-def read_journal(path: str) -> JournalState:
-    """Parse a journal file, tolerating a torn tail.
+def _fsync_directory(directory: str) -> None:
+    """Make a directory entry durable (POSIX: fsync the directory fd).
 
-    Returns ``(header, updates, update_records, served_high_water,
-    record_high_water)``.  The header is ``None`` for an empty/new
-    file; ``update_records[i]`` is the input-record stamp of
-    ``updates[i]`` (0 = applied outside a record stream).  Parsing
-    stops at the first malformed line (a crash mid-append), discarding
-    the tail — a journal is never *invalid*, only shorter than hoped.
-    The record high-water mark covers update stamps, so a replayed
-    update's input record is never re-consumed (exactly-once).
+    Creating or renaming a file only becomes crash-durable once its
+    *directory* is synced; platforms that refuse directory fds (e.g.
+    Windows) make the rename durable on their own.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dirs
+        pass
+    finally:
+        os.close(fd)
+
+
+def _scan_lines(lines: list[str]) -> tuple[JournalState, int]:
+    """Parse decoded journal lines up to the first malformed one.
+
+    Returns ``(state, intact)`` where ``state`` is the
+    :data:`JournalState` tuple and ``intact`` counts the leading lines
+    that parsed cleanly (blank lines included) — everything past that
+    is a torn tail.
     """
     header: Optional[dict[str, Any]] = None
     updates: list[dict[str, Any]] = []
     update_records: list[int] = []
     served = 0
     record_mark = 0
-    if not os.path.exists(path):
-        return header, updates, update_records, served, record_mark
-    with open(path, "r", encoding="utf-8") as handle:
-        raw = handle.read()
-    for index, line in enumerate(raw.split("\n")):
-        line = line.strip()
-        if not line:
+    intact = 0
+    first = True
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            intact = index + 1
             continue
         try:
-            entry = json.loads(line)
+            entry = json.loads(stripped)
         except json.JSONDecodeError:
             break  # torn tail: keep the intact prefix
         if not isinstance(entry, dict):
             break
-        if index == 0 and "journal" in entry:
+        if first and "journal" in entry:
             header = entry
         elif "update" in entry:
             updates.append(dict(entry["update"]))
@@ -101,19 +115,46 @@ def read_journal(path: str) -> JournalState:
             )
         else:
             break  # unknown vocabulary: treat like corruption
-    return header, updates, update_records, served, record_mark
+        first = False
+        intact = index + 1
+    state = (header, updates, update_records, served, record_mark)
+    return state, intact
+
+
+def read_journal(path: str) -> JournalState:
+    """Parse a journal file, tolerating a torn tail.
+
+    Returns ``(header, updates, update_records, served_high_water,
+    record_high_water)``.  The header is ``None`` for an empty/new
+    file; ``update_records[i]`` is the input-record stamp of
+    ``updates[i]`` (0 = applied outside a record stream).  Parsing
+    stops at the first malformed line (a crash mid-append), discarding
+    the tail — a journal is never *invalid*, only shorter than hoped.
+    The record high-water mark covers update stamps, so a replayed
+    update's input record is never re-consumed (exactly-once).
+    """
+    if not os.path.exists(path):
+        return None, [], [], 0, 0
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = handle.read()
+    state, _ = _scan_lines(raw.split("\n"))
+    return state
 
 
 class Journal:
     """One session's write-ahead journal, open for appending.
 
     Opening an existing file replays its intact prefix into
-    :attr:`updates` / :attr:`served` / :attr:`record_mark` (and
-    truncates a torn tail in place, so the file ends on a line
-    boundary); opening a fresh file writes the identity header.  The
-    ``identity`` mapping (graph fingerprint, seed, backend) guards
-    against replaying a journal onto the wrong session — a mismatch
-    raises ``ValueError`` instead of deterministically corrupting it.
+    :attr:`updates` / :attr:`served` / :attr:`record_mark` and
+    truncates only the torn tail in place, so the file ends on a line
+    boundary — the intact prefix itself is **never rewritten**: a crash
+    at any point during reopen can lose at most the already-torn tail,
+    never an acknowledged append.  Opening a fresh file writes the
+    identity header (and fsyncs the directory so the new file's entry
+    is durable).  The ``identity`` mapping (graph fingerprint, seed,
+    backend) guards against replaying a journal onto the wrong
+    session — a mismatch raises ``ValueError`` instead of
+    deterministically corrupting it.
     """
 
     def __init__(
@@ -123,13 +164,32 @@ class Journal:
         identity: Optional[dict[str, Any]] = None,
     ) -> None:
         self.path = path
-        header, updates, update_records, served, record_mark = (
-            read_journal(path)
-        )
+        raw = b""
+        existed = os.path.exists(path)
+        if existed:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        # Scan for the intact prefix in *bytes*, so the torn tail can
+        # be truncated at an exact byte boundary.  The final chunk (no
+        # trailing newline) may still be a complete entry — a torn
+        # write that lost only the newline — in which case it is kept
+        # and re-terminated below.
+        chunks = raw.split(b"\n")
+        tail = chunks.pop()
+        lines = [chunk.decode("utf-8", errors="replace") for chunk in chunks]
+        if tail:
+            lines.append(tail.decode("utf-8", errors="replace"))
+        state, intact = _scan_lines(lines)
+        header, updates, update_records, served, record_mark = state
         self.updates = updates
         self.update_records = update_records
         self.served = served
         self.record_mark = record_mark
+        if header is None and (updates or served or record_mark):
+            raise ValueError(
+                f"journal {path!r} has entries but no identity header; "
+                "refusing to append to a file this session cannot claim"
+            )
         if header is not None and identity is not None:
             for key, value in identity.items():
                 if key in header and header[key] != value:
@@ -138,38 +198,35 @@ class Journal:
                         f"session ({key}={header[key]!r}, expected "
                         f"{value!r})"
                     )
+        if intact <= len(chunks):
+            intact_bytes = sum(
+                len(chunks[i]) + 1 for i in range(intact)
+            )
+            unterminated = False
+        else:  # the newline-less tail itself parsed as an intact entry
+            intact_bytes = len(raw)
+            unterminated = True
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        # Rewrite the intact prefix so a torn tail never precedes new
-        # appends; then keep the handle for fsync'd appends.
-        intact_lines = self._intact_lines(header, identity)
-        self._handle: TextIO = open(path, "w", encoding="utf-8")
-        for line in intact_lines:
-            self._handle.write(line + "\n")
-        self._sync()
-
-    def _intact_lines(
-        self,
-        header: Optional[dict[str, Any]],
-        identity: Optional[dict[str, Any]],
-    ) -> list[str]:
+        if existed and intact_bytes < len(raw):
+            # Drop the torn tail in place; the intact prefix is
+            # untouched on disk, so no window exists in which acked
+            # appends could be lost.
+            with open(path, "r+b") as handle:
+                handle.truncate(intact_bytes)
+                os.fsync(handle.fileno())
+        self._handle: TextIO = open(path, "a", encoding="utf-8")
+        if unterminated:
+            self._handle.write("\n")
         if header is None:
-            header = {"journal": JOURNAL_VERSION}
-            header.update(identity or {})
-        lines = [json.dumps(header, separators=(",", ":"))]
-        for update, record in zip(self.updates, self.update_records):
-            entry: dict[str, Any] = {"update": update}
-            if record:
-                entry["record"] = record
-            lines.append(json.dumps(entry, separators=(",", ":")))
-        if self.served or self.record_mark:
-            lines.append(
-                json.dumps(
-                    {"served": self.served, "record": self.record_mark},
-                    separators=(",", ":"),
-                )
+            fresh = {"journal": JOURNAL_VERSION}
+            fresh.update(identity or {})
+            self._handle.write(
+                json.dumps(fresh, separators=(",", ":")) + "\n"
             )
-        return lines
+        self._sync()
+        if not existed:
+            _fsync_directory(directory)
 
     # -- appends -------------------------------------------------------------
 

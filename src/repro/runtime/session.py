@@ -42,9 +42,14 @@ a :class:`~repro.runtime.resilience.ResiliencePolicy` (deadlines, retry
 budget, admission control, circuit breaker — enforced by
 :meth:`Session.serve`), and a :class:`~repro.runtime.journal.Journal`
 (crash-safe write-ahead log of applied updates + the served high-water
-mark) that :meth:`Session.recover` replays deterministically.  Both are
-strictly additive: with neither attached, serving is bit-identical to a
-session without this machinery.
+mark) that :meth:`Session.recover` replays deterministically.  Both
+layers are additive for *request serving*: with neither attached,
+served responses are bit-identical to a session without this
+machinery.  :meth:`Session.apply_update`, however, now restores the
+warm snapshot before every update for *all* sessions — journaled or
+not — so that replay is a pure function of (seed, update index); this
+intentionally changes update repair results relative to pre-journal
+sessions (the serve-soak baselines were regenerated accordingly).
 """
 
 from __future__ import annotations
@@ -1172,10 +1177,20 @@ def serve_jsonl(
         if session.governor is not None:
             yield from flush()
             arrival = record.get("arrival_s")
-            yield session.serve(
-                request,
-                arrival_s=float(arrival) if arrival is not None else None,
-            )
+            # The governor only absorbs DeliveryTimeout; a bad request
+            # (unsupported op/backend pair, malformed args) still
+            # raises and must not kill the loop, same as ungoverned.
+            try:
+                yield session.serve(
+                    request,
+                    arrival_s=(
+                        float(arrival) if arrival is not None else None
+                    ),
+                )
+            except recoverable as error:
+                yield error_record(
+                    error, id=request.id, record=dict(record)
+                )
             mark(consumed)
             continue
         batchable = (

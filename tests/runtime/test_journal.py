@@ -183,11 +183,48 @@ class TestJournalMechanics:
         _, _, _, served, mark = read_journal(path)
         assert (served, mark) == (2, 3)
 
-        # Reopening rewrites the intact prefix (stamps preserved).
+        # Reopening truncates the torn tail in place (stamps preserved).
         Journal(path, identity={"seed": 1}).close()
         header, updates, stamps, served, mark = read_journal(path)
         assert stamps == [3]
         assert (served, mark) == (2, 3)
+
+    def test_reopen_never_rewrites_intact_prefix(self, tmp_path):
+        """Reopen is append-only: the intact bytes are untouched on
+        disk, so a crash mid-reopen can never lose acked appends."""
+        path = os.fspath(tmp_path / "j.jsonl")
+        with Journal(path, identity={"seed": 1}) as journal:
+            journal.append_update({"edges_added": [[0, 5]]}, record=1)
+            journal.mark_served(1, record=1)
+        with open(path, "rb") as handle:
+            before = handle.read()
+
+        # A clean reopen leaves the file bit-identical.
+        Journal(path, identity={"seed": 1}).close()
+        with open(path, "rb") as handle:
+            assert handle.read() == before
+
+        # A torn reopen only removes the tail — same intact bytes.
+        with open(path, "ab") as handle:
+            handle.write(b'{"served": 9')
+        Journal(path, identity={"seed": 1}).close()
+        with open(path, "rb") as handle:
+            assert handle.read() == before
+
+    def test_newline_less_tail_is_kept_and_reterminated(self, tmp_path):
+        """A tear that loses only the final newline keeps the entry."""
+        path = os.fspath(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append_update({"nodes_down": [2]}, record=2)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 1)
+        journal = Journal(path)
+        assert journal.updates == [{"nodes_down": [2]}]
+        journal.mark_served(1, record=2)
+        journal.close()
+        _, updates, stamps, served, mark = read_journal(path)
+        assert updates == [{"nodes_down": [2]}]
+        assert (stamps, served, mark) == ([2], 1, 2)
 
     def test_update_stamp_outlives_lost_mark(self, tmp_path):
         """Exactly-once: the stamp alone must advance the resume mark."""

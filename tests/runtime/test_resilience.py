@@ -288,3 +288,37 @@ class TestSessionIntegration:
     def test_config_rejects_wrong_type(self):
         with pytest.raises(TypeError):
             RunConfig(resilience={"deadline_rounds": 10})
+
+
+class TestGovernedServeJsonl:
+    def test_bad_request_yields_error_record_not_crash(self, session):
+        """The governed branch must absorb runtime ValueErrors too.
+
+        The governor's retry loop only catches DeliveryTimeout, so a
+        request that passes construction-time validation but fails in
+        the runner (misaligned demands here) used to escape serve_jsonl
+        and kill the loop — violating 'the loop outlives any single
+        record'."""
+        from repro.runtime import serve_jsonl
+
+        records = [
+            {"op": "route", "id": "ok-1"},
+            {
+                "op": "route",
+                "args": {"sources": [0, 1], "destinations": [2]},
+                "id": "bad-demands",
+            },
+            {"op": "route", "id": "ok-2"},
+        ]
+        assert session.governor is None
+        session.governor = Governor(ResiliencePolicy(retry_budget=1))
+        try:
+            responses = list(serve_jsonl(session, records))
+        finally:
+            session.governor = None
+        assert [r["id"] for r in responses] == [
+            "ok-1", "bad-demands", "ok-2",
+        ]
+        assert "error" in responses[1]
+        assert "error" not in responses[0]
+        assert "error" not in responses[2]

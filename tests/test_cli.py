@@ -287,6 +287,45 @@ class TestServe:
         ) == 0
         assert "cached=True" in capsys.readouterr().err
 
+    def test_recover_skip_ignores_blank_lines(self, tmp_path, capsys):
+        """--recover resumes by *parsed* records: the journal's record
+        mark counts records serve_jsonl consumed, so blank input lines
+        must not shift the resume point (re-serving or skipping)."""
+        import json
+
+        graph = self._expander(tmp_path)
+        journal = str(tmp_path / "journal.jsonl")
+        requests = str(tmp_path / "requests.jsonl")
+        with open(requests, "w") as handle:
+            handle.write("\n")
+            for index in range(3):
+                handle.write(
+                    json.dumps({"op": "route", "id": f"r{index}"})
+                    + "\n\n"
+                )
+        out = str(tmp_path / "responses.jsonl")
+        assert main(
+            ["serve", graph, "--requests", requests, "-o", out,
+             "--seed", "1", "--journal", journal]
+        ) == 0
+        assert "served 3 response(s)" in capsys.readouterr().err
+
+        with open(requests, "a") as handle:
+            handle.write(
+                "\n" + json.dumps({"op": "route", "id": "r3"}) + "\n"
+            )
+        assert main(
+            ["serve", graph, "--requests", requests, "-o", out,
+             "--seed", "1", "--journal", journal, "--recover"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "resuming at record 3" in err
+        assert "served 1 response(s)" in err
+        responses = [
+            json.loads(line) for line in open(out) if line.strip()
+        ]
+        assert [r["id"] for r in responses] == ["r3"]
+
     def test_serve_batched(self, tmp_path, capsys):
         import json
 
